@@ -1,0 +1,69 @@
+// Command benchfigs regenerates every table and figure of the paper's
+// evaluation (§V) from a simulated deployment and prints them, each
+// annotated with the value the paper reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	days := flag.Float64("days", 28, "simulated window in days (the paper used 28)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	skipAblations := flag.Bool("no-ablations", false, "skip the ablation sweeps")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Duration = time.Duration(*days * 24 * float64(time.Hour))
+	cfg.Seed = *seed
+
+	fmt.Printf("running %.0f-day deployment simulation (seed %d)...\n\n", *days, *seed)
+	start := time.Now()
+	dep, err := experiments.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation finished in %v: %d outbound, %d inbound packets\n\n",
+		time.Since(start).Round(time.Second), dep.OutboundSent, dep.InboundSent)
+
+	fmt.Println(experiments.BuildFig2(dep).Render())
+	fmt.Println(experiments.BuildFig3(dep).Render())
+	fmt.Println(experiments.BuildFig4(dep).Render())
+	fmt.Println(experiments.BuildFig5(dep).Render())
+	fmt.Println(experiments.BuildFig6(dep).Render())
+	fmt.Println(experiments.BuildTable1(dep).Render())
+	fmt.Println(experiments.BuildRecvStats(dep).Render())
+	fmt.Println(experiments.BuildStorage(dep).Render())
+	fmt.Println(experiments.RunSealingAblation(50_000).Render())
+
+	if !*skipAblations {
+		fmt.Println("running ablation sweeps...")
+		if sweep, err := experiments.RunDeltaSweep(
+			[]time.Duration{15 * time.Minute, time.Hour, 4 * time.Hour}, 2, *seed+10); err == nil {
+			fmt.Println(sweep.Render())
+		} else {
+			log.Printf("delta sweep: %v", err)
+		}
+		if sweep, err := experiments.RunQuorumSweep([]int{4, 12, 24}, 1, *seed+20); err == nil {
+			fmt.Println(sweep.Render())
+		} else {
+			log.Printf("quorum sweep: %v", err)
+		}
+		if abl, err := experiments.RunFeePolicyAblation(2, *seed+30); err == nil {
+			fmt.Println(abl.Render())
+		} else {
+			log.Printf("fee ablation: %v", err)
+		}
+		fmt.Println(experiments.RunCongestionAblation(20, *seed+40).Render())
+		if cmpr, err := experiments.RunProfileComparison(1, *seed+50); err == nil {
+			fmt.Println(cmpr.Render())
+		} else {
+			log.Printf("profile comparison: %v", err)
+		}
+	}
+}

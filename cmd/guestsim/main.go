@@ -1,0 +1,91 @@
+// Command guestsim runs the simulated guest-blockchain deployment for a
+// configurable window and prints a summary (packets, blocks, updates,
+// validator signatures, storage, fees).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fees"
+	"repro/internal/host"
+	"repro/internal/stats"
+)
+
+func main() {
+	days := flag.Float64("days", 28, "simulated window in days")
+	outPerDay := flag.Float64("out", 26, "guest->counterparty packets per day")
+	inPerDay := flag.Float64("in", 14, "counterparty->guest packets per day")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	profileName := flag.String("profile", "solana", "host profile: solana, near-like, tron-like (§VI-D)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.Duration = time.Duration(*days * 24 * float64(time.Hour))
+	cfg.OutPerDay = *outPerDay
+	cfg.InPerDay = *inPerDay
+	cfg.Seed = *seed
+
+	var profile host.Profile
+	switch *profileName {
+	case "solana":
+		profile = host.SolanaProfile()
+	case "near-like":
+		profile = host.NEARLikeProfile()
+	case "tron-like":
+		profile = host.TRONLikeProfile()
+	default:
+		log.Fatalf("unknown profile %q", *profileName)
+	}
+
+	start := time.Now()
+	dep, err := experiments.RunWithNetwork(cfg, core.Config{HostProfile: profile, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	st, err := dep.Net.GuestState()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated %.1f days in %v\n\n", *days, elapsed.Round(time.Millisecond))
+	fmt.Printf("guest blocks:        %d (head height %d)\n", len(st.Entries), st.Height())
+	fmt.Printf("outbound packets:    %d sent, %d traced\n", dep.OutboundSent, len(dep.Sends))
+	fmt.Printf("inbound packets:     %d sent, %d delivered\n", dep.InboundSent, len(dep.RecvTxs))
+	fmt.Printf("client updates:      %d\n", len(dep.UpdateTxCounts))
+	if len(dep.UpdateTxCounts) > 0 {
+		s := stats.Summarize(dep.UpdateTxCounts)
+		fmt.Printf("  txs/update:        mean %.1f sd %.1f (paper: 36.5 sd 5.8)\n", s.Mean, s.StdDev)
+		l := stats.Summarize(dep.UpdateLatencies)
+		fmt.Printf("  latency:           median %.1fs p96 %.1fs (paper: 50%%<25s, 96%%<60s)\n",
+			l.Med, stats.QuantileUnsorted(dep.UpdateLatencies, 0.96))
+	}
+	if len(dep.Sends) > 0 {
+		var lat []float64
+		for _, snd := range dep.Sends {
+			lat = append(lat, snd.Latency)
+		}
+		s := stats.Summarize(lat)
+		fmt.Printf("send latency:        median %.1fs max %.1fs (paper: all but 3 <= 21s)\n", s.Med, s.Max)
+	}
+	if len(dep.RecvTxs) > 0 {
+		s := stats.Summarize(dep.RecvTxs)
+		fmt.Printf("recv txs:            min %.0f max %.0f (paper: 4-5)\n", s.Min, s.Max)
+		c := stats.Summarize(dep.RecvCostsCents)
+		fmt.Printf("recv cost:           %.1f-%.1f cents (paper: 0.4-0.5)\n", c.Min, c.Max)
+	}
+	var sigs int
+	for _, v := range dep.Net.Validators {
+		sigs += v.SignCount()
+	}
+	fmt.Printf("validator sigs:      %d across %d validators\n", sigs, len(dep.Net.Validators))
+	fmt.Printf("storage:             %d live trie nodes (%d bytes modelled), %d sealed regions\n",
+		st.StorageNodeCount(), st.StorageBytes(), st.Store.Trie().SealedCount())
+	fmt.Printf("state deposit:       $%.0f (paper: ~$14.6k)\n", fees.USD(dep.Net.Deposit))
+	fmt.Printf("relayer fees:        $%.2f total\n", fees.USD(dep.Net.Relayer.TotalFees))
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Be My Guest:
+// Welcoming Interoperability into IBC-Incompatible Blockchains"
+// (DSN 2025): the guest blockchain — a virtual IBC-capable blockchain
+// implemented inside a smart contract on a host chain that lacks provable
+// storage, light clients, and introspection.
+//
+// The library lives under internal/: the sealable Merkle trie (trie), the
+// Solana-like host simulator (host), the chain-agnostic IBC core (ibc),
+// the Guest Contract (guest), light clients (lightclient/...), the
+// Cosmos-like counterparty (counterparty), the off-chain daemons
+// (validator, relayer, fisherman), and the evaluation harness
+// (experiments). Package core wires a full deployment; see the runnable
+// programs in examples/ and cmd/.
+package repro

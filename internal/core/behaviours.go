@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/fees"
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/validator"
+)
+
+// The deployment fleet (Table I): 24 staked validators, 17 of which ran a
+// signing daemon. Per-validator models are fit from the table:
+//
+//   - fee policy: the fixed cost column (0.20-1.40 ¢ per Sign tx, i.e.
+//     two base signatures plus the validator's chosen priority fee);
+//   - signing latency: a shifted lognormal fit from the quartiles, with
+//     mixture tails for validators #1 (one ~10-hour outage, max 35957 s)
+//     and #9 (occasional ~260 s stalls);
+//   - join time: validators entered the set gradually as they staked;
+//     the sign counts (1535 down to 21) pin each join offset.
+//
+// The stake layout reproduces the paper's liveness incident: the seven
+// silent validators hold ≈26% of stake and validator #1 ≈11%, so a quorum
+// exists only with #1 — when its operator error stopped it, remaining
+// well-behaved validators could not finalise (§V-C).
+
+// tableRow is one Table I validator model.
+type tableRow struct {
+	sigs      int     // reported signature count (pins the join time)
+	costCents float64 // fee column
+	q1, med   float64 // latency quartiles (seconds)
+	q3        float64
+	tail      sim.Dist // optional heavy-tail mixture component
+	tailP     float64  // probability of a tail draw
+}
+
+// latencyDist builds the shifted-lognormal (+ optional tail) model.
+func (r tableRow) latencyDist() sim.Dist {
+	sigma := 0.6
+	if r.q1 > 0 && r.q3 > r.q1 {
+		sigma = logRatio(r.q3/r.q1) / 1.349
+	}
+	body := sim.LogNormal{Mu: logRatio(r.med), Sigma: sigma, Shift: 400 * time.Millisecond}
+	if r.tail == nil || r.tailP <= 0 {
+		return body
+	}
+	return sim.Mixture{
+		Weights:    []float64{1 - r.tailP, r.tailP},
+		Components: []sim.Dist{body, r.tail},
+	}
+}
+
+// logRatio is math.Log with a floor to keep degenerate rows usable.
+func logRatio(x float64) float64 {
+	if x <= 0.05 {
+		x = 0.05
+	}
+	// Inline ln via the stdlib; kept in a helper so the table reads flat.
+	return ln(x)
+}
+
+// deploymentRows transcribes Table I (validators #1-#17).
+func deploymentRows() []tableRow {
+	return []tableRow{
+		{sigs: 1535, costCents: 1.00, q1: 3.6, med: 5.6, q3: 7.6,
+			tail: sim.Uniform{Min: 9 * time.Hour, Max: 10 * time.Hour}, tailP: 0.0007},
+		{sigs: 977, costCents: 1.40, q1: 2.0, med: 3.2, q3: 5.2},
+		{sigs: 790, costCents: 0.25, q1: 2.0, med: 3.2, q3: 5.6},
+		{sigs: 622, costCents: 1.40, q1: 3.2, med: 4.0, q3: 6.0},
+		{sigs: 618, costCents: 0.23, q1: 2.4, med: 3.6, q3: 5.2},
+		{sigs: 603, costCents: 0.23, q1: 2.4, med: 3.6, q3: 5.2},
+		{sigs: 464, costCents: 1.40, q1: 2.8, med: 4.0, q3: 6.0},
+		{sigs: 442, costCents: 0.60, q1: 3.6, med: 4.8, q3: 6.4},
+		{sigs: 250, costCents: 0.23, q1: 2.8, med: 3.6, q3: 4.8,
+			tail: sim.Uniform{Min: 200 * time.Second, Max: 280 * time.Second}, tailP: 0.01},
+		{sigs: 209, costCents: 0.23, q1: 2.4, med: 3.2, q3: 5.2},
+		{sigs: 143, costCents: 1.40, q1: 3.2, med: 4.8, q3: 6.4},
+		{sigs: 118, costCents: 1.40, q1: 2.8, med: 3.6, q3: 5.6},
+		{sigs: 117, costCents: 1.40, q1: 2.8, med: 4.4, q3: 6.4},
+		{sigs: 109, costCents: 1.40, q1: 3.2, med: 4.4, q3: 6.0},
+		{sigs: 21, costCents: 1.40, q1: 2.0, med: 3.2, q3: 3.2},
+		{sigs: 41, costCents: 0.20, q1: 2.4, med: 3.2, q3: 4.4},
+		{sigs: 61, costCents: 0.20, q1: 2.8, med: 3.2, q3: 4.8},
+	}
+}
+
+// EvaluationWindow is the paper's measurement period (Sept 1-29, 2024).
+const EvaluationWindow = 28 * 24 * time.Hour
+
+// maxSigs is validator #1's count — it ran the whole window.
+const maxSigs = 1535.0
+
+// DeploymentBehaviours returns the 24-validator fleet of Table I: 17
+// modelled signers followed by 7 staked-but-silent validators.
+func DeploymentBehaviours() []validator.Behaviour {
+	rows := deploymentRows()
+	out := make([]validator.Behaviour, 0, 24)
+	for _, r := range rows {
+		joinFrac := 1 - float64(r.sigs)/maxSigs
+		priority := fees.FromCents(r.costCents) - 2*host.BaseFeePerSignature
+		out = append(out, validator.Behaviour{
+			Active:  true,
+			JoinAt:  time.Duration(joinFrac * float64(EvaluationWindow)),
+			Latency: r.latencyDist(),
+			Policy:  fees.Policy{Name: "fixed", PriorityFee: priority},
+		})
+	}
+	// Seven silent validators: staked late in the window, never signed.
+	// They must join after most active validators, or their dead stake
+	// would push the live fraction below the 2/3 quorum and stall the
+	// chain — the §V-C incident, but permanent.
+	for i := 0; i < 7; i++ {
+		out = append(out, validator.Behaviour{
+			Active: false,
+			JoinAt: time.Duration((0.90 + 0.015*float64(i)) * float64(EvaluationWindow)),
+		})
+	}
+	return out
+}
+
+// DeploymentStakes returns stakes matching the §V total of ≈$1.25M
+// (6250 SOL at $200) with the quorum-critical structure described above:
+// #1 holds ≈11%, silent validators ≈26%, the other actives the rest.
+func DeploymentStakes() []host.Lamports {
+	out := make([]host.Lamports, 0, 24)
+	out = append(out, 700*host.LamportsPerSOL) // #1
+	for i := 0; i < 16; i++ {
+		out = append(out, host.Lamports(246.25*float64(host.LamportsPerSOL))) // #2-#17
+	}
+	for i := 0; i < 7; i++ {
+		out = append(out, 230*host.LamportsPerSOL) // silent
+	}
+	return out
+}
+
+// ln aliases math.Log to keep the fit helpers compact.
+func ln(x float64) float64 { return math.Log(x) }

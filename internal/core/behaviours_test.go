@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/fees"
+	"repro/internal/host"
+)
+
+func TestDeploymentFleetShape(t *testing.T) {
+	fleet := DeploymentBehaviours()
+	if len(fleet) != 24 {
+		t.Fatalf("fleet size = %d, want 24", len(fleet))
+	}
+	active, silent := 0, 0
+	for _, b := range fleet {
+		if b.Active {
+			active++
+		} else {
+			silent++
+		}
+	}
+	if active != 17 || silent != 7 {
+		t.Fatalf("active/silent = %d/%d, want 17/7", active, silent)
+	}
+	// Validator #1 is the bootstrap operator: it joins at genesis.
+	if fleet[0].JoinAt != 0 {
+		t.Fatalf("validator #1 joins at %v, want 0", fleet[0].JoinAt)
+	}
+	// Silent validators join only late in the window so their dead stake
+	// never breaks the quorum mid-run.
+	for i := 17; i < 24; i++ {
+		if fleet[i].JoinAt < time.Duration(0.85*float64(EvaluationWindow)) {
+			t.Fatalf("silent validator %d joins at %v; too early", i, fleet[i].JoinAt)
+		}
+	}
+}
+
+func TestDeploymentFeesMatchTableI(t *testing.T) {
+	fleet := DeploymentBehaviours()
+	// Table I cost column for validators #1-#17 (cents per Sign tx; a
+	// Sign tx carries two fee-bearing signatures).
+	want := []float64{1.00, 1.40, 0.25, 1.40, 0.23, 0.23, 1.40, 0.60, 0.23,
+		0.23, 1.40, 1.40, 1.40, 1.40, 1.40, 0.20, 0.20}
+	for i, cents := range want {
+		got := fees.Cents(2*host.BaseFeePerSignature + fleet[i].Policy.PriorityFee)
+		if math.Abs(got-cents) > 0.005 {
+			t.Fatalf("validator #%d sign cost = %.3f¢, want %.2f¢", i+1, got, cents)
+		}
+	}
+}
+
+func TestDeploymentStakesStructure(t *testing.T) {
+	stakes := DeploymentStakes()
+	if len(stakes) != 24 {
+		t.Fatalf("stakes = %d entries", len(stakes))
+	}
+	var total host.Lamports
+	for _, s := range stakes {
+		total += s
+	}
+	// §V: total stake ≈ $1.25M at $200/SOL = 6250 SOL.
+	if usd := fees.USD(total); usd < 1_200_000 || usd > 1_300_000 {
+		t.Fatalf("total stake $%.0f, want ~$1.25M", usd)
+	}
+	// The liveness structure: no quorum without #1 once everyone staked,
+	// but a quorum with #1 present.
+	var silentStake host.Lamports
+	for i := 17; i < 24; i++ {
+		silentStake += stakes[i]
+	}
+	activeStake := total - silentStake
+	if 3*activeStake <= 2*total {
+		t.Fatal("active stake cannot reach quorum even with #1")
+	}
+	if 3*(activeStake-stakes[0]) > 2*total {
+		t.Fatal("quorum reachable without #1; the §V-C incident would not reproduce")
+	}
+}
+
+func TestLatencyModelsMatchQuartiles(t *testing.T) {
+	// Sampled medians of the fitted models must sit near Table I medians.
+	rows := deploymentRows()
+	fleet := DeploymentBehaviours()
+	rng := newTestRNG()
+	for i, row := range rows {
+		var samples []float64
+		for j := 0; j < 4000; j++ {
+			samples = append(samples, fleet[i].Latency.Sample(rng).Seconds())
+		}
+		med := medianOf(samples)
+		if math.Abs(med-row.med) > row.med*0.35+0.5 {
+			t.Fatalf("validator #%d sampled median %.1fs, table %.1fs", i+1, med, row.med)
+		}
+	}
+}
+
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(13)) }
+
+func medianOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

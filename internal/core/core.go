@@ -1,0 +1,416 @@
+// Package core is the top-level facade of the library: it wires a complete
+// guest-blockchain deployment — simulated host chain, Guest Contract,
+// validators, relayer, fishermen, and the IBC counterparty — into a single
+// Network that examples, experiments, and tests drive on a virtual clock.
+//
+// A Network is the programmatic equivalent of the paper's §IV deployment:
+// the Guest Contract live on the host with a 10 MiB provable-state
+// account, 24 staked validators (a subset actively signing), a relayer
+// bridging to a Cosmos-like counterparty, and a packet workload.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/counterparty"
+	"repro/internal/cryptoutil"
+	"repro/internal/fees"
+	"repro/internal/fisherman"
+	"repro/internal/guest"
+	"repro/internal/guestblock"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/relayer"
+	"repro/internal/sim"
+	"repro/internal/transfer"
+	"repro/internal/validator"
+)
+
+// Config assembles a Network.
+type Config struct {
+	// Start is the virtual genesis time.
+	Start time.Time
+	// GuestParams configure the Guest Contract (DefaultParams if zero).
+	GuestParams guest.Params
+	// CP configures the counterparty chain (DefaultConfig if zero).
+	CP counterparty.Config
+	// Behaviours define the validator fleet; defaults to
+	// DeploymentBehaviours() (the Table I fleet) when empty.
+	Behaviours []validator.Behaviour
+	// Stakes per validator in lamports; defaults to a realistic spread
+	// summing to the deployment's $1.25M at $200/SOL.
+	Stakes []host.Lamports
+	// GuestPort / CPPort are the application ports ("transfer").
+	GuestPort ibc.PortID
+	CPPort    ibc.PortID
+	// Ordering is the channel ordering (Unordered default).
+	Ordering ibc.Ordering
+	// RelayerConfig tunes pacing; DefaultConfig if zero.
+	RelayerConfig relayer.Config
+	// HostProfile sets the host runtime constraints (Solana default;
+	// §VI-D portability).
+	HostProfile host.Profile
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Network is a fully wired deployment.
+type Network struct {
+	Sched    *sim.Scheduler
+	Host     *host.Chain
+	Contract *guest.Contract
+	CP       *counterparty.Chain
+	Relayer  *relayer.Relayer
+	Boot     *relayer.Result
+
+	Validators    []*validator.Validator
+	ValidatorKeys []*cryptoutil.PrivKey
+
+	GuestApp *transfer.App
+	CPApp    *transfer.App
+
+	Gossip    *fisherman.Gossip
+	Fishermen []*fisherman.Fisherman
+
+	// Deposit is the rent-exempt deposit paid for the state account
+	// (§V-D: ≈ $14.6k).
+	Deposit host.Lamports
+
+	cfg           Config
+	payer         *cryptoutil.PrivKey
+	crank         *guest.TxBuilder
+	slotScheduled bool
+	hostCursor    host.Slot
+}
+
+// DefaultStakes returns 24 stakes summing to ≈ $1.25M at $200/SOL
+// (≈ 6250 SOL), with a realistic spread.
+func DefaultStakes(n int) []host.Lamports {
+	out := make([]host.Lamports, n)
+	base := host.Lamports(6250) * host.LamportsPerSOL / host.Lamports(n)
+	for i := range out {
+		// Spread: larger operators stake up to ~2x the smaller ones.
+		factor := 1.0 + 0.8*float64(n-1-i)/float64(n)
+		out[i] = host.Lamports(float64(base) * factor)
+	}
+	return out
+}
+
+// NewNetwork deploys everything and runs the IBC bootstrap. The returned
+// network is idle: call Run (or the scheduler directly) to make progress.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.GuestParams == (guest.Params{}) {
+		cfg.GuestParams = guest.DefaultParams()
+	}
+	if cfg.CP.ChainID == "" {
+		cfg.CP = counterparty.DefaultConfig()
+	}
+	if len(cfg.Behaviours) == 0 {
+		cfg.Behaviours = DeploymentBehaviours()
+		if len(cfg.Stakes) == 0 {
+			cfg.Stakes = DeploymentStakes()
+		}
+	}
+	if len(cfg.Stakes) == 0 {
+		cfg.Stakes = DefaultStakes(len(cfg.Behaviours))
+	}
+	if len(cfg.Stakes) != len(cfg.Behaviours) {
+		return nil, errors.New("core: stakes and behaviours length mismatch")
+	}
+	if cfg.GuestPort == "" {
+		cfg.GuestPort = "transfer"
+	}
+	if cfg.CPPort == "" {
+		cfg.CPPort = "transfer"
+	}
+	if cfg.RelayerConfig.TxGap == nil {
+		cfg.RelayerConfig = relayer.DefaultConfig()
+	}
+
+	if cfg.HostProfile.Name == "" {
+		cfg.HostProfile = host.SolanaProfile()
+	}
+	n := &Network{Sched: sim.NewScheduler(cfg.Start), cfg: cfg}
+	n.Host = host.NewChainWithProfile(n.Sched.Clock(), cfg.HostProfile)
+	n.Host.SetBlockRetention(2048)
+
+	n.payer = cryptoutil.GenerateKey("network-payer")
+	n.Host.Fund(n.payer.Public(), 1_000_000*host.LamportsPerSOL)
+
+	// Validator fleet: operators with JoinAt == 0 are in the genesis
+	// epoch; the rest stake at their join time and enter the set at the
+	// next epoch rotation (the deployment started with one bootstrap
+	// validator, §V).
+	var genesis []guestblock.Validator
+	for i := range cfg.Behaviours {
+		key := cryptoutil.GenerateKeyIndexed("guest-validator", i)
+		n.ValidatorKeys = append(n.ValidatorKeys, key)
+		n.Host.Fund(key.Public(), cfg.Stakes[i]+50*host.LamportsPerSOL)
+		if cfg.Behaviours[i].JoinAt <= 0 {
+			genesis = append(genesis, guestblock.Validator{PubKey: key.Public(), Stake: uint64(cfg.Stakes[i])})
+		}
+	}
+	if len(genesis) == 0 {
+		return nil, errors.New("core: no genesis validator (need one with JoinAt == 0)")
+	}
+
+	contract, deposit, err := guest.Deploy(n.Host, guest.Config{
+		Params:            cfg.GuestParams,
+		Payer:             n.payer.Public(),
+		GenesisValidators: genesis,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: deploy guest contract: %w", err)
+	}
+	n.Contract = contract
+	n.Deposit = deposit
+
+	cp, err := counterparty.New(cfg.CP, n.Sched.Clock())
+	if err != nil {
+		return nil, fmt.Errorf("core: counterparty: %w", err)
+	}
+	n.CP = cp
+
+	// Applications on both sides.
+	n.GuestApp = transfer.New(cfg.GuestPort)
+	if err := contract.BindPort(n.Host, cfg.GuestPort, n.GuestApp); err != nil {
+		return nil, err
+	}
+	n.CPApp = transfer.New(cfg.CPPort)
+	if err := cp.Handler().BindPort(cfg.CPPort, n.CPApp); err != nil {
+		return nil, err
+	}
+
+	// IBC bootstrap: clients, connection, channel.
+	boot := &relayer.Bootstrap{
+		HostChain:     n.Host,
+		Contract:      contract,
+		CP:            cp,
+		ValidatorKeys: n.ValidatorKeys,
+		GuestPort:     cfg.GuestPort,
+		CPPort:        cfg.CPPort,
+		Ordering:      cfg.Ordering,
+	}
+	res, err := boot.Run()
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap: %w", err)
+	}
+	n.Boot = res
+
+	rcfg := cfg.RelayerConfig
+	rcfg.GuestClientID = res.GuestClientID
+	rcfg.GuestOnCPClientID = res.GuestOnCPClientID
+	rcfg.GuestPort = cfg.GuestPort
+	rcfg.GuestChannel = res.GuestChannel
+	rcfg.CPPort = cfg.CPPort
+	rcfg.CPChannel = res.CPChannel
+	n.Relayer = relayer.New(rcfg, n.Host, contract, cp, n.Sched)
+	n.Host.Fund(n.Relayer.Key().Public(), 10_000*host.LamportsPerSOL)
+
+	// Validator daemons: activate (and stake, for late joiners) at their
+	// join time.
+	for i, b := range cfg.Behaviours {
+		v := validator.New(n.ValidatorKeys[i], b, n.Host, contract, n.Sched, cfg.Seed+int64(i)*101)
+		n.Validators = append(n.Validators, v)
+		i := i
+		if b.JoinAt <= 0 {
+			v.Activate()
+			continue
+		}
+		n.Sched.At(cfg.Start.Add(b.JoinAt), func() {
+			builder := guest.NewTxBuilder(contract, n.ValidatorKeys[i].Public())
+			stakeTx := builder.StakeTx(n.ValidatorKeys[i].Public(), cfg.Stakes[i])
+			if err := n.Host.Submit(stakeTx); err != nil {
+				return
+			}
+			v.Activate()
+		})
+	}
+
+	// Fisherman infrastructure.
+	n.Gossip = &fisherman.Gossip{}
+	f := fisherman.New("0", n.Host, contract, n.Gossip)
+	n.Host.Fund(f.Key().Public(), 100*host.LamportsPerSOL)
+	n.Fishermen = []*fisherman.Fisherman{f}
+
+	// Crank account pays for GenerateBlock invocations ("callable by
+	// anyone"; in the deployment the relayer operator cranks it).
+	crankKey := cryptoutil.GenerateKey("crank")
+	n.Host.Fund(crankKey.Public(), 1_000*host.LamportsPerSOL)
+	n.crank = guest.NewTxBuilder(contract, crankKey.Public())
+
+	n.wireScheduling()
+	return n, nil
+}
+
+// wireScheduling installs the recurring simulation activities.
+func (n *Network) wireScheduling() {
+	// Host blocks are produced on demand: whenever a transaction is
+	// submitted, the next slot boundary gets a production event.
+	n.Host.SetSubmitHook(n.ensureSlotScheduled)
+
+	// Counterparty blocks tick at the BFT interval.
+	n.Sched.Every(n.CP.BlockInterval(), func() bool {
+		h := n.CP.ProduceBlock()
+		n.Relayer.OnCPBlock(h.Height)
+		return true
+	})
+
+	// The crank checks each second whether a guest block is due (pending
+	// state changes or Δ expiry).
+	n.Sched.Every(time.Second, func() bool {
+		n.maybeCrank()
+		return true
+	})
+
+	// Heartbeat: produce a host block at least once a minute so daemons
+	// observe state (recovery signing) even when no transactions flow.
+	n.Sched.Every(time.Minute, func() bool {
+		n.ensureSlotScheduled()
+		return true
+	})
+
+	// Timeout scanning and fisherman polling are periodic housekeeping.
+	n.Sched.Every(30*time.Second, func() bool {
+		n.Relayer.CheckTimeouts()
+		return true
+	})
+	n.Sched.Every(5*time.Second, func() bool {
+		for _, f := range n.Fishermen {
+			_ = f.Poll()
+		}
+		return true
+	})
+}
+
+// ensureSlotScheduled arms block production at the next slot boundary.
+func (n *Network) ensureSlotScheduled() {
+	if n.slotScheduled {
+		return
+	}
+	n.slotScheduled = true
+	now := n.Sched.Now()
+	slot := n.cfg.HostProfile.SlotDuration
+	elapsed := now.Sub(n.cfg.Start)
+	next := n.cfg.Start.Add(elapsed.Truncate(slot) + slot)
+	n.Sched.At(next, n.produceHostBlock)
+}
+
+// produceHostBlock runs one host slot and fans out events.
+func (n *Network) produceHostBlock() {
+	n.slotScheduled = false
+	block := n.Host.ProduceBlock()
+	n.dispatch(block)
+	if n.Host.PendingCount() > 0 {
+		n.ensureSlotScheduled()
+	}
+}
+
+// dispatch fans a host block out to the daemons.
+func (n *Network) dispatch(block *host.Block) {
+	for _, v := range n.Validators {
+		v.OnHostBlock(block)
+	}
+	n.Relayer.OnHostBlock(block)
+	n.hostCursor = block.Slot
+}
+
+// maybeCrank submits GenerateBlock when Alg. 1's conditions can pass.
+func (n *Network) maybeCrank() {
+	st, err := n.Contract.State(n.Host)
+	if err != nil {
+		return
+	}
+	head := st.Head()
+	if !head.Finalised {
+		return
+	}
+	rootChanged := head.Block.StateRoot != st.Store.Root()
+	aged := n.Sched.Now().Sub(head.Block.Time) >= st.Params.Delta
+	if !rootChanged && !aged {
+		return
+	}
+	if err := n.Host.Submit(n.crank.GenerateBlockTx()); err != nil {
+		return
+	}
+}
+
+// Run advances the simulation by d of virtual time.
+func (n *Network) Run(d time.Duration) { n.Sched.RunFor(d) }
+
+// User is a funded account that can send transfers from the guest side.
+type User struct {
+	Key  *cryptoutil.PrivKey
+	Name string
+}
+
+// NewUser creates and funds a guest-side user with tokens to send.
+func (n *Network) NewUser(name string, lamports host.Lamports, denom string, tokens uint64) *User {
+	u := &User{Key: cryptoutil.GenerateKey("user/" + name), Name: name}
+	n.Host.Fund(u.Key.Public(), lamports)
+	n.GuestApp.Mint(u.Key.Public().String(), denom, tokens)
+	return u
+}
+
+// SendTransferFromGuest escrows tokens and submits a SendPacket
+// transaction under the given fee policy; it returns the submitted
+// transaction for fee accounting.
+func (n *Network) SendTransferFromGuest(u *User, receiver string, denom string, amount uint64, memo string, policy fees.Policy, timeout time.Duration) (*host.Transaction, error) {
+	data := &transfer.PacketData{
+		Denom:    denom,
+		Amount:   amount,
+		Sender:   u.Key.Public().String(),
+		Receiver: receiver,
+		Memo:     memo,
+	}
+	if err := n.GuestApp.PrepareSend(n.Boot.GuestChannel, data); err != nil {
+		return nil, err
+	}
+	builder := guest.NewTxBuilder(n.Contract, u.Key.Public())
+	builder.PriorityFee = policy.PriorityFee
+	builder.BundleTip = policy.BundleTip
+	var ts time.Time
+	if timeout > 0 {
+		ts = n.Sched.Now().Add(timeout)
+	}
+	tx := builder.SendPacketTx(&guest.SendPacketArgs{
+		Sender:           u.Key.Public(),
+		Port:             n.cfg.GuestPort,
+		Channel:          n.Boot.GuestChannel,
+		Data:             data.Marshal(),
+		TimeoutTimestamp: ts,
+	})
+	if err := n.Host.Submit(tx); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// SendTransferFromCP sends tokens from the counterparty towards the guest.
+func (n *Network) SendTransferFromCP(sender, receiver, denom string, amount uint64, memo string, timeout time.Duration) (*ibc.Packet, error) {
+	data := &transfer.PacketData{
+		Denom:    denom,
+		Amount:   amount,
+		Sender:   sender,
+		Receiver: receiver,
+		Memo:     memo,
+	}
+	if err := n.CPApp.PrepareSend(n.Boot.CPChannel, data); err != nil {
+		return nil, err
+	}
+	var ts time.Time
+	if timeout > 0 {
+		ts = n.Sched.Now().Add(timeout)
+	}
+	return n.CP.SendPacket(n.cfg.CPPort, n.Boot.CPChannel, data.Marshal(), 0, ts)
+}
+
+// GuestState returns the live contract state (read-only off-chain view).
+func (n *Network) GuestState() (*guest.State, error) {
+	return n.Contract.State(n.Host)
+}

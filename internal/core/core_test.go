@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ibc"
+
+	"repro/internal/counterparty"
+	"repro/internal/fees"
+	"repro/internal/host"
+	"repro/internal/sim"
+	"repro/internal/validator"
+)
+
+// fastFleet returns a small, quick validator fleet for integration tests.
+func fastFleet(n int) []validator.Behaviour {
+	out := make([]validator.Behaviour, n)
+	for i := range out {
+		out[i] = validator.Behaviour{
+			Active:  true,
+			Latency: sim.Uniform{Min: 500 * time.Millisecond, Max: 2 * time.Second},
+			Policy:  fees.Policy{Name: "test", PriorityFee: 1000},
+		}
+	}
+	return out
+}
+
+func testNetwork(t *testing.T) *Network {
+	t.Helper()
+	cp := counterparty.DefaultConfig()
+	cp.NumValidators = 12
+	cp.BlockInterval = 3 * time.Second
+	n, err := NewNetwork(Config{
+		CP:         cp,
+		Behaviours: fastFleet(4),
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNetworkBootstrap(t *testing.T) {
+	n := testNetwork(t)
+	if n.Boot.GuestChannel == "" || n.Boot.CPChannel == "" {
+		t.Fatalf("bootstrap incomplete: %+v", n.Boot)
+	}
+	st, err := n.GuestState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := st.Handler.Channel("transfer", n.Boot.GuestChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.State.String() != "OPEN" {
+		t.Fatalf("guest channel state = %v", ch.State)
+	}
+	cpCh, err := n.CP.Handler().Channel("transfer", n.Boot.CPChannel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cpCh.State.String() != "OPEN" {
+		t.Fatalf("cp channel state = %v", cpCh.State)
+	}
+	// The 10 MiB deposit matches §V-D (~$14.6k at $200/SOL).
+	usd := fees.USD(n.Deposit)
+	if usd < 14000 || usd > 15500 {
+		t.Fatalf("state deposit = $%.0f, want ≈ $14.6k", usd)
+	}
+}
+
+func TestGuestToCPTransfer(t *testing.T) {
+	n := testNetwork(t)
+	alice := n.NewUser("alice", 10*host.LamportsPerSOL, "GUEST", 1_000)
+
+	if _, err := n.SendTransferFromGuest(alice, "cp-bob", "GUEST", 250, "", fees.PriorityPolicy, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(2 * time.Minute)
+
+	// Escrowed on the guest.
+	if got := n.GuestApp.Balance(alice.Key.Public().String(), "GUEST"); got != 750 {
+		t.Fatalf("alice balance = %d, want 750", got)
+	}
+	if got := n.GuestApp.EscrowedAmount(n.Boot.GuestChannel, "GUEST"); got != 250 {
+		t.Fatalf("escrow = %d, want 250", got)
+	}
+	// Voucher minted on the counterparty.
+	voucher := "transfer/" + string(n.Boot.CPChannel) + "/GUEST"
+	if got := n.CPApp.Balance("cp-bob", voucher); got != 250 {
+		t.Fatalf("cp-bob voucher balance = %d, want 250", got)
+	}
+	// The ack came back and cleared the commitment.
+	st, err := n.GuestState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, tr := range n.Relayer.Traces {
+		if tr.AckedAt.IsZero() {
+			t.Fatalf("packet %s not acked; trace %+v", key, tr)
+		}
+		if st.Handler.HasCommitment(tr.Packet) {
+			t.Fatalf("commitment for %s not cleared", key)
+		}
+	}
+	if len(n.Relayer.Traces) != 1 {
+		t.Fatalf("traced %d packets, want 1", len(n.Relayer.Traces))
+	}
+}
+
+func TestCPToGuestTransfer(t *testing.T) {
+	n := testNetwork(t)
+	n.CPApp.Mint("cp-carol", "PICA", 500)
+
+	recipient := "guest-dave"
+	if _, err := n.SendTransferFromCP("cp-carol", recipient, "PICA", 120, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5 * time.Minute)
+
+	if got := n.CPApp.Balance("cp-carol", "PICA"); got != 380 {
+		t.Fatalf("carol balance = %d, want 380", got)
+	}
+	voucher := "transfer/" + string(n.Boot.GuestChannel) + "/PICA"
+	if got := n.GuestApp.Balance(recipient, voucher); got != 120 {
+		t.Fatalf("dave voucher balance = %d, want 120", got)
+	}
+	// The light-client update machinery ran (chunked txs).
+	if len(n.Relayer.Updates) == 0 {
+		t.Fatal("no client updates recorded")
+	}
+	if n.Relayer.Updates[0].Txs < 5 {
+		t.Fatalf("client update used %d txs; expected a chunked upload", n.Relayer.Updates[0].Txs)
+	}
+	// The recv flow used multiple host transactions.
+	if len(n.Relayer.Recvs) != 1 {
+		t.Fatalf("recv records = %d, want 1", len(n.Relayer.Recvs))
+	}
+	// The ack rode a finalised guest block back and cleared the cp-side
+	// commitment.
+	if n.CP.Handler().HasCommitment(mustCPPacket(t, n)) {
+		t.Fatal("cp commitment not cleared by relayed ack")
+	}
+}
+
+// mustCPPacket returns the single packet the counterparty sent.
+func mustCPPacket(t *testing.T, n *Network) *ibc.Packet {
+	t.Helper()
+	pkts := n.CP.PacketsAt(findCPPacketHeight(t, n))
+	if len(pkts) != 1 {
+		t.Fatalf("cp packets = %d, want 1", len(pkts))
+	}
+	return pkts[0]
+}
+
+func findCPPacketHeight(t *testing.T, n *Network) uint64 {
+	t.Helper()
+	for h := uint64(1); h <= n.CP.Height(); h++ {
+		if len(n.CP.PacketsAt(h)) > 0 {
+			return h
+		}
+	}
+	t.Fatal("no cp packet committed")
+	return 0
+}
+
+func TestRoundTripVoucherReturnsHome(t *testing.T) {
+	n := testNetwork(t)
+	alice := n.NewUser("alice", 10*host.LamportsPerSOL, "GUEST", 1_000)
+
+	if _, err := n.SendTransferFromGuest(alice, "cp-bob", "GUEST", 300, "", fees.PriorityPolicy, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(3 * time.Minute)
+
+	voucher := "transfer/" + string(n.Boot.CPChannel) + "/GUEST"
+	if got := n.CPApp.Balance("cp-bob", voucher); got != 300 {
+		t.Fatalf("voucher not minted, got %d", got)
+	}
+
+	// Send the voucher home: cp-bob -> alice.
+	if _, err := n.SendTransferFromCP("cp-bob", alice.Key.Public().String(), voucher, 300, "", 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(5 * time.Minute)
+
+	if got := n.CPApp.Balance("cp-bob", voucher); got != 0 {
+		t.Fatalf("voucher not burned, got %d", got)
+	}
+	if got := n.GuestApp.Balance(alice.Key.Public().String(), "GUEST"); got != 1_000 {
+		t.Fatalf("alice did not get tokens back, got %d", got)
+	}
+	if got := n.GuestApp.EscrowedAmount(n.Boot.GuestChannel, "GUEST"); got != 0 {
+		t.Fatalf("escrow not released, got %d", got)
+	}
+}

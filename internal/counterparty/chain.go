@@ -1,0 +1,326 @@
+// Package counterparty simulates the Cosmos-based IBC counterparty chain
+// (Picasso in the paper's deployment, §IV): a BFT chain with instant
+// finality, a native IBC stack over a provable store, and Tendermint-style
+// headers whose commit signatures drive the size — and therefore the
+// transaction count — of the light-client updates the relayer submits to
+// the guest blockchain (§V-A).
+package counterparty
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/lightclient/tendermint"
+)
+
+// Config parameterises the chain.
+type Config struct {
+	// ChainID is the chain identifier ("picasso-sim").
+	ChainID string
+	// NumValidators is the BFT validator count (drives update sizes).
+	NumValidators int
+	// BlockInterval is the BFT block time (~6 s Cosmos-style).
+	BlockInterval time.Duration
+	// ParticipationMin is the minimum fraction of validators signing a
+	// commit (must exceed 2/3); per-block participation is drawn
+	// uniformly from [ParticipationMin, 1], which is what gives
+	// light-client updates their size variance (Fig. 4-5).
+	ParticipationMin float64
+	// Seed makes the participation draw deterministic.
+	Seed int64
+	// SnapshotRetention bounds historical proof snapshots.
+	SnapshotRetention int
+}
+
+// DefaultConfig mirrors the evaluation setup.
+func DefaultConfig() Config {
+	return Config{
+		ChainID:           "picasso-sim",
+		NumValidators:     115,
+		BlockInterval:     6 * time.Second,
+		ParticipationMin:  0.68,
+		Seed:              1,
+		SnapshotRetention: 4096,
+	}
+}
+
+// Event is a chain event the relayer polls.
+type Event struct {
+	Height uint64
+	Kind   string
+	Data   any
+}
+
+// Chain is the simulated counterparty.
+type Chain struct {
+	cfg   Config
+	clock host.Clock
+	rng   *rand.Rand
+
+	keys   []*cryptoutil.PrivKey
+	valset *tendermint.ValidatorSet
+
+	store   *ibc.Store
+	handler *ibc.Handler
+
+	height  uint64
+	headers []*tendermint.Header
+	// signerCounts[h-1] is how many validators signed block h; the
+	// commit signatures themselves are generated lazily in UpdateAt
+	// (a month of 6-second blocks would otherwise cost 40M+ Ed25519
+	// operations for updates nobody relays).
+	signerCounts   []int
+	commitCache    map[uint64][]tendermint.CommitSig
+	snapshots      map[uint64]*ibc.Store
+	oldestSnapshot uint64
+	// lastSnapshot is shared across consecutive blocks whose root did
+	// not change (copy-on-change snapshotting).
+	lastSnapshot *ibc.Store
+	lastRoot     cryptoutil.Hash
+
+	// pendingPackets are packets sent since the last block; like the
+	// guest chain, a packet becomes relayable once a block commits it.
+	pendingPackets []*ibc.Packet
+	// packetsAt[height] lists packets committed at that height.
+	packetsAt map[uint64][]*ibc.Packet
+
+	events []Event
+}
+
+// New creates the chain and produces its genesis block.
+func New(cfg Config, clock host.Clock) (*Chain, error) {
+	if cfg.NumValidators <= 0 {
+		return nil, errors.New("counterparty: need validators")
+	}
+	if cfg.ParticipationMin <= 2.0/3.0 {
+		return nil, errors.New("counterparty: participation minimum must exceed 2/3")
+	}
+	c := &Chain{
+		cfg:         cfg,
+		clock:       clock,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		store:       ibc.NewStore(),
+		snapshots:   make(map[uint64]*ibc.Store),
+		commitCache: make(map[uint64][]tendermint.CommitSig),
+		packetsAt:   make(map[uint64][]*ibc.Packet),
+	}
+	vals := make([]tendermint.Validator, cfg.NumValidators)
+	for i := range vals {
+		key := cryptoutil.GenerateKeyIndexed(cfg.ChainID+"-val", i)
+		c.keys = append(c.keys, key)
+		vals[i] = tendermint.Validator{PubKey: key.Public(), Power: 10 + uint64(i%7)}
+	}
+	vs, err := tendermint.NewValidatorSet(vals)
+	if err != nil {
+		return nil, err
+	}
+	c.valset = vs
+	c.handler = ibc.NewHandler(c.store, c,
+		ibc.WithEventSink(func(kind string, data any) {
+			c.events = append(c.events, Event{Height: c.height, Kind: kind, Data: data})
+		}),
+	)
+	c.produceBlockLocked() // genesis
+	return c, nil
+}
+
+// Handler exposes the chain's native IBC handler.
+func (c *Chain) Handler() *ibc.Handler { return c.handler }
+
+// Store exposes the provable store.
+func (c *Chain) Store() *ibc.Store { return c.store }
+
+// ChainID returns the chain identifier.
+func (c *Chain) ChainID() string { return c.cfg.ChainID }
+
+// Height returns the latest committed height.
+func (c *Chain) Height() uint64 { return c.height }
+
+// BlockInterval returns the configured block time.
+func (c *Chain) BlockInterval() time.Duration { return c.cfg.BlockInterval }
+
+// ValidatorSet returns the BFT validator set.
+func (c *Chain) ValidatorSet() *tendermint.ValidatorSet { return c.valset }
+
+// CurrentHeight implements ibc.SelfInfo.
+func (c *Chain) CurrentHeight() ibc.Height { return ibc.Height(c.height) }
+
+// CurrentTime implements ibc.SelfInfo.
+func (c *Chain) CurrentTime() time.Time { return c.clock.Now() }
+
+// ValidateSelfClient implements ibc.SelfInfo for the Tendermint client the
+// guest chain runs against this chain.
+func (c *Chain) ValidateSelfClient(clientState []byte) error {
+	chainID, latest, trusting, err := tendermint.DecodeClientState(clientState)
+	if err != nil {
+		return err
+	}
+	if chainID != c.cfg.ChainID {
+		return fmt.Errorf("counterparty: client tracks chain %q, we are %q", chainID, c.cfg.ChainID)
+	}
+	if uint64(latest) > c.height {
+		return fmt.Errorf("counterparty: client height %d ahead of chain %d", latest, c.height)
+	}
+	if trusting <= 0 {
+		return errors.New("counterparty: client has no trusting period")
+	}
+	return nil
+}
+
+// ProduceBlock commits the current store root into a new header with a
+// randomly-sized (but quorum-satisfying) commit.
+func (c *Chain) ProduceBlock() *tendermint.Header {
+	return c.produceBlockLocked()
+}
+
+func (c *Chain) produceBlockLocked() *tendermint.Header {
+	c.height++
+	h := &tendermint.Header{
+		ChainID:        c.cfg.ChainID,
+		Height:         c.height,
+		Time:           c.clock.Now(),
+		AppRoot:        c.store.Root(),
+		ValSetHash:     c.valset.Hash(),
+		NextValSetHash: c.valset.Hash(),
+	}
+	// Draw participation in [min, 1]; the signer subset is derived
+	// deterministically from the height when (and if) an update is built.
+	span := 1.0 - c.cfg.ParticipationMin
+	target := c.cfg.ParticipationMin + c.rng.Float64()*span
+	n := int(float64(len(c.keys))*target + 0.5)
+	if n > len(c.keys) {
+		n = len(c.keys)
+	}
+
+	c.headers = append(c.headers, h)
+	c.signerCounts = append(c.signerCounts, n)
+	// Copy-on-change snapshotting: consecutive blocks with the same root
+	// share one snapshot.
+	if c.lastSnapshot == nil || c.store.Root() != c.lastRoot {
+		c.lastSnapshot = c.store.Clone()
+		c.lastRoot = c.store.Root()
+	}
+	c.snapshots[c.height] = c.lastSnapshot
+	c.pruneSnapshots()
+
+	if len(c.pendingPackets) > 0 {
+		c.packetsAt[c.height] = c.pendingPackets
+		c.events = append(c.events, Event{Height: c.height, Kind: "PacketsCommitted", Data: c.pendingPackets})
+		c.pendingPackets = nil
+	}
+	return h
+}
+
+func (c *Chain) pruneSnapshots() {
+	if c.cfg.SnapshotRetention <= 0 {
+		return
+	}
+	if c.oldestSnapshot == 0 {
+		c.oldestSnapshot = 1
+	}
+	// Heights are contiguous, so an advancing cursor prunes in O(1)
+	// amortised.
+	for len(c.snapshots) > c.cfg.SnapshotRetention {
+		delete(c.snapshots, c.oldestSnapshot)
+		c.oldestSnapshot++
+	}
+}
+
+// HeaderAt returns the header at height.
+func (c *Chain) HeaderAt(height uint64) (*tendermint.Header, error) {
+	if height == 0 || height > c.height {
+		return nil, fmt.Errorf("counterparty: no header at %d", height)
+	}
+	return c.headers[height-1], nil
+}
+
+// UpdateAt builds the light-client update for height: header + commit +
+// validator set. Its serialized size is what the relayer must chunk.
+// Commit signatures are generated lazily and deterministically from the
+// height, and cached.
+func (c *Chain) UpdateAt(height uint64) (*tendermint.Update, error) {
+	h, err := c.HeaderAt(height)
+	if err != nil {
+		return nil, err
+	}
+	commit, ok := c.commitCache[height]
+	if !ok {
+		n := c.signerCounts[height-1]
+		rng := rand.New(rand.NewSource(c.cfg.Seed ^ int64(height)*0x9e3779b9))
+		perm := rng.Perm(len(c.keys))
+		signers := make([]*cryptoutil.PrivKey, 0, n)
+		for _, idx := range perm[:n] {
+			signers = append(signers, c.keys[idx])
+		}
+		commit = tendermint.SignCommit(h, signers, h.Time)
+		if len(c.commitCache) > 8 {
+			c.commitCache = make(map[uint64][]tendermint.CommitSig, 8)
+		}
+		c.commitCache[height] = commit
+	}
+	return &tendermint.Update{
+		Header: h,
+		Commit: commit,
+		ValSet: c.valset,
+	}, nil
+}
+
+// GenesisUpdate returns the trust anchor for initialising clients.
+func (c *Chain) GenesisUpdate() (*tendermint.Header, *tendermint.ValidatorSet) {
+	return c.headers[0], c.valset
+}
+
+// SnapshotAt returns the store snapshot at height for proof generation.
+func (c *Chain) SnapshotAt(height uint64) (*ibc.Store, error) {
+	snap, ok := c.snapshots[height]
+	if !ok {
+		return nil, fmt.Errorf("counterparty: no snapshot at %d", height)
+	}
+	return snap, nil
+}
+
+// ProveMembershipAt proves a path against the root committed at height.
+func (c *Chain) ProveMembershipAt(height uint64, path string) (value, proof []byte, err error) {
+	snap, err := c.SnapshotAt(height)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap.ProveMembership(path)
+}
+
+// ProveNonMembershipAt proves a path absent at height.
+func (c *Chain) ProveNonMembershipAt(height uint64, path string) ([]byte, error) {
+	snap, err := c.SnapshotAt(height)
+	if err != nil {
+		return nil, err
+	}
+	return snap.ProveNonMembership(path)
+}
+
+// SendPacket sends a packet from an application on this chain; it becomes
+// relayable at the next block.
+func (c *Chain) SendPacket(port ibc.PortID, channel ibc.ChannelID, data []byte, timeoutHeight ibc.Height, timeoutTs time.Time) (*ibc.Packet, error) {
+	p, err := c.handler.SendPacket(port, channel, data, timeoutHeight, timeoutTs)
+	if err != nil {
+		return nil, err
+	}
+	c.pendingPackets = append(c.pendingPackets, p)
+	return p, nil
+}
+
+// PacketsAt lists packets committed at height.
+func (c *Chain) PacketsAt(height uint64) []*ibc.Packet { return c.packetsAt[height] }
+
+// EventsSince returns events with index > cursor, and the new cursor.
+func (c *Chain) EventsSince(cursor int) ([]Event, int) {
+	if cursor >= len(c.events) {
+		return nil, cursor
+	}
+	out := c.events[cursor:]
+	return out, len(c.events)
+}

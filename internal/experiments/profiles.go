@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/stats"
+)
+
+// ProfileComparison demonstrates §VI-D: the guest blockchain is
+// host-agnostic. On Solana's restrictive profile a light-client update
+// needs ~36 chunked transactions; on NEAR-like or TRON-like hosts the same
+// update fits a couple of transactions and the receive flow collapses to a
+// single one — with no change to the Guest Contract.
+type ProfileComparison struct {
+	Profiles []string
+	// Per profile: mean txs per client update / per receive.
+	UpdateTxs []float64
+	RecvTxs   []float64
+	// Delivered counts prove the pipeline worked end to end everywhere.
+	Delivered []int
+}
+
+// RunProfileComparison runs a short identical workload on each host
+// profile.
+func RunProfileComparison(days float64, seed int64) (*ProfileComparison, error) {
+	out := &ProfileComparison{}
+	for _, profile := range []host.Profile{
+		host.SolanaProfile(),
+		host.NEARLikeProfile(),
+		host.TRONLikeProfile(),
+	} {
+		cfg := DefaultConfig()
+		cfg.Duration = time.Duration(days * 24 * float64(time.Hour))
+		cfg.Seed = seed
+		dep, err := RunWithNetwork(cfg, core.Config{HostProfile: profile, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("profile %s: %w", profile.Name, err)
+		}
+		out.Profiles = append(out.Profiles, profile.Name)
+		out.UpdateTxs = append(out.UpdateTxs, stats.Mean(dep.UpdateTxCounts))
+		out.RecvTxs = append(out.RecvTxs, stats.Mean(dep.RecvTxs))
+		out.Delivered = append(out.Delivered, len(dep.RecvTxs))
+	}
+	return out, nil
+}
+
+// Render prints the comparison.
+func (p *ProfileComparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§VI-D — the same guest blockchain on different host profiles\n")
+	fmt.Fprintf(&b, "%12s %18s %14s %12s\n", "host", "txs/client-update", "txs/receive", "delivered")
+	for i, name := range p.Profiles {
+		fmt.Fprintf(&b, "%12s %18.1f %14.1f %12d\n", name, p.UpdateTxs[i], p.RecvTxs[i], p.Delivered[i])
+	}
+	fmt.Fprintf(&b, "(the Solana profile forces the chunked uploads of §IV; roomier hosts need none)\n")
+	return b.String()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fees"
+	"repro/internal/stats"
+)
+
+// Table1Row is one validator's line of Table I.
+type Table1Row struct {
+	Index     int
+	Sigs      int
+	CostCents float64
+	Latency   stats.Summary // seconds
+}
+
+// Table1 reproduces "Validator Signing Statistics" (§V-C).
+type Table1 struct {
+	Rows []Table1Row
+	// Silent is the number of staked validators that never signed
+	// (paper: 7 of 24).
+	Silent int
+	// CostLatencyCorrelation is the per-validator cost↔median-latency
+	// correlation; the paper reports 0.007, i.e. paying more did not buy
+	// lower latency.
+	CostLatencyCorrelation float64
+}
+
+// BuildTable1 computes the table from a deployment run.
+func BuildTable1(d *Deployment) *Table1 {
+	t := &Table1{}
+	// The paper's 0.007 correlation is over per-signature (cost, latency)
+	// pairs: validator #1's heavy-tailed latencies at a mid-range fee
+	// wash out any relationship, showing that paying more did not buy
+	// speed.
+	var costs, latencies []float64
+	for _, v := range d.Net.Validators {
+		if v.SignCount() == 0 {
+			t.Silent++
+			continue
+		}
+		lat := v.LatenciesSeconds()
+		var costCents float64
+		if len(v.Records) > 0 {
+			costCents = fees.Cents(v.Records[0].Cost)
+		}
+		row := Table1Row{
+			Sigs:      v.SignCount(),
+			CostCents: costCents,
+			Latency:   stats.Summarize(lat),
+		}
+		t.Rows = append(t.Rows, row)
+		for _, l := range lat {
+			costs = append(costs, costCents)
+			latencies = append(latencies, l)
+		}
+	}
+	// Order rows by signature count, like the paper.
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i].Sigs > t.Rows[j].Sigs })
+	for i := range t.Rows {
+		t.Rows[i].Index = i + 1
+	}
+	t.CostLatencyCorrelation = stats.Pearson(costs, latencies)
+	return t
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table1) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I — validator signing statistics (%d signers, %d silent; paper: 17 signers, 7 silent)\n", len(t.Rows), t.Silent)
+	fmt.Fprintf(&b, "%4s %6s %7s | %7s %6s %6s %6s %9s %7s %8s\n",
+		"#", "sigs", "cost ¢", "min", "Q1", "med", "Q3", "max", "mean", "sd")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%4d %6d %7.2f | %7.1f %6.1f %6.1f %6.1f %9.1f %7.1f %8.1f\n",
+			r.Index, r.Sigs, r.CostCents,
+			r.Latency.Min, r.Latency.Q1, r.Latency.Med, r.Latency.Q3,
+			r.Latency.Max, r.Latency.Mean, r.Latency.StdDev)
+	}
+	fmt.Fprintf(&b, "cost vs latency correlation: %.3f (paper: 0.007)\n", t.CostLatencyCorrelation)
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package fees
+
+import "repro/internal/host"
+
+// Adaptive implements the §VI-B research direction: instead of the fixed
+// fee models the deployment used, the sender reads the host's congestion
+// (mempool backlog) and scales its priority fee, paying the floor in quiet
+// periods and outbidding spam during bursts.
+type Adaptive struct {
+	// Chain is the congestion source.
+	Chain *host.Chain
+	// Floor is the priority fee under no congestion.
+	Floor host.Lamports
+	// Ceiling caps the fee during extreme backlog.
+	Ceiling host.Lamports
+	// FullAt is the backlog depth at which the fee reaches the ceiling.
+	FullAt int
+}
+
+// NewAdaptive returns a policy source with sane defaults.
+func NewAdaptive(chain *host.Chain) *Adaptive {
+	return &Adaptive{
+		Chain:   chain,
+		Floor:   1_000,
+		Ceiling: FromUSD(1.40) - host.BaseFeePerSignature,
+		FullAt:  200,
+	}
+}
+
+// Policy samples the current congestion and returns the fee policy to use
+// for the next transaction.
+func (a *Adaptive) Policy() Policy {
+	backlog := a.Chain.PendingCount()
+	fee := a.Floor
+	if a.FullAt > 0 && backlog > 0 {
+		frac := float64(backlog) / float64(a.FullAt)
+		if frac > 1 {
+			frac = 1
+		}
+		fee = a.Floor + host.Lamports(frac*float64(a.Ceiling-a.Floor))
+	}
+	return Policy{Name: "adaptive", PriorityFee: fee}
+}

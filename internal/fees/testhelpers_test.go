@@ -1,0 +1,28 @@
+package fees
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/host"
+)
+
+func timeZero() time.Time { return time.Unix(0, 0) }
+
+func fundedKey(chain *host.Chain) cryptoutil.PubKey {
+	k := cryptoutil.GenerateKey("fees-test-payer").Public()
+	chain.Fund(k, host.LamportsPerSOL)
+	return k
+}
+
+func submitNoop(t *testing.T, chain *host.Chain, payer cryptoutil.PubKey) {
+	t.Helper()
+	tx := &host.Transaction{
+		FeePayer:     payer,
+		Instructions: []host.Instruction{{Data: []byte{1}}},
+	}
+	if err := chain.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+}

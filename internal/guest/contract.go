@@ -1,0 +1,655 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/guestblock"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/trie"
+	"repro/internal/wire"
+)
+
+// payloadForHash aliases the guestblock helper for local use.
+func payloadForHash(h cryptoutil.Hash) cryptoutil.Hash {
+	return guestblock.SigningPayloadForHash(h)
+}
+
+// Contract is the Guest Contract program deployed on the host chain. Its
+// mutable state lives in a host account (State); the Contract value itself
+// only routes instructions.
+type Contract struct {
+	programID host.ProgramID
+	stateKey  cryptoutil.PubKey
+}
+
+var _ host.Program = (*Contract)(nil)
+
+// Config parameterises deployment.
+type Config struct {
+	Params Params
+	// Payer funds the rent-exempt state account deposit.
+	Payer cryptoutil.PubKey
+	// GenesisValidators bootstrap epoch 0 with their stakes (the paper's
+	// deployment started with one operator validator; others staked in).
+	GenesisValidators []guestblock.Validator
+}
+
+// Deploy registers the Guest Contract on the chain, allocates its provable
+// state account (the 10 MiB deposit of §V-D), and creates the genesis
+// block. It returns the contract handle and the deposit charged.
+func Deploy(chain *host.Chain, cfg Config) (*Contract, host.Lamports, error) {
+	if len(cfg.GenesisValidators) == 0 {
+		return nil, 0, errors.New("guest: need at least one genesis validator")
+	}
+	epoch, err := guestblock.NewEpoch(0, cfg.GenesisValidators)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	c := &Contract{
+		programID: cryptoutil.GenerateKey("guest-contract-program").Public(),
+		stateKey:  cryptoutil.GenerateKey("guest-contract-state").Public(),
+	}
+
+	store := ibc.NewStore(trie.WithCapacityBytes(cfg.Params.StateSize))
+	st := &State{
+		Params:       cfg.Params,
+		Account:      c.stateKey,
+		Store:        store,
+		CurrentEpoch: epoch,
+		Candidates:   make(map[cryptoutil.PubKey]*Candidate),
+		Slashed:      make(map[cryptoutil.PubKey]bool),
+		staging:      make(map[stagingKey]*StagingBuffer),
+		snapshots:    make(map[uint64]*ibc.Store),
+		nowTime:      chain.Now(),
+		nowSlot:      uint64(chain.Slot()),
+	}
+	st.Handler = ibc.NewHandler(store, st,
+		ibc.WithSealedReceipts(),
+		ibc.WithEventSink(func(kind string, data any) {
+			st.ibcEvents = append(st.ibcEvents, stateEvent{kind: kind, data: data})
+		}),
+	)
+	for _, v := range cfg.GenesisValidators {
+		st.Candidates[v.PubKey] = &Candidate{PubKey: v.PubKey, Owner: v.PubKey, Stake: host.Lamports(v.Stake)}
+	}
+
+	genesis := &guestblock.Block{
+		Height:          1,
+		HostHeight:      uint64(chain.Slot()),
+		Time:            chain.Now(),
+		StateRoot:       store.Root(),
+		EpochIndex:      epoch.Index,
+		EpochCommitment: epoch.Commitment(),
+	}
+	st.Entries = append(st.Entries, &BlockEntry{
+		Block:      genesis,
+		Epoch:      epoch,
+		Signatures: make(map[cryptoutil.PubKey]cryptoutil.Signature),
+		Finalised:  true,
+		CreatedAt:  chain.Now(),
+	})
+	st.snapshots[1] = store.Clone()
+
+	deposit, err := chain.CreateStateAccount(cfg.Payer, c.stateKey, c.programID, cfg.Params.StateSize, st)
+	if err != nil {
+		return nil, 0, fmt.Errorf("guest: allocate state account: %w", err)
+	}
+	// Escrow the genesis validators' stakes into the contract account so
+	// slashing and withdrawals are backed by real lamports.
+	for _, v := range cfg.GenesisValidators {
+		if err := chain.MoveLamports(v.PubKey, c.stateKey, host.Lamports(v.Stake)); err != nil {
+			return nil, 0, fmt.Errorf("guest: escrow genesis stake: %w", err)
+		}
+	}
+	chain.RegisterProgram(c)
+	return c, deposit, nil
+}
+
+// ID implements host.Program.
+func (c *Contract) ID() host.ProgramID { return c.programID }
+
+// StateKey returns the contract's state account address.
+func (c *Contract) StateKey() cryptoutil.PubKey { return c.stateKey }
+
+// State fetches the live contract state from the chain (off-chain read
+// API, the RPC analogue).
+func (c *Contract) State(chain *host.Chain) (*State, error) {
+	raw, err := chain.StateOf(c.stateKey)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := raw.(*State)
+	if !ok {
+		return nil, errors.New("guest: state account holds foreign state")
+	}
+	return st, nil
+}
+
+// BindPort registers an IBC application module on the guest blockchain's
+// handler (deployment-time wiring, like program upgrades on the host).
+func (c *Contract) BindPort(chain *host.Chain, port ibc.PortID, m ibc.Module) error {
+	st, err := c.State(chain)
+	if err != nil {
+		return err
+	}
+	return st.Handler.BindPort(port, m)
+}
+
+// Execute implements host.Program: it dispatches one instruction.
+func (c *Contract) Execute(ctx *host.ExecContext, ins host.Instruction) error {
+	acc, err := ctx.Account(c.stateKey)
+	if err != nil {
+		return err
+	}
+	st, ok := acc.State.(*State)
+	if !ok {
+		return errors.New("guest: state account holds foreign state")
+	}
+	if len(ins.Data) == 0 {
+		return errors.New("guest: empty instruction")
+	}
+	st.nowTime = ctx.Time
+	st.nowSlot = uint64(ctx.Slot)
+	st.ibcEvents = nil
+
+	op := ins.Data[0]
+	if st.Halted && op != OpWithdraw {
+		return ErrHalted
+	}
+	r := wire.NewReader(ins.Data[1:])
+	switch op {
+	case OpSendPacket:
+		err = c.sendPacket(ctx, st, r)
+	case OpGenerateBlock:
+		if e := r.Done(); e != nil {
+			return e
+		}
+		err = c.generateBlock(ctx, st)
+	case OpSign:
+		err = c.sign(ctx, st, r)
+	case OpStake:
+		err = c.stake(ctx, st, r)
+	case OpUnstake:
+		err = c.unstake(ctx, st, r)
+	case OpWithdraw:
+		if e := r.Done(); e != nil {
+			return e
+		}
+		err = c.withdraw(ctx, st)
+	case OpChunk:
+		err = c.chunk(ctx, st, r)
+	case OpCommitUpdateClient:
+		err = c.commitUpdateClient(ctx, st, r)
+	case OpCommitRecvPacket:
+		err = c.commitRecvPacket(ctx, st, r)
+	case OpCommitAck:
+		err = c.commitAck(ctx, st, r)
+	case OpCommitTimeout:
+		err = c.commitTimeout(ctx, st, r)
+	case OpSubmitMisbehaviour:
+		err = c.submitMisbehaviour(ctx, st, r)
+	case OpEmergencyRelease:
+		if e := r.Done(); e != nil {
+			return e
+		}
+		err = c.emergencyRelease(ctx, st)
+	default:
+		return fmt.Errorf("guest: unknown opcode %d", op)
+	}
+	if err != nil {
+		return err
+	}
+	// Forward buffered IBC events to the host event log.
+	for _, e := range st.ibcEvents {
+		ctx.Emit("ibc."+e.kind, e.data)
+	}
+	st.ibcEvents = nil
+	return nil
+}
+
+// sendPacket implements Alg. 1 SendPacket: collect fees, assign sequence,
+// commit the packet.
+func (c *Contract) sendPacket(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeSendPacket(r)
+	if err != nil {
+		return err
+	}
+	if !ctx.IsSigner(a.Sender) {
+		return fmt.Errorf("guest: sender %s did not sign", a.Sender.Short())
+	}
+	if err := ctx.Meter.Consume(host.CUPerTrieNode * 8); err != nil {
+		return err
+	}
+	if err := ctx.Meter.ConsumeHash(len(a.Data)); err != nil {
+		return err
+	}
+	// collect_fees(payload)
+	if err := ctx.Transfer(a.Sender, st.Account, st.Params.PacketFee); err != nil {
+		return fmt.Errorf("guest: collect fees: %w", err)
+	}
+	st.TotalFeesCollected += st.Params.PacketFee
+
+	p, err := st.Handler.SendPacket(a.Port, a.Channel, a.Data, a.TimeoutHeight, a.TimeoutTimestamp)
+	if err != nil {
+		return err
+	}
+	st.PendingPackets = append(st.PendingPackets, p)
+	ctx.Emit("PacketQueued", p)
+	return nil
+}
+
+// generateBlock implements Alg. 1 GenerateBlock.
+func (c *Contract) generateBlock(ctx *host.ExecContext, st *State) error {
+	if err := ctx.Meter.Consume(host.CUPerTrieNode * 4); err != nil {
+		return err
+	}
+	entry, err := st.generateBlockCore(ctx.Time, uint64(ctx.Slot))
+	if err != nil {
+		return err
+	}
+	ctx.Emit("NewBlock", entry.Block)
+	return nil
+}
+
+// sign implements Alg. 1 Sign: record a validator's vote; finalise on
+// quorum.
+func (c *Contract) sign(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeSign(r)
+	if err != nil {
+		return err
+	}
+	entry, err := st.Entry(a.Height)
+	if err != nil {
+		return err
+	}
+	if st.Slashed[a.PubKey] {
+		return ErrSlashedValidator
+	}
+	if !entry.Epoch.Has(a.PubKey) {
+		return fmt.Errorf("%w: %s (epoch %d)", ErrNotValidator, a.PubKey.Short(), entry.Epoch.Index)
+	}
+	if _, dup := entry.Signatures[a.PubKey]; dup {
+		return fmt.Errorf("%w: %s at height %d", ErrAlreadySigned, a.PubKey.Short(), a.Height)
+	}
+	// check_signature: the heavy Ed25519 verification ran in the runtime
+	// precompile (§IV workaround); the contract checks the claim.
+	payload := entry.Block.SigningPayload()
+	if !ctx.PrecompileVerified(a.PubKey, payload[:]) {
+		return ErrBadSignature
+	}
+	if err := ctx.Meter.Consume(host.CUBaseInstruction); err != nil {
+		return err
+	}
+
+	finalised := st.applySignature(entry, a.PubKey, a.Signature, ctx.Time)
+	ctx.Emit("Signed", EventSigned{Height: a.Height, PubKey: a.PubKey})
+	if finalised {
+		ctx.Emit("FinalisedBlock", entry)
+	}
+	return nil
+}
+
+// stake adds candidate stake from the signing owner.
+func (c *Contract) stake(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeStake(r)
+	if err != nil {
+		return err
+	}
+	amount := host.Lamports(a.Amount)
+	if amount < st.Params.MinStake {
+		return fmt.Errorf("%w: %d < %d", ErrStakeTooSmall, amount, st.Params.MinStake)
+	}
+	if st.Slashed[a.Validator] {
+		return ErrSlashedValidator
+	}
+	owner := ctx.FeePayer()
+	if err := ctx.Transfer(owner, st.Account, amount); err != nil {
+		return err
+	}
+	if cand, ok := st.Candidates[a.Validator]; ok {
+		if cand.Owner != owner {
+			return fmt.Errorf("guest: validator %s is owned by another account", a.Validator.Short())
+		}
+		cand.Stake += amount
+	} else {
+		st.Candidates[a.Validator] = &Candidate{PubKey: a.Validator, Owner: owner, Stake: amount}
+	}
+	ctx.Emit("Staked", a.Validator)
+	return nil
+}
+
+// unstake begins a candidate's exit; stake unlocks after the unbonding
+// period (the "stake held for one week after exit" rule of §IV).
+func (c *Contract) unstake(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	pub := r.PubKey()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	cand, ok := st.Candidates[pub]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownCandidate, pub.Short())
+	}
+	if cand.Owner != ctx.FeePayer() {
+		return fmt.Errorf("guest: only the staking owner may unstake %s", pub.Short())
+	}
+	delete(st.Candidates, pub)
+	st.Withdrawals = append(st.Withdrawals, Withdrawal{
+		PubKey:      pub,
+		Owner:       cand.Owner,
+		Amount:      cand.Stake,
+		AvailableAt: ctx.Time.Add(st.Params.UnbondingPeriod),
+	})
+	ctx.Emit("Unstaked", pub)
+	return nil
+}
+
+// withdraw pays out the fee payer's matured withdrawals.
+func (c *Contract) withdraw(ctx *host.ExecContext, st *State) error {
+	owner := ctx.FeePayer()
+	var kept []Withdrawal
+	var paid host.Lamports
+	for _, wd := range st.Withdrawals {
+		if wd.Owner == owner && !ctx.Time.Before(wd.AvailableAt) {
+			paid += wd.Amount
+			continue
+		}
+		kept = append(kept, wd)
+	}
+	if paid == 0 {
+		return ErrNothingToWithdraw
+	}
+	if err := ctx.Debit(st.Account, paid); err != nil {
+		return err
+	}
+	ctx.Credit(owner, paid)
+	st.Withdrawals = kept
+	ctx.Emit("Withdrawn", owner)
+	return nil
+}
+
+// chunk appends data to the fee payer's staging buffer and records
+// runtime-verified signature claims.
+func (c *Contract) chunk(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeChunk(r)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Heap.Alloc(len(a.Data)); err != nil {
+		return err
+	}
+	if err := ctx.Meter.Consume(uint64(len(a.Data)) * host.CUPerByteWritten); err != nil {
+		return err
+	}
+	key := stagingKey{owner: ctx.FeePayer(), id: a.BufferID}
+	buf, ok := st.staging[key]
+	if !ok {
+		buf = &StagingBuffer{VerifiedSigs: make(map[cryptoutil.Hash]bool)}
+		st.staging[key] = buf
+	}
+	buf.Data = append(buf.Data, a.Data...)
+	buf.Txs++
+	for _, claim := range a.SigClaims {
+		if !ctx.PrecompileVerified(claim.Pub, claim.Payload) {
+			return fmt.Errorf("%w: claim for %s", ErrBadSignature, claim.Pub.Short())
+		}
+		buf.VerifiedSigs[sigDigest(claim.Pub, claim.Payload)] = true
+	}
+	return nil
+}
+
+// takeBuffer removes and returns the fee payer's staging buffer.
+func (c *Contract) takeBuffer(ctx *host.ExecContext, st *State, id uint64) (*StagingBuffer, error) {
+	key := stagingKey{owner: ctx.FeePayer(), id: id}
+	buf, ok := st.staging[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownBuffer, id)
+	}
+	delete(st.staging, key)
+	return buf, nil
+}
+
+// commitUpdateClient applies a staged light-client update. Signature
+// verification was performed by the runtime across the chunk transactions;
+// the client re-runs every non-signature check.
+func (c *Contract) commitUpdateClient(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeCommit(r)
+	if err != nil {
+		return err
+	}
+	buf, err := c.takeBuffer(ctx, st, a.BufferID)
+	if err != nil {
+		return err
+	}
+	payload, err := UnmarshalUpdateClientPayload(buf.Data)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Meter.ConsumeHash(len(payload.Header)); err != nil {
+		return err
+	}
+	client, err := st.Handler.Client(a.ClientID)
+	if err != nil {
+		return err
+	}
+	if err := updateClientPresigned(client, payload.Header, ctx.Time, buf); err != nil {
+		return err
+	}
+	buf.Txs++ // the commit transaction itself
+	ctx.Emit("ClientUpdated", EventClientUpdated{
+		ClientID: a.ClientID,
+		Height:   client.LatestHeight(),
+		Txs:      buf.Txs,
+	})
+	return nil
+}
+
+// commitRecvPacket applies a staged incoming packet (Alg. 1
+// ReceivePacket): verify the proof, reject duplicates, deliver to the
+// destination application on the host.
+func (c *Contract) commitRecvPacket(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeCommit(r)
+	if err != nil {
+		return err
+	}
+	buf, err := c.takeBuffer(ctx, st, a.BufferID)
+	if err != nil {
+		return err
+	}
+	payload, err := UnmarshalRecvPayload(buf.Data)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Meter.ConsumeHash(len(payload.Proof)); err != nil {
+		return err
+	}
+	if err := ctx.Meter.Consume(host.CUPerTrieNode * uint64(1+len(payload.Proof)/64)); err != nil {
+		return err
+	}
+	ack, err := st.Handler.RecvPacket(payload.Packet, payload.Proof, payload.ProofHeight)
+	if err != nil {
+		return err
+	}
+	ctx.Emit("PacketDelivered", EventPacketDelivered{Packet: payload.Packet, Ack: ack})
+	return nil
+}
+
+// commitAck applies a staged acknowledgement for a packet the guest sent.
+func (c *Contract) commitAck(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeCommit(r)
+	if err != nil {
+		return err
+	}
+	buf, err := c.takeBuffer(ctx, st, a.BufferID)
+	if err != nil {
+		return err
+	}
+	payload, err := UnmarshalAckPayload(buf.Data)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Meter.ConsumeHash(len(payload.Proof)); err != nil {
+		return err
+	}
+	if err := st.Handler.AcknowledgePacket(payload.Packet, payload.Ack, payload.Proof, payload.ProofHeight); err != nil {
+		return err
+	}
+	ctx.Emit("PacketAcked", payload.Packet)
+	return nil
+}
+
+// commitTimeout applies a staged timeout proof for a packet the guest
+// sent.
+func (c *Contract) commitTimeout(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	a, err := decodeCommit(r)
+	if err != nil {
+		return err
+	}
+	buf, err := c.takeBuffer(ctx, st, a.BufferID)
+	if err != nil {
+		return err
+	}
+	payload, err := UnmarshalTimeoutPayload(buf.Data)
+	if err != nil {
+		return err
+	}
+	if err := ctx.Meter.ConsumeHash(len(payload.Proof)); err != nil {
+		return err
+	}
+	if err := st.Handler.TimeoutPacket(payload.Packet, payload.Proof, payload.ProofHeight); err != nil {
+		return err
+	}
+	ctx.Emit("PacketTimedOut", payload.Packet)
+	return nil
+}
+
+// emergencyRelease implements the §VI-A self-destruction mitigation: if no
+// guest block has been generated for EmergencyTimeout, the chain is dead —
+// without this, validators could never recover their stake once the
+// validator set fell below quorum ("last validator wishing to quit"). Any
+// caller may trigger it; all candidate stakes and pending withdrawals are
+// paid out immediately and the contract halts.
+func (c *Contract) emergencyRelease(ctx *host.ExecContext, st *State) error {
+	if st.Params.EmergencyTimeout <= 0 {
+		return fmt.Errorf("%w: emergency release disabled", ErrNotDead)
+	}
+	dead := ctx.Time.Sub(st.Head().Block.Time)
+	if dead < st.Params.EmergencyTimeout {
+		return fmt.Errorf("%w: head is %v old, timeout %v", ErrNotDead, dead, st.Params.EmergencyTimeout)
+	}
+	// Pay out candidates, then matured-and-unmatured withdrawals alike.
+	var total host.Lamports
+	for _, cand := range st.Candidates {
+		total += cand.Stake
+	}
+	for _, wd := range st.Withdrawals {
+		total += wd.Amount
+	}
+	if err := ctx.Debit(st.Account, total); err != nil {
+		return err
+	}
+	for _, cand := range st.Candidates {
+		ctx.Credit(cand.Owner, cand.Stake)
+	}
+	for _, wd := range st.Withdrawals {
+		ctx.Credit(wd.Owner, wd.Amount)
+	}
+	st.Candidates = make(map[cryptoutil.PubKey]*Candidate)
+	st.Withdrawals = nil
+	st.Halted = true
+	ctx.Emit("EmergencyRelease", total)
+	return nil
+}
+
+// submitMisbehaviour slashes a validator given verified fisherman
+// evidence (§III-C).
+func (c *Contract) submitMisbehaviour(ctx *host.ExecContext, st *State, r *wire.Reader) error {
+	e, err := decodeEvidence(r)
+	if err != nil {
+		return err
+	}
+	if st.Slashed[e.Validator] {
+		return ErrSlashedValidator
+	}
+	// The runtime precompile must have verified the claimed signatures.
+	payloadA := payloadForHash(e.BlockA)
+	if !ctx.PrecompileVerified(e.Validator, payloadA[:]) {
+		return ErrBadSignature
+	}
+
+	switch e.Kind {
+	case EvidenceDoubleSign:
+		payloadB := payloadForHash(e.BlockB)
+		if !ctx.PrecompileVerified(e.Validator, payloadB[:]) {
+			return ErrBadSignature
+		}
+		if e.BlockA == e.BlockB {
+			return fmt.Errorf("%w: identical blocks", ErrBadEvidence)
+		}
+		// Both blocks claim the same height: the fisherman asserts it and
+		// the signatures are over height-binding block hashes; require at
+		// least one of them to differ from the canonical block if the
+		// height is known, otherwise the pair itself is the offence.
+		entry, err := st.Entry(e.Height)
+		if err == nil {
+			canonical := entry.Block.Hash()
+			if e.BlockA == canonical && e.BlockB == canonical {
+				return fmt.Errorf("%w: both signatures match the canonical block", ErrBadEvidence)
+			}
+		}
+	case EvidenceFutureHeight:
+		if e.Height <= st.Height() {
+			return fmt.Errorf("%w: height %d is not in the future", ErrBadEvidence, e.Height)
+		}
+	case EvidenceWrongFork:
+		entry, err := st.Entry(e.Height)
+		if err != nil {
+			return err
+		}
+		if entry.Block.Hash() == e.BlockA {
+			return fmt.Errorf("%w: signature matches the canonical block", ErrBadEvidence)
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrBadEvidence, e.Kind)
+	}
+
+	// Slash: confiscate stake, remove from candidacy, reward the
+	// fisherman with half the stake. The fallible step (paying the
+	// reward from the contract account) runs before any state mutation
+	// so a failure leaves the contract consistent.
+	var confiscated host.Lamports
+	if cand, ok := st.Candidates[e.Validator]; ok {
+		confiscated = cand.Stake
+	}
+	for _, wd := range st.Withdrawals {
+		if wd.PubKey == e.Validator {
+			confiscated += wd.Amount
+		}
+	}
+	reward := confiscated / 2
+	if reward > 0 {
+		if err := ctx.Debit(st.Account, reward); err != nil {
+			return err
+		}
+		ctx.Credit(ctx.FeePayer(), reward)
+	}
+	st.Slashed[e.Validator] = true
+	delete(st.Candidates, e.Validator)
+	var kept []Withdrawal
+	for _, wd := range st.Withdrawals {
+		if wd.PubKey != e.Validator {
+			kept = append(kept, wd)
+		}
+	}
+	st.Withdrawals = kept
+	st.SlashedPot += confiscated - reward
+	ctx.Emit("ValidatorSlashed", EventValidatorSlashed{
+		Validator: e.Validator,
+		Kind:      e.Kind,
+		Stake:     confiscated,
+	})
+	return nil
+}

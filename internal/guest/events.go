@@ -1,0 +1,38 @@
+package guest
+
+import (
+	"repro/internal/cryptoutil"
+	"repro/internal/host"
+	"repro/internal/ibc"
+)
+
+// Event payload types emitted by the Guest Contract into the host event
+// log. Off-chain daemons (validators, relayers, fishermen) consume these.
+
+// EventClientUpdated reports a committed light-client update and how many
+// host transactions the chunked upload took (the Fig. 4 statistic).
+type EventClientUpdated struct {
+	ClientID ibc.ClientID
+	Height   ibc.Height
+	Txs      int
+}
+
+// EventPacketDelivered reports an incoming packet delivered to its
+// destination application with the acknowledgement that was committed.
+type EventPacketDelivered struct {
+	Packet *ibc.Packet
+	Ack    []byte
+}
+
+// EventSigned reports an accepted validator signature.
+type EventSigned struct {
+	Height uint64
+	PubKey cryptoutil.PubKey
+}
+
+// EventValidatorSlashed reports a slashing caused by fisherman evidence.
+type EventValidatorSlashed struct {
+	Validator cryptoutil.PubKey
+	Kind      byte
+	Stake     host.Lamports
+}

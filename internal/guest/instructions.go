@@ -1,0 +1,341 @@
+package guest
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/ibc"
+	"repro/internal/wire"
+)
+
+// Instruction opcodes of the Guest Contract.
+const (
+	// OpSendPacket: a client smart contract sends an IBC packet (Alg. 1
+	// SendPacket).
+	OpSendPacket byte = iota + 1
+	// OpGenerateBlock mints a new guest block if due (Alg. 1
+	// GenerateBlock); callable by anyone.
+	OpGenerateBlock
+	// OpSign is a validator's finalisation vote (Alg. 1 Sign).
+	OpSign
+	// OpStake adds candidate stake.
+	OpStake
+	// OpUnstake begins a candidate's exit.
+	OpUnstake
+	// OpWithdraw claims matured withdrawals.
+	OpWithdraw
+	// OpChunk appends bytes to a staging buffer (tx-size workaround).
+	OpChunk
+	// OpCommitUpdateClient applies a staged light-client update.
+	OpCommitUpdateClient
+	// OpCommitRecvPacket applies a staged incoming packet (Alg. 1
+	// ReceivePacket).
+	OpCommitRecvPacket
+	// OpCommitAck applies a staged acknowledgement for a sent packet.
+	OpCommitAck
+	// OpCommitTimeout applies a staged timeout proof for a sent packet.
+	OpCommitTimeout
+	// OpSubmitMisbehaviour slashes a validator given fisherman evidence
+	// (§III-C).
+	OpSubmitMisbehaviour
+	// OpEmergencyRelease frees all staked assets once the chain has been
+	// dead for EmergencyTimeout (§VI-A's self-destruction mitigation for
+	// the last-validator-wishing-to-quit problem).
+	OpEmergencyRelease
+)
+
+// SendPacketArgs are the OpSendPacket payload.
+type SendPacketArgs struct {
+	Sender           cryptoutil.PubKey
+	Port             ibc.PortID
+	Channel          ibc.ChannelID
+	Data             []byte
+	TimeoutHeight    ibc.Height
+	TimeoutTimestamp time.Time
+}
+
+// EncodeSendPacket builds OpSendPacket instruction data.
+func EncodeSendPacket(a *SendPacketArgs) []byte {
+	w := wire.NewWriter()
+	w.U8(OpSendPacket)
+	w.PubKey(a.Sender)
+	w.String16(string(a.Port))
+	w.String16(string(a.Channel))
+	w.Bytes32(a.Data)
+	w.U64(uint64(a.TimeoutHeight))
+	w.Time(a.TimeoutTimestamp)
+	return w.Bytes()
+}
+
+func decodeSendPacket(r *wire.Reader) (*SendPacketArgs, error) {
+	a := &SendPacketArgs{
+		Sender:  r.PubKey(),
+		Port:    ibc.PortID(r.String16()),
+		Channel: ibc.ChannelID(r.String16()),
+		Data:    r.Bytes32(),
+	}
+	a.TimeoutHeight = ibc.Height(r.U64())
+	a.TimeoutTimestamp = r.Time()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode send packet: %w", err)
+	}
+	return a, nil
+}
+
+// EncodeGenerateBlock builds OpGenerateBlock instruction data.
+func EncodeGenerateBlock() []byte { return []byte{OpGenerateBlock} }
+
+// SignArgs are the OpSign payload. The actual Ed25519 verification happens
+// at transaction level via the runtime precompile; the instruction carries
+// the claim the contract checks against the verified set.
+type SignArgs struct {
+	Height    uint64
+	PubKey    cryptoutil.PubKey
+	Signature cryptoutil.Signature
+}
+
+// EncodeSign builds OpSign instruction data.
+func EncodeSign(a *SignArgs) []byte {
+	w := wire.NewWriter()
+	w.U8(OpSign)
+	w.U64(a.Height)
+	w.PubKey(a.PubKey)
+	w.Signature(a.Signature)
+	return w.Bytes()
+}
+
+func decodeSign(r *wire.Reader) (*SignArgs, error) {
+	a := &SignArgs{Height: r.U64(), PubKey: r.PubKey(), Signature: r.Signature()}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode sign: %w", err)
+	}
+	return a, nil
+}
+
+// StakeArgs are the OpStake payload; the lamports move from the signing
+// owner to the contract.
+type StakeArgs struct {
+	Validator cryptoutil.PubKey
+	Amount    uint64
+}
+
+// EncodeStake builds OpStake instruction data.
+func EncodeStake(a *StakeArgs) []byte {
+	w := wire.NewWriter()
+	w.U8(OpStake)
+	w.PubKey(a.Validator)
+	w.U64(a.Amount)
+	return w.Bytes()
+}
+
+func decodeStake(r *wire.Reader) (*StakeArgs, error) {
+	a := &StakeArgs{Validator: r.PubKey(), Amount: r.U64()}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode stake: %w", err)
+	}
+	return a, nil
+}
+
+// EncodeUnstake builds OpUnstake instruction data.
+func EncodeUnstake(validator cryptoutil.PubKey) []byte {
+	w := wire.NewWriter()
+	w.U8(OpUnstake)
+	w.PubKey(validator)
+	return w.Bytes()
+}
+
+// EncodeWithdraw builds OpWithdraw instruction data.
+func EncodeWithdraw() []byte { return []byte{OpWithdraw} }
+
+// EncodeEmergencyRelease builds OpEmergencyRelease instruction data.
+func EncodeEmergencyRelease() []byte { return []byte{OpEmergencyRelease} }
+
+// ChunkArgs are the OpChunk payload: append Data to the fee payer's buffer
+// and record any runtime-verified signatures for later commit use.
+type ChunkArgs struct {
+	BufferID uint64
+	Data     []byte
+	// SigClaims list (pubkey, payload) pairs this transaction verified
+	// via the precompile; the contract records their digests.
+	SigClaims []SigClaim
+}
+
+// SigClaim is a claim that the runtime verified pub's signature over
+// Payload in this transaction.
+type SigClaim struct {
+	Pub     cryptoutil.PubKey
+	Payload []byte
+}
+
+// EncodeChunk builds OpChunk instruction data.
+func EncodeChunk(a *ChunkArgs) []byte {
+	w := wire.NewWriter()
+	w.U8(OpChunk)
+	w.U64(a.BufferID)
+	w.Bytes32(a.Data)
+	w.U16(uint16(len(a.SigClaims)))
+	for _, c := range a.SigClaims {
+		w.PubKey(c.Pub)
+		w.Bytes16(c.Payload)
+	}
+	return w.Bytes()
+}
+
+func decodeChunk(r *wire.Reader) (*ChunkArgs, error) {
+	a := &ChunkArgs{BufferID: r.U64(), Data: r.Bytes32()}
+	n := int(r.U16())
+	for i := 0; i < n; i++ {
+		a.SigClaims = append(a.SigClaims, SigClaim{Pub: r.PubKey(), Payload: r.Bytes16()})
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode chunk: %w", err)
+	}
+	return a, nil
+}
+
+// CommitArgs reference a staged buffer; ClientID is used by
+// OpCommitUpdateClient only.
+type CommitArgs struct {
+	BufferID uint64
+	ClientID ibc.ClientID
+}
+
+// EncodeCommit builds a commit instruction with the given opcode.
+func EncodeCommit(op byte, a *CommitArgs) []byte {
+	w := wire.NewWriter()
+	w.U8(op)
+	w.U64(a.BufferID)
+	w.String16(string(a.ClientID))
+	return w.Bytes()
+}
+
+func decodeCommit(r *wire.Reader) (*CommitArgs, error) {
+	a := &CommitArgs{BufferID: r.U64(), ClientID: ibc.ClientID(r.String16())}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode commit: %w", err)
+	}
+	return a, nil
+}
+
+// RecvPayload is the staged payload for OpCommitRecvPacket: the packet,
+// the proof height on the counterparty, and the commitment proof.
+type RecvPayload struct {
+	Packet      *ibc.Packet
+	ProofHeight ibc.Height
+	Proof       []byte
+}
+
+// MarshalRecvPayload encodes a RecvPayload for staging.
+func MarshalRecvPayload(p *RecvPayload) []byte {
+	w := wire.NewWriter()
+	ibc.EncodePacket(w, p.Packet)
+	w.U64(uint64(p.ProofHeight))
+	w.Bytes32(p.Proof)
+	return w.Bytes()
+}
+
+// UnmarshalRecvPayload decodes a staged RecvPayload.
+func UnmarshalRecvPayload(data []byte) (*RecvPayload, error) {
+	r := wire.NewReader(data)
+	pkt, err := ibc.DecodePacket(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &RecvPayload{Packet: pkt}
+	p.ProofHeight = ibc.Height(r.U64())
+	p.Proof = r.Bytes32()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode recv payload: %w", err)
+	}
+	return p, nil
+}
+
+// AckPayload is the staged payload for OpCommitAck.
+type AckPayload struct {
+	Packet      *ibc.Packet
+	Ack         []byte
+	ProofHeight ibc.Height
+	Proof       []byte
+}
+
+// MarshalAckPayload encodes an AckPayload for staging.
+func MarshalAckPayload(p *AckPayload) []byte {
+	w := wire.NewWriter()
+	ibc.EncodePacket(w, p.Packet)
+	w.Bytes32(p.Ack)
+	w.U64(uint64(p.ProofHeight))
+	w.Bytes32(p.Proof)
+	return w.Bytes()
+}
+
+// UnmarshalAckPayload decodes a staged AckPayload.
+func UnmarshalAckPayload(data []byte) (*AckPayload, error) {
+	r := wire.NewReader(data)
+	pkt, err := ibc.DecodePacket(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &AckPayload{Packet: pkt}
+	p.Ack = r.Bytes32()
+	p.ProofHeight = ibc.Height(r.U64())
+	p.Proof = r.Bytes32()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode ack payload: %w", err)
+	}
+	return p, nil
+}
+
+// TimeoutPayload is the staged payload for OpCommitTimeout.
+type TimeoutPayload struct {
+	Packet      *ibc.Packet
+	ProofHeight ibc.Height
+	Proof       []byte
+}
+
+// MarshalTimeoutPayload encodes a TimeoutPayload for staging.
+func MarshalTimeoutPayload(p *TimeoutPayload) []byte {
+	w := wire.NewWriter()
+	ibc.EncodePacket(w, p.Packet)
+	w.U64(uint64(p.ProofHeight))
+	w.Bytes32(p.Proof)
+	return w.Bytes()
+}
+
+// UnmarshalTimeoutPayload decodes a staged TimeoutPayload.
+func UnmarshalTimeoutPayload(data []byte) (*TimeoutPayload, error) {
+	r := wire.NewReader(data)
+	pkt, err := ibc.DecodePacket(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &TimeoutPayload{Packet: pkt}
+	p.ProofHeight = ibc.Height(r.U64())
+	p.Proof = r.Bytes32()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode timeout payload: %w", err)
+	}
+	return p, nil
+}
+
+// UpdateClientPayload is staged for OpCommitUpdateClient.
+type UpdateClientPayload struct {
+	Header []byte
+}
+
+// MarshalUpdateClientPayload encodes the staged client update.
+func MarshalUpdateClientPayload(header []byte) []byte {
+	w := wire.NewWriter()
+	w.Bytes32(header)
+	return w.Bytes()
+}
+
+// UnmarshalUpdateClientPayload decodes the staged client update.
+func UnmarshalUpdateClientPayload(data []byte) (*UpdateClientPayload, error) {
+	r := wire.NewReader(data)
+	p := &UpdateClientPayload{Header: r.Bytes32()}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode update-client payload: %w", err)
+	}
+	return p, nil
+}

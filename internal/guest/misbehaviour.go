@@ -1,0 +1,90 @@
+package guest
+
+import (
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// Misbehaviour kinds a fisherman can report (§III-C).
+const (
+	// EvidenceDoubleSign: two signatures from one validator for different
+	// blocks at the same height.
+	EvidenceDoubleSign byte = iota + 1
+	// EvidenceFutureHeight: a signature for a block height beyond the
+	// chain head.
+	EvidenceFutureHeight
+	// EvidenceWrongFork: a signature for a block that differs from the
+	// known block at that height.
+	EvidenceWrongFork
+)
+
+// Evidence is a fisherman's misbehaviour proof. Hashes are guest block
+// hashes; signatures are over the corresponding signing payloads and are
+// verified by the host runtime precompile when the evidence is submitted.
+type Evidence struct {
+	Kind      byte
+	Validator cryptoutil.PubKey
+	Height    uint64
+	BlockA    cryptoutil.Hash
+	SigA      cryptoutil.Signature
+	// BlockB/SigB are used by EvidenceDoubleSign only.
+	BlockB cryptoutil.Hash
+	SigB   cryptoutil.Signature
+}
+
+// Marshal encodes the evidence for an OpSubmitMisbehaviour instruction.
+func (e *Evidence) Marshal() []byte {
+	w := wire.NewWriter()
+	w.U8(OpSubmitMisbehaviour)
+	w.U8(e.Kind)
+	w.PubKey(e.Validator)
+	w.U64(e.Height)
+	w.Hash(e.BlockA)
+	w.Signature(e.SigA)
+	w.Hash(e.BlockB)
+	w.Signature(e.SigB)
+	return w.Bytes()
+}
+
+func decodeEvidence(r *wire.Reader) (*Evidence, error) {
+	e := &Evidence{
+		Kind:      r.U8(),
+		Validator: r.PubKey(),
+		Height:    r.U64(),
+	}
+	e.BlockA = r.Hash()
+	e.SigA = r.Signature()
+	e.BlockB = r.Hash()
+	e.SigB = r.Signature()
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guest: decode evidence: %w", err)
+	}
+	return e, nil
+}
+
+// SigVerifies returns the precompile verification requests a fisherman
+// must attach to the submitting transaction: the runtime (not the
+// contract) proves the signatures are genuine.
+func (e *Evidence) SigVerifies() []sigVerifySpec {
+	payloadA := signingPayloadBytes(e.BlockA)
+	out := []sigVerifySpec{{Pub: e.Validator, Msg: payloadA, Sig: e.SigA}}
+	if e.Kind == EvidenceDoubleSign {
+		out = append(out, sigVerifySpec{Pub: e.Validator, Msg: signingPayloadBytes(e.BlockB), Sig: e.SigB})
+	}
+	return out
+}
+
+// sigVerifySpec mirrors host.SigVerify without importing it here.
+type sigVerifySpec struct {
+	Pub cryptoutil.PubKey
+	Msg []byte
+	Sig cryptoutil.Signature
+}
+
+// signingPayloadBytes converts a block hash to the signed payload bytes.
+func signingPayloadBytes(blockHash cryptoutil.Hash) []byte {
+	p := payloadForHash(blockHash)
+	return p[:]
+}

@@ -1,0 +1,28 @@
+package guest
+
+import (
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/ibc"
+	"repro/internal/lightclient/tendermint"
+)
+
+// updateClientPresigned applies a light-client update using the staging
+// buffer's runtime-verified signature set. For Tendermint-style clients
+// this avoids in-contract Ed25519 entirely (the §IV compute-budget
+// workaround); other client types fall back to their own verification.
+func updateClientPresigned(client ibc.Client, header []byte, now time.Time, buf *StagingBuffer) error {
+	tc, ok := client.(*tendermint.Client)
+	if !ok {
+		return client.Update(header, now)
+	}
+	u, err := tendermint.UnmarshalUpdate(header)
+	if err != nil {
+		return err
+	}
+	check := func(pub cryptoutil.PubKey, payload cryptoutil.Hash) bool {
+		return buf.VerifiedSigs[sigDigest(pub, payload[:])]
+	}
+	return tc.UpdatePresigned(u, now, check)
+}

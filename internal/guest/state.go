@@ -1,0 +1,387 @@
+package guest
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/guestblock"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/lightclient/guestlc"
+)
+
+// Errors returned by the Guest Contract.
+var (
+	ErrHeadNotFinalised  = errors.New("guest: head block is not finalised")
+	ErrNothingToCommit   = errors.New("guest: state unchanged and head younger than delta")
+	ErrUnknownHeight     = errors.New("guest: unknown block height")
+	ErrNotValidator      = errors.New("guest: signer is not an epoch validator")
+	ErrAlreadySigned     = errors.New("guest: validator already signed this block")
+	ErrBadSignature      = errors.New("guest: signature not verified by runtime")
+	ErrSlashedValidator  = errors.New("guest: validator was slashed")
+	ErrStakeTooSmall     = errors.New("guest: stake below minimum")
+	ErrUnknownCandidate  = errors.New("guest: unknown candidate")
+	ErrUnknownBuffer     = errors.New("guest: unknown staging buffer")
+	ErrNothingToWithdraw = errors.New("guest: no matured withdrawals")
+	ErrBadEvidence       = errors.New("guest: misbehaviour evidence invalid")
+	ErrNotDead           = errors.New("guest: chain is not dead (emergency timeout not reached)")
+	ErrHalted            = errors.New("guest: contract halted after emergency release")
+)
+
+// BlockEntry is a guest block with its finalisation bookkeeping.
+type BlockEntry struct {
+	Block       *guestblock.Block
+	Epoch       *guestblock.Epoch
+	Signatures  map[cryptoutil.PubKey]cryptoutil.Signature
+	SignedStake uint64
+	Finalised   bool
+	// Packets are the outgoing packets committed in this block (Alg. 2
+	// block.packets).
+	Packets []*ibc.Packet
+	// CreatedAt / FinalisedAt are host timestamps for the latency
+	// experiments (Fig. 2, Fig. 6, Table I).
+	CreatedAt   time.Time
+	FinalisedAt time.Time
+}
+
+// SignedBlock assembles the light-client update form of a finalised block,
+// with signatures in canonical (pubkey-sorted) order.
+func (e *BlockEntry) SignedBlock() *guestblock.SignedBlock {
+	sb := &guestblock.SignedBlock{Block: e.Block}
+	keys := make([]cryptoutil.PubKey, 0, len(e.Signatures))
+	for pub := range e.Signatures {
+		keys = append(keys, pub)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Compare(keys[j]) < 0 })
+	for _, pub := range keys {
+		sb.Signatures = append(sb.Signatures, guestblock.BlockSignature{
+			Height:    e.Block.Height,
+			PubKey:    pub,
+			Signature: e.Signatures[pub],
+		})
+	}
+	return sb
+}
+
+// Withdrawal is stake waiting out the unbonding period.
+type Withdrawal struct {
+	PubKey      cryptoutil.PubKey
+	Owner       cryptoutil.PubKey
+	Amount      host.Lamports
+	AvailableAt time.Time
+}
+
+// Candidate is a staked validator candidate.
+type Candidate struct {
+	PubKey cryptoutil.PubKey
+	// Owner is the host account that staked and receives withdrawals.
+	Owner cryptoutil.PubKey
+	Stake host.Lamports
+}
+
+// stagingKey identifies a chunk-upload buffer.
+type stagingKey struct {
+	owner cryptoutil.PubKey
+	id    uint64
+}
+
+// StagingBuffer accumulates a payload too large for one host transaction
+// (the tx-size workaround of §IV), together with the set of signature
+// verifications the runtime performed while the chunks were uploaded.
+type StagingBuffer struct {
+	Data []byte
+	// VerifiedSigs records runtime-verified (pubkey, payload) digests so
+	// the commit instruction can trust them without re-verification.
+	VerifiedSigs map[cryptoutil.Hash]bool
+	// Txs counts the host transactions that contributed to this buffer
+	// (for the Fig. 4 statistics).
+	Txs int
+}
+
+// sigDigest identifies a verified (pubkey, payload) pair within a buffer.
+func sigDigest(pub cryptoutil.PubKey, payload []byte) cryptoutil.Hash {
+	return cryptoutil.HashTagged('Q', pub[:], payload)
+}
+
+// State is the Guest Contract's account state: everything Alg. 1 keeps
+// on-chain, plus off-chain-queryable bookkeeping (snapshots for proof
+// generation, experiment timestamps).
+type State struct {
+	Params  Params
+	Account cryptoutil.PubKey
+
+	Store   *ibc.Store
+	Handler *ibc.Handler
+
+	Entries []*BlockEntry
+
+	CurrentEpoch   *guestblock.Epoch
+	EpochStartSlot uint64
+
+	Candidates  map[cryptoutil.PubKey]*Candidate
+	Slashed     map[cryptoutil.PubKey]bool
+	Withdrawals []Withdrawal
+	SlashedPot  host.Lamports
+
+	// PendingPackets are packets sent since the last block was created;
+	// they ride in the next block.
+	PendingPackets []*ibc.Packet
+
+	staging map[stagingKey]*StagingBuffer
+
+	// snapshots[height] is the store state at block creation — the
+	// simulation analogue of reading historical account data through an
+	// RPC node; relayers prove against finalised roots from these.
+	snapshots      map[uint64]*ibc.Store
+	oldestSnapshot uint64
+
+	// Execution context mirror: the handler's SelfInfo reads these.
+	nowTime time.Time
+	nowSlot uint64
+
+	// ibcEvents buffers handler events during one instruction.
+	ibcEvents []stateEvent
+
+	// Experiment counters.
+	TotalFeesCollected host.Lamports
+
+	// Halted is set after an emergency release (§VI-A): the guest chain
+	// is dead and the contract refuses all further operations.
+	Halted bool
+}
+
+type stateEvent struct {
+	kind string
+	data any
+}
+
+// Head returns the latest block entry.
+func (s *State) Head() *BlockEntry { return s.Entries[len(s.Entries)-1] }
+
+// Height returns the current head height.
+func (s *State) Height() uint64 { return s.Head().Block.Height }
+
+// Entry returns the block entry at height.
+func (s *State) Entry(height uint64) (*BlockEntry, error) {
+	idx := int(height) - 1
+	if idx < 0 || idx >= len(s.Entries) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownHeight, height)
+	}
+	return s.Entries[idx], nil
+}
+
+// SnapshotAt returns the store snapshot taken when the block at height was
+// created, if still retained.
+func (s *State) SnapshotAt(height uint64) (*ibc.Store, error) {
+	snap, ok := s.snapshots[height]
+	if !ok {
+		return nil, fmt.Errorf("%w: no snapshot at %d", ErrUnknownHeight, height)
+	}
+	return snap, nil
+}
+
+// ProveMembershipAt generates a membership proof against the state root of
+// the block at height (off-chain relayer API).
+func (s *State) ProveMembershipAt(height uint64, path string) (value, proof []byte, err error) {
+	snap, err := s.SnapshotAt(height)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snap.ProveMembership(path)
+}
+
+// ProveNonMembershipAt generates an absence proof against the block at
+// height (off-chain relayer API, used for timeouts).
+func (s *State) ProveNonMembershipAt(height uint64, path string) ([]byte, error) {
+	snap, err := s.SnapshotAt(height)
+	if err != nil {
+		return nil, err
+	}
+	return snap.ProveNonMembership(path)
+}
+
+// BeginDirect prepares the state for a direct (non-transactional) handler
+// call — operator bootstrap actions such as the connection handshake,
+// which in the deployment run as ordinary governance transactions but are
+// not part of the evaluated packet path.
+func (s *State) BeginDirect(t time.Time, slot uint64) {
+	s.nowTime = t
+	s.nowSlot = slot
+	s.ibcEvents = nil
+}
+
+// CurrentHeight implements ibc.SelfInfo: the guest chain's own height.
+func (s *State) CurrentHeight() ibc.Height { return ibc.Height(s.Height()) }
+
+// CurrentTime implements ibc.SelfInfo: the host block time.
+func (s *State) CurrentTime() time.Time { return s.nowTime }
+
+// ValidateSelfClient implements ibc.SelfInfo: it checks that the
+// counterparty's light client for the guest chain refers to a real epoch
+// and a plausible height — the introspection step §II requires and
+// incomplete IBC ports leave blank.
+func (s *State) ValidateSelfClient(clientState []byte) error {
+	info, err := guestlc.DecodeClientState(clientState)
+	if err != nil {
+		return fmt.Errorf("guest: self-client state: %w", err)
+	}
+	if uint64(info.Latest) > s.Height() {
+		return fmt.Errorf("guest: self-client height %d ahead of chain %d", info.Latest, s.Height())
+	}
+	entry, err := s.Entry(uint64(info.Latest))
+	if err != nil {
+		return err
+	}
+	// The client's trusted epoch must be the one active at that height or
+	// its successor (rotation block).
+	ok := entry.Epoch.Commitment() == info.EpochCommitment
+	if !ok && entry.Block.NextEpoch != nil {
+		ok = entry.Block.NextEpoch.Commitment() == info.EpochCommitment
+	}
+	if !ok {
+		return errors.New("guest: self-client tracks unknown validator set")
+	}
+	return nil
+}
+
+// ActiveStake returns the total stake of the current epoch.
+func (s *State) ActiveStake() uint64 { return s.CurrentEpoch.TotalStake() }
+
+// buildNextEpoch selects the top-staked candidates for the next epoch.
+func (s *State) buildNextEpoch() (*guestblock.Epoch, error) {
+	candidates := make([]*Candidate, 0, len(s.Candidates))
+	for _, c := range s.Candidates {
+		candidates = append(candidates, c)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		if candidates[i].Stake != candidates[j].Stake {
+			return candidates[i].Stake > candidates[j].Stake
+		}
+		return candidates[i].PubKey.Compare(candidates[j].PubKey) < 0
+	})
+	if len(candidates) > s.Params.MaxValidators {
+		candidates = candidates[:s.Params.MaxValidators]
+	}
+	vals := make([]guestblock.Validator, 0, len(candidates))
+	for _, c := range candidates {
+		vals = append(vals, guestblock.Validator{PubKey: c.PubKey, Stake: uint64(c.Stake)})
+	}
+	return guestblock.NewEpoch(s.CurrentEpoch.Index+1, vals)
+}
+
+// generateBlockCore is Alg. 1 GenerateBlock minus metering and events; it
+// is shared by the contract instruction path and the direct (operator
+// bootstrap) path.
+func (s *State) generateBlockCore(now time.Time, slot uint64) (*BlockEntry, error) {
+	head := s.Head()
+	if !head.Finalised {
+		return nil, ErrHeadNotFinalised
+	}
+	age := now.Sub(head.Block.Time)
+	if head.Block.StateRoot == s.Store.Root() && age < s.Params.Delta {
+		return nil, ErrNothingToCommit
+	}
+
+	block := &guestblock.Block{
+		Height:          head.Block.Height + 1,
+		HostHeight:      slot,
+		Time:            now,
+		PrevHash:        head.Block.Hash(),
+		StateRoot:       s.Store.Root(),
+		EpochIndex:      s.CurrentEpoch.Index,
+		EpochCommitment: s.CurrentEpoch.Commitment(),
+	}
+
+	// Epoch rotation: once the minimum epoch length has elapsed, this
+	// block carries the next validator set and is the epoch's last block.
+	if slot-s.EpochStartSlot >= s.Params.EpochLength {
+		next, err := s.buildNextEpoch()
+		if err != nil {
+			return nil, fmt.Errorf("guest: build next epoch: %w", err)
+		}
+		block.NextEpoch = next
+	}
+
+	entry := &BlockEntry{
+		Block:      block,
+		Epoch:      s.CurrentEpoch,
+		Signatures: make(map[cryptoutil.PubKey]cryptoutil.Signature),
+		Packets:    s.PendingPackets,
+		CreatedAt:  now,
+	}
+	s.PendingPackets = nil
+	s.Entries = append(s.Entries, entry)
+	s.snapshots[block.Height] = s.Store.Clone()
+	s.pruneSnapshots()
+
+	if block.NextEpoch != nil {
+		s.CurrentEpoch = block.NextEpoch
+		s.EpochStartSlot = slot
+	}
+	return entry, nil
+}
+
+// applySignature records a verified validator vote and reports whether it
+// finalised the block.
+func (s *State) applySignature(entry *BlockEntry, pub cryptoutil.PubKey, sig cryptoutil.Signature, now time.Time) bool {
+	entry.Signatures[pub] = sig
+	entry.SignedStake += entry.Epoch.StakeOf(pub)
+	if !entry.Finalised && entry.SignedStake >= entry.Epoch.QuorumStake {
+		entry.Finalised = true
+		entry.FinalisedAt = now
+		return true
+	}
+	return false
+}
+
+// DirectGenerateBlock mints a guest block outside a transaction (operator
+// bootstrap, e.g. during the connection handshake). The caller must have
+// called BeginDirect.
+func (s *State) DirectGenerateBlock() (*BlockEntry, error) {
+	return s.generateBlockCore(s.nowTime, s.nowSlot)
+}
+
+// DirectFinalise signs the entry with the given validator keys until the
+// quorum is reached (operator bootstrap).
+func (s *State) DirectFinalise(entry *BlockEntry, keys []*cryptoutil.PrivKey) error {
+	payload := entry.Block.SigningPayload()
+	for _, k := range keys {
+		if entry.Finalised {
+			return nil
+		}
+		if !entry.Epoch.Has(k.Public()) || s.Slashed[k.Public()] {
+			continue
+		}
+		if _, dup := entry.Signatures[k.Public()]; dup {
+			continue
+		}
+		s.applySignature(entry, k.Public(), k.SignHash(payload), s.nowTime)
+	}
+	if !entry.Finalised {
+		return fmt.Errorf("guest: direct finalise: quorum not reached at height %d", entry.Block.Height)
+	}
+	return nil
+}
+
+// StorageNodeCount exposes trie occupancy for the §V-D experiments.
+func (s *State) StorageNodeCount() int { return s.Store.Trie().NodeCount() }
+
+// StorageBytes exposes the modelled storage footprint.
+func (s *State) StorageBytes() int { return s.Store.Trie().StorageBytes() }
+
+// pruneSnapshots drops snapshots beyond the retention window.
+func (s *State) pruneSnapshots() {
+	if s.Params.SnapshotRetention <= 0 {
+		return
+	}
+	if s.oldestSnapshot == 0 {
+		s.oldestSnapshot = 1
+	}
+	for len(s.snapshots) > s.Params.SnapshotRetention {
+		delete(s.snapshots, s.oldestSnapshot)
+		s.oldestSnapshot++
+	}
+}

@@ -1,0 +1,286 @@
+// Package guestblock defines the guest blockchain's block, epoch, and
+// validator-set types with their canonical encodings and signing payloads.
+// It is shared by the Guest Contract (which produces blocks), the
+// validators (which sign them), and the guest light client on the
+// counterparty chain (which verifies them).
+package guestblock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/wire"
+)
+
+// Validator is one staked guest-blockchain validator (§III-B).
+type Validator struct {
+	PubKey cryptoutil.PubKey
+	Stake  uint64
+}
+
+// Epoch is a validator-set era: validators are fixed for the epoch and a
+// stake-weighted quorum finalises blocks.
+type Epoch struct {
+	// Index is the epoch number, starting at 0 for genesis.
+	Index uint64
+	// Validators is the canonical (pubkey-sorted) validator list.
+	Validators []Validator
+	// QuorumStake is the stake required to finalise a block
+	// (strictly more than 2/3 of total).
+	QuorumStake uint64
+}
+
+// NewEpoch builds an epoch with canonical ordering and a >2/3 quorum.
+func NewEpoch(index uint64, validators []Validator) (*Epoch, error) {
+	if len(validators) == 0 {
+		return nil, errors.New("guestblock: epoch needs at least one validator")
+	}
+	vs := append([]Validator(nil), validators...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].PubKey.Compare(vs[j].PubKey) < 0 })
+	var total uint64
+	for i, v := range vs {
+		if v.Stake == 0 {
+			return nil, fmt.Errorf("guestblock: validator %s has zero stake", v.PubKey.Short())
+		}
+		if i > 0 && vs[i-1].PubKey == v.PubKey {
+			return nil, fmt.Errorf("guestblock: duplicate validator %s", v.PubKey.Short())
+		}
+		total += v.Stake
+	}
+	return &Epoch{
+		Index:       index,
+		Validators:  vs,
+		QuorumStake: total*2/3 + 1,
+	}, nil
+}
+
+// TotalStake returns the sum of validator stakes.
+func (e *Epoch) TotalStake() uint64 {
+	var total uint64
+	for _, v := range e.Validators {
+		total += v.Stake
+	}
+	return total
+}
+
+// StakeOf returns the stake of pub, or 0 if pub is not in the epoch.
+func (e *Epoch) StakeOf(pub cryptoutil.PubKey) uint64 {
+	for _, v := range e.Validators {
+		if v.PubKey == pub {
+			return v.Stake
+		}
+	}
+	return 0
+}
+
+// Has reports whether pub is an epoch validator.
+func (e *Epoch) Has(pub cryptoutil.PubKey) bool { return e.StakeOf(pub) > 0 }
+
+// Encode appends the epoch's canonical encoding.
+func (e *Epoch) Encode(w *wire.Writer) {
+	w.U64(e.Index)
+	w.U64(e.QuorumStake)
+	w.U16(uint16(len(e.Validators)))
+	for _, v := range e.Validators {
+		w.PubKey(v.PubKey)
+		w.U64(v.Stake)
+	}
+}
+
+// DecodeEpoch reads an epoch written by Encode.
+func DecodeEpoch(r *wire.Reader) (*Epoch, error) {
+	e := &Epoch{
+		Index:       r.U64(),
+		QuorumStake: r.U64(),
+	}
+	n := int(r.U16())
+	e.Validators = make([]Validator, 0, n)
+	for i := 0; i < n; i++ {
+		e.Validators = append(e.Validators, Validator{PubKey: r.PubKey(), Stake: r.U64()})
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("guestblock: decode epoch: %w", err)
+	}
+	return e, nil
+}
+
+// Commitment returns the hash committing to the epoch contents.
+func (e *Epoch) Commitment() cryptoutil.Hash {
+	w := wire.NewWriter()
+	e.Encode(w)
+	return cryptoutil.HashTagged('E', w.Bytes())
+}
+
+// Block is a guest blockchain block header (Alg. 1). Guest blocks carry no
+// transaction list: the state root commits to everything, and the host
+// chain orders the underlying operations.
+type Block struct {
+	// Height is the guest block height (genesis = 1).
+	Height uint64
+	// HostHeight is the host slot at which the block was generated —
+	// this is the "block introspection" data IBC needs (§II).
+	HostHeight uint64
+	// Time is the host block timestamp at generation.
+	Time time.Time
+	// PrevHash links to the previous guest block.
+	PrevHash cryptoutil.Hash
+	// StateRoot is the sealable trie's root commitment.
+	StateRoot cryptoutil.Hash
+	// EpochIndex identifies the validator set that must finalise this
+	// block.
+	EpochIndex uint64
+	// EpochCommitment commits to that validator set.
+	EpochCommitment cryptoutil.Hash
+	// NextEpoch is present on the last block of an epoch and carries the
+	// full next validator set, letting light clients rotate trust.
+	NextEpoch *Epoch
+}
+
+// Encode appends the block's canonical encoding.
+func (b *Block) Encode(w *wire.Writer) {
+	w.U64(b.Height)
+	w.U64(b.HostHeight)
+	w.Time(b.Time)
+	w.Hash(b.PrevHash)
+	w.Hash(b.StateRoot)
+	w.U64(b.EpochIndex)
+	w.Hash(b.EpochCommitment)
+	if b.NextEpoch != nil {
+		w.U8(1)
+		b.NextEpoch.Encode(w)
+	} else {
+		w.U8(0)
+	}
+}
+
+// DecodeBlock reads a block written by Encode.
+func DecodeBlock(r *wire.Reader) (*Block, error) {
+	b := &Block{
+		Height:     r.U64(),
+		HostHeight: r.U64(),
+		Time:       r.Time(),
+		PrevHash:   r.Hash(),
+		StateRoot:  r.Hash(),
+		EpochIndex: r.U64(),
+	}
+	b.EpochCommitment = r.Hash()
+	if r.U8() == 1 {
+		next, err := DecodeEpoch(r)
+		if err != nil {
+			return nil, err
+		}
+		b.NextEpoch = next
+	}
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("guestblock: decode block: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the block hash.
+func (b *Block) Hash() cryptoutil.Hash {
+	w := wire.NewWriter()
+	b.Encode(w)
+	return cryptoutil.HashTagged('B', w.Bytes())
+}
+
+// SigningPayload returns the digest validators sign. It is domain-separated
+// from the block hash so signatures cannot be confused with other uses.
+func (b *Block) SigningPayload() cryptoutil.Hash {
+	h := b.Hash()
+	return cryptoutil.HashTagged('S', h[:])
+}
+
+// SigningPayloadForHash reconstructs the signing payload from a block hash;
+// fishermen use this to check signatures on claimed blocks (§III-C).
+func SigningPayloadForHash(blockHash cryptoutil.Hash) cryptoutil.Hash {
+	return cryptoutil.HashTagged('S', blockHash[:])
+}
+
+// BlockSignature is one validator's finalisation vote.
+type BlockSignature struct {
+	Height    uint64
+	PubKey    cryptoutil.PubKey
+	Signature cryptoutil.Signature
+}
+
+// SignedBlock is a finalised block together with a signature set reaching
+// quorum — the guest light client update format (Alg. 2 send_block).
+type SignedBlock struct {
+	Block      *Block
+	Signatures []BlockSignature
+}
+
+// Encode appends the signed block's canonical encoding.
+func (sb *SignedBlock) Encode(w *wire.Writer) {
+	sb.Block.Encode(w)
+	w.U16(uint16(len(sb.Signatures)))
+	for _, s := range sb.Signatures {
+		w.PubKey(s.PubKey)
+		w.Signature(s.Signature)
+	}
+}
+
+// Marshal returns the serialized signed block.
+func (sb *SignedBlock) Marshal() []byte {
+	w := wire.NewWriter()
+	sb.Encode(w)
+	return w.Bytes()
+}
+
+// UnmarshalSignedBlock decodes a signed block.
+func UnmarshalSignedBlock(data []byte) (*SignedBlock, error) {
+	r := wire.NewReader(data)
+	b, err := DecodeBlock(r)
+	if err != nil {
+		return nil, err
+	}
+	sb := &SignedBlock{Block: b}
+	n := int(r.U16())
+	for i := 0; i < n; i++ {
+		sb.Signatures = append(sb.Signatures, BlockSignature{
+			Height:    b.Height,
+			PubKey:    r.PubKey(),
+			Signature: r.Signature(),
+		})
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("guestblock: decode signed block: %w", err)
+	}
+	return sb, nil
+}
+
+// VerifyQuorum checks that the signatures are valid votes from distinct
+// epoch validators whose stake reaches the epoch quorum.
+func (sb *SignedBlock) VerifyQuorum(epoch *Epoch) error {
+	if sb.Block.EpochIndex != epoch.Index {
+		return fmt.Errorf("guestblock: block epoch %d, verifying with epoch %d", sb.Block.EpochIndex, epoch.Index)
+	}
+	if sb.Block.EpochCommitment != epoch.Commitment() {
+		return errors.New("guestblock: epoch commitment mismatch")
+	}
+	payload := sb.Block.SigningPayload()
+	seen := make(map[cryptoutil.PubKey]bool, len(sb.Signatures))
+	var stake uint64
+	for _, s := range sb.Signatures {
+		if seen[s.PubKey] {
+			return fmt.Errorf("guestblock: duplicate signature from %s", s.PubKey.Short())
+		}
+		seen[s.PubKey] = true
+		vstake := epoch.StakeOf(s.PubKey)
+		if vstake == 0 {
+			return fmt.Errorf("guestblock: signer %s not in epoch", s.PubKey.Short())
+		}
+		if !cryptoutil.VerifyHash(s.PubKey, payload, s.Signature) {
+			return fmt.Errorf("guestblock: invalid signature from %s", s.PubKey.Short())
+		}
+		stake += vstake
+	}
+	if stake < epoch.QuorumStake {
+		return fmt.Errorf("guestblock: stake %d below quorum %d", stake, epoch.QuorumStake)
+	}
+	return nil
+}

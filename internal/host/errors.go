@@ -1,0 +1,35 @@
+package host
+
+import "errors"
+
+// Errors returned by the host chain.
+var (
+	// ErrTxTooLarge is returned when a transaction exceeds
+	// MaxTransactionSize.
+	ErrTxTooLarge = errors.New("host: transaction exceeds size limit")
+	// ErrTooManySignatures is returned when a transaction carries more
+	// signatures than fit.
+	ErrTooManySignatures = errors.New("host: too many signatures")
+	// ErrComputeBudgetExceeded is returned when execution runs out of
+	// compute units.
+	ErrComputeBudgetExceeded = errors.New("host: compute budget exceeded")
+	// ErrHeapExhausted is returned when a program exceeds its heap limit.
+	ErrHeapExhausted = errors.New("host: heap limit exceeded")
+	// ErrUnknownProgram is returned when an instruction targets an
+	// unregistered program.
+	ErrUnknownProgram = errors.New("host: unknown program")
+	// ErrUnknownAccount is returned when a referenced account does not
+	// exist.
+	ErrUnknownAccount = errors.New("host: unknown account")
+	// ErrInsufficientFunds is returned when the fee payer cannot cover
+	// fees or a transfer.
+	ErrInsufficientFunds = errors.New("host: insufficient funds")
+	// ErrAccountTooLarge is returned when an account would exceed the
+	// 10 MiB limit.
+	ErrAccountTooLarge = errors.New("host: account too large")
+	// ErrNotRentExempt is returned when an account creation does not
+	// carry the rent-exempt deposit.
+	ErrNotRentExempt = errors.New("host: deposit below rent-exempt minimum")
+	// ErrMissingSigner is returned when a required signer did not sign.
+	ErrMissingSigner = errors.New("host: missing required signer")
+)

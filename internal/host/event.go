@@ -1,0 +1,44 @@
+package host
+
+import "time"
+
+// Event is a log record emitted by a program during execution; off-chain
+// actors (validators, relayers, fishermen) poll events by slot, mirroring
+// how the paper's daemons watch the Guest Contract.
+type Event struct {
+	Slot    Slot
+	Time    time.Time
+	Program ProgramID
+	Kind    string
+	Data    any
+}
+
+// Block is one produced host block: its slot, timestamp, executed
+// transaction results, and emitted events.
+type Block struct {
+	Slot    Slot
+	Time    time.Time
+	Results []TxResult
+	Events  []Event
+}
+
+// EventsOfKind filters the block's events by kind.
+func (b *Block) EventsOfKind(kind string) []Event {
+	var out []Event
+	for _, e := range b.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// eventSink collects events during one transaction so they can be dropped
+// if the transaction fails (atomicity).
+type eventSink struct {
+	events []Event
+}
+
+func (s *eventSink) emit(program ProgramID, kind string, data any) {
+	s.events = append(s.events, Event{Program: program, Kind: kind, Data: data})
+}

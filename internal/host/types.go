@@ -1,0 +1,105 @@
+// Package host simulates the host blockchain the guest blockchain runs on.
+// It models the Solana constraints that shaped the paper's implementation
+// (§IV): the 1232-byte transaction size limit, the 1.4M compute-unit budget,
+// per-signature base fees, priority fees and Jito-style bundle tips,
+// rent-exempt deposits for account storage, ~400 ms slots, and an event log
+// that off-chain actors (validators, relayers, fishermen) poll.
+//
+// The simulation is faithful where the paper's evaluation depends on it —
+// fees, size limits, compute metering, slot timing — and deliberately
+// simple elsewhere (no gossip, no leader schedule, no forks): the paper
+// treats the host as a reliable serialised executor and so do we.
+package host
+
+import (
+	"time"
+
+	"repro/internal/cryptoutil"
+)
+
+// Lamports is the host chain's native fee unit (1 SOL = 1e9 lamports).
+type Lamports uint64
+
+// Host chain constants mirroring Solana mainnet parameters referenced in
+// the paper (§IV, §V-D).
+const (
+	// LamportsPerSOL converts SOL to lamports.
+	LamportsPerSOL Lamports = 1_000_000_000
+
+	// MaxTransactionSize is the serialized transaction size limit in
+	// bytes. Payloads larger than this must be chunked across
+	// transactions, which is why light-client updates take ~36.5
+	// transactions (§V-A).
+	MaxTransactionSize = 1232
+
+	// MaxComputeUnits is the per-transaction compute budget. It prevents
+	// implementing heavy cryptography in-contract (§IV).
+	MaxComputeUnits = 1_400_000
+
+	// MaxHeapBytes is the default heap size available to a program
+	// invocation (§IV).
+	MaxHeapBytes = 32 * 1024
+
+	// MaxAccountSize is the largest possible account (10 MiB, §V-D).
+	MaxAccountSize = 10 * 1024 * 1024
+
+	// BaseFeePerSignature is the flat fee per transaction signature
+	// (5000 lamports ≈ 0.1 ¢ at $200/SOL, matching §V-B).
+	BaseFeePerSignature Lamports = 5000
+
+	// SlotDuration is the host block time (~400 ms on Solana).
+	SlotDuration = 400 * time.Millisecond
+
+	// MaxSignaturesPerTransaction bounds how many signatures fit in one
+	// transaction (each signature is 64 bytes of the 1232 budget; see
+	// the paper's reference [32]).
+	MaxSignaturesPerTransaction = 12
+
+	// BlockComputeBudget is the aggregate compute budget per slot.
+	BlockComputeBudget = 48_000_000
+
+	// rentLamportsPerByteYear and rentExemptionYears give the deposit
+	// needed to make an account rent-exempt:
+	// (128 + size) * 3480 * 2 lamports. For a 10 MiB account this is
+	// ≈ 73 SOL ≈ $14.6k at $200/SOL, matching §V-D.
+	rentLamportsPerByteYear Lamports = 3480
+	rentExemptionYears               = 2
+	accountStorageOverhead           = 128
+)
+
+// RentExemptBalance returns the deposit required to hold an account of the
+// given data size indefinitely.
+func RentExemptBalance(dataSize int) Lamports {
+	return Lamports(accountStorageOverhead+dataSize) * rentLamportsPerByteYear * rentExemptionYears
+}
+
+// ProgramID identifies an on-chain program. Program IDs live in the same
+// key space as accounts.
+type ProgramID = cryptoutil.PubKey
+
+// Slot is a host block height.
+type Slot uint64
+
+// Clock abstracts time so the simulator can drive the chain on a virtual
+// clock while examples run it on short real delays.
+type Clock interface {
+	Now() time.Time
+}
+
+// ManualClock is a Clock advanced explicitly; the zero value starts at the
+// Unix epoch.
+type ManualClock struct {
+	t time.Time
+}
+
+// NewManualClock returns a clock starting at start.
+func NewManualClock(start time.Time) *ManualClock { return &ManualClock{t: start} }
+
+// Now returns the current manual time.
+func (c *ManualClock) Now() time.Time { return c.t }
+
+// Advance moves the clock forward by d.
+func (c *ManualClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// Set jumps the clock to t.
+func (c *ManualClock) Set(t time.Time) { c.t = t }

@@ -1,0 +1,893 @@
+package ibc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/trie"
+)
+
+// SelfInfo lets the handler read the embedding chain's own height and time
+// (for packet timeout checks) and validate how the counterparty's light
+// client models this chain — the introspection requirement the paper calls
+// out as missing from incomplete IBC ports (§I footnote 2, §II).
+type SelfInfo interface {
+	CurrentHeight() Height
+	CurrentTime() time.Time
+	// ValidateSelfClient checks a serialized client state the
+	// counterparty claims to track this chain with.
+	ValidateSelfClient(clientState []byte) error
+}
+
+// Handler is the chain-embedded IBC core: client registry, connection and
+// channel handshakes, and packet lifecycle over a provable Store.
+type Handler struct {
+	store *Store
+	self  SelfInfo
+
+	clients  map[ClientID]Client
+	router   map[PortID]Module
+	nextConn int
+	nextChan int
+
+	// sealReceipts turns on the guest blockchain's storage reclamation:
+	// receipts are sealed immediately after delivery.
+	sealReceipts bool
+
+	// onEvent, when set, receives protocol events (the guest contract
+	// forwards them to the host event log).
+	onEvent func(kind string, data any)
+}
+
+// HandlerOption configures a Handler.
+type HandlerOption func(*Handler)
+
+// WithSealedReceipts enables sealing of delivered packet receipts
+// (the guest blockchain's §III-A behaviour).
+func WithSealedReceipts() HandlerOption {
+	return func(h *Handler) { h.sealReceipts = true }
+}
+
+// WithEventSink routes protocol events to fn.
+func WithEventSink(fn func(kind string, data any)) HandlerOption {
+	return func(h *Handler) { h.onEvent = fn }
+}
+
+// NewHandler creates a handler over the given store.
+func NewHandler(store *Store, self SelfInfo, opts ...HandlerOption) *Handler {
+	h := &Handler{
+		store:   store,
+		self:    self,
+		clients: make(map[ClientID]Client),
+		router:  make(map[PortID]Module),
+	}
+	for _, o := range opts {
+		o(h)
+	}
+	return h
+}
+
+// Store returns the underlying provable store.
+func (h *Handler) Store() *Store { return h.store }
+
+func (h *Handler) emit(kind string, data any) {
+	if h.onEvent != nil {
+		h.onEvent(kind, data)
+	}
+}
+
+// BindPort registers an application module on a port.
+func (h *Handler) BindPort(port PortID, m Module) error {
+	if _, ok := h.router[port]; ok {
+		return fmt.Errorf("ibc: port %q already bound", port)
+	}
+	h.router[port] = m
+	return nil
+}
+
+func (h *Handler) module(port PortID) (Module, error) {
+	m, ok := h.router[port]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrPortNotBound, port)
+	}
+	return m, nil
+}
+
+// --- Clients (ICS-02) ---
+
+// CreateClient registers a light client instance under id.
+func (h *Handler) CreateClient(id ClientID, c Client) error {
+	if _, ok := h.clients[id]; ok {
+		return fmt.Errorf("%w: %q", ErrClientExists, id)
+	}
+	h.clients[id] = c
+	h.emit("CreateClient", id)
+	return nil
+}
+
+// Client returns the light client registered under id.
+func (h *Handler) Client(id ClientID) (Client, error) {
+	c, ok := h.clients[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrClientNotFound, id)
+	}
+	return c, nil
+}
+
+// UpdateClient feeds a counterparty header to the client and records the
+// update in provable storage so the counterparty can, in turn, prove this
+// chain's view of it.
+func (h *Handler) UpdateClient(id ClientID, header []byte) error {
+	c, err := h.Client(id)
+	if err != nil {
+		return err
+	}
+	if err := c.Update(header, h.self.CurrentTime()); err != nil {
+		return fmt.Errorf("ibc: update client %q: %w", id, err)
+	}
+	h.emit("UpdateClient", id)
+	return nil
+}
+
+// --- Connections (ICS-03) ---
+
+func (h *Handler) newConnectionID() ConnectionID {
+	id := ConnectionID(fmt.Sprintf("connection-%d", h.nextConn))
+	h.nextConn++
+	return id
+}
+
+func (h *Handler) setConnection(id ConnectionID, end *ConnectionEnd) error {
+	raw, err := json.Marshal(end)
+	if err != nil {
+		return fmt.Errorf("ibc: marshal connection: %w", err)
+	}
+	return h.store.Set(ConnectionPath(id), raw)
+}
+
+// Connection returns the connection end stored under id.
+func (h *Handler) Connection(id ConnectionID) (*ConnectionEnd, error) {
+	raw, err := h.store.Get(ConnectionPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrConnectionNotFound, id)
+	}
+	var end ConnectionEnd
+	if err := json.Unmarshal(raw, &end); err != nil {
+		return nil, fmt.Errorf("ibc: unmarshal connection %q: %w", id, err)
+	}
+	return &end, nil
+}
+
+// expectedConnectionBytes builds the serialized form the counterparty must
+// have stored for its end, for proof verification.
+func expectedConnectionBytes(end *ConnectionEnd) []byte {
+	raw, err := json.Marshal(end)
+	if err != nil {
+		// Marshalling a plain struct cannot fail.
+		panic(fmt.Sprintf("ibc: marshal expected connection: %v", err))
+	}
+	return raw
+}
+
+// ConnOpenInit starts the handshake (chain A).
+func (h *Handler) ConnOpenInit(clientID ClientID, counterpartyClientID ClientID) (ConnectionID, error) {
+	if _, err := h.Client(clientID); err != nil {
+		return "", err
+	}
+	id := h.newConnectionID()
+	end := &ConnectionEnd{
+		State:        StateInit,
+		ClientID:     clientID,
+		Counterparty: Counterparty{ClientID: counterpartyClientID},
+	}
+	if err := h.setConnection(id, end); err != nil {
+		return "", err
+	}
+	h.emit("ConnOpenInit", id)
+	return id, nil
+}
+
+// ConnOpenTry answers an Init from the counterparty (chain B).
+// counterpartyConnID is the ID chain A assigned; proofInit proves chain A
+// stored its INIT end at proofHeight; selfClientState is chain A's client
+// state for this chain, which we validate (self-client introspection).
+func (h *Handler) ConnOpenTry(
+	clientID ClientID,
+	counterparty Counterparty,
+	selfClientState []byte,
+	proofInit []byte,
+	proofHeight Height,
+) (ConnectionID, error) {
+	client, err := h.Client(clientID)
+	if err != nil {
+		return "", err
+	}
+	if err := h.self.ValidateSelfClient(selfClientState); err != nil {
+		return "", fmt.Errorf("ibc: counterparty's client for us is invalid: %w", err)
+	}
+	// Chain A stored: {INIT, clientID: counterparty.ClientID,
+	// counterparty: {ClientID: our clientID, ConnectionID: ""}}.
+	expected := &ConnectionEnd{
+		State:        StateInit,
+		ClientID:     counterparty.ClientID,
+		Counterparty: Counterparty{ClientID: clientID},
+	}
+	if err := client.VerifyMembership(proofHeight, ConnectionPath(counterparty.ConnectionID), expectedConnectionBytes(expected), proofInit); err != nil {
+		return "", err
+	}
+	id := h.newConnectionID()
+	end := &ConnectionEnd{
+		State:        StateTryOpen,
+		ClientID:     clientID,
+		Counterparty: counterparty,
+	}
+	if err := h.setConnection(id, end); err != nil {
+		return "", err
+	}
+	h.emit("ConnOpenTry", id)
+	return id, nil
+}
+
+// ConnOpenAck completes chain A's side.
+func (h *Handler) ConnOpenAck(
+	id ConnectionID,
+	counterpartyConnID ConnectionID,
+	selfClientState []byte,
+	proofTry []byte,
+	proofHeight Height,
+) error {
+	end, err := h.Connection(id)
+	if err != nil {
+		return err
+	}
+	if end.State != StateInit {
+		return fmt.Errorf("%w: connection %q is %v, want INIT", ErrInvalidState, id, end.State)
+	}
+	client, err := h.Client(end.ClientID)
+	if err != nil {
+		return err
+	}
+	if err := h.self.ValidateSelfClient(selfClientState); err != nil {
+		return fmt.Errorf("ibc: counterparty's client for us is invalid: %w", err)
+	}
+	expected := &ConnectionEnd{
+		State:        StateTryOpen,
+		ClientID:     end.Counterparty.ClientID,
+		Counterparty: Counterparty{ClientID: end.ClientID, ConnectionID: id},
+	}
+	if err := client.VerifyMembership(proofHeight, ConnectionPath(counterpartyConnID), expectedConnectionBytes(expected), proofTry); err != nil {
+		return err
+	}
+	end.State = StateOpen
+	end.Counterparty.ConnectionID = counterpartyConnID
+	if err := h.setConnection(id, end); err != nil {
+		return err
+	}
+	h.emit("ConnOpenAck", id)
+	return nil
+}
+
+// ConnOpenConfirm completes chain B's side.
+func (h *Handler) ConnOpenConfirm(id ConnectionID, proofAck []byte, proofHeight Height) error {
+	end, err := h.Connection(id)
+	if err != nil {
+		return err
+	}
+	if end.State != StateTryOpen {
+		return fmt.Errorf("%w: connection %q is %v, want TRYOPEN", ErrInvalidState, id, end.State)
+	}
+	client, err := h.Client(end.ClientID)
+	if err != nil {
+		return err
+	}
+	expected := &ConnectionEnd{
+		State:        StateOpen,
+		ClientID:     end.Counterparty.ClientID,
+		Counterparty: Counterparty{ClientID: end.ClientID, ConnectionID: id},
+	}
+	if err := client.VerifyMembership(proofHeight, ConnectionPath(end.Counterparty.ConnectionID), expectedConnectionBytes(expected), proofAck); err != nil {
+		return err
+	}
+	end.State = StateOpen
+	if err := h.setConnection(id, end); err != nil {
+		return err
+	}
+	h.emit("ConnOpenConfirm", id)
+	return nil
+}
+
+// --- Channels (ICS-04 handshake) ---
+
+func (h *Handler) newChannelID() ChannelID {
+	id := ChannelID(fmt.Sprintf("channel-%d", h.nextChan))
+	h.nextChan++
+	return id
+}
+
+func (h *Handler) setChannel(port PortID, id ChannelID, end *ChannelEnd) error {
+	raw, err := json.Marshal(end)
+	if err != nil {
+		return fmt.Errorf("ibc: marshal channel: %w", err)
+	}
+	return h.store.Set(ChannelPath(port, id), raw)
+}
+
+// Channel returns the channel end for (port, id).
+func (h *Handler) Channel(port PortID, id ChannelID) (*ChannelEnd, error) {
+	raw, err := h.store.Get(ChannelPath(port, id))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s/%s", ErrChannelNotFound, port, id)
+	}
+	var end ChannelEnd
+	if err := json.Unmarshal(raw, &end); err != nil {
+		return nil, fmt.Errorf("ibc: unmarshal channel %s/%s: %w", port, id, err)
+	}
+	return &end, nil
+}
+
+func expectedChannelBytes(end *ChannelEnd) []byte {
+	raw, err := json.Marshal(end)
+	if err != nil {
+		panic(fmt.Sprintf("ibc: marshal expected channel: %v", err))
+	}
+	return raw
+}
+
+// openConnection fetches a connection and checks it is OPEN.
+func (h *Handler) openConnection(id ConnectionID) (*ConnectionEnd, error) {
+	conn, err := h.Connection(id)
+	if err != nil {
+		return nil, err
+	}
+	if conn.State != StateOpen {
+		return nil, fmt.Errorf("%w: connection %q is %v, want OPEN", ErrInvalidState, id, conn.State)
+	}
+	return conn, nil
+}
+
+// ChanOpenInit starts a channel handshake (chain A).
+func (h *Handler) ChanOpenInit(port PortID, connID ConnectionID, counterpartyPort PortID, ordering Ordering, version string) (ChannelID, error) {
+	m, err := h.module(port)
+	if err != nil {
+		return "", err
+	}
+	if _, err := h.openConnection(connID); err != nil {
+		return "", err
+	}
+	id := h.newChannelID()
+	if err := m.OnChanOpen(port, id, version); err != nil {
+		return "", fmt.Errorf("ibc: application rejected channel: %w", err)
+	}
+	end := &ChannelEnd{
+		State:        StateInit,
+		Ordering:     ordering,
+		Counterparty: ChannelCounterparty{PortID: counterpartyPort},
+		ConnectionID: connID,
+		Version:      version,
+	}
+	if err := h.setChannel(port, id, end); err != nil {
+		return "", err
+	}
+	if err := h.store.Set(NextSequenceSendPath(port, id), sequenceValue(1)); err != nil {
+		return "", err
+	}
+	if err := h.store.Set(NextSequenceRecvPath(port, id), sequenceValue(1)); err != nil {
+		return "", err
+	}
+	h.emit("ChanOpenInit", id)
+	return id, nil
+}
+
+// ChanOpenTry answers a channel Init (chain B).
+func (h *Handler) ChanOpenTry(
+	port PortID,
+	connID ConnectionID,
+	counterparty ChannelCounterparty,
+	ordering Ordering,
+	version string,
+	proofInit []byte,
+	proofHeight Height,
+) (ChannelID, error) {
+	m, err := h.module(port)
+	if err != nil {
+		return "", err
+	}
+	conn, err := h.openConnection(connID)
+	if err != nil {
+		return "", err
+	}
+	client, err := h.Client(conn.ClientID)
+	if err != nil {
+		return "", err
+	}
+	expected := &ChannelEnd{
+		State:        StateInit,
+		Ordering:     ordering,
+		Counterparty: ChannelCounterparty{PortID: port},
+		ConnectionID: conn.Counterparty.ConnectionID,
+		Version:      version,
+	}
+	if err := client.VerifyMembership(proofHeight, ChannelPath(counterparty.PortID, counterparty.ChannelID), expectedChannelBytes(expected), proofInit); err != nil {
+		return "", err
+	}
+	id := h.newChannelID()
+	if err := m.OnChanOpen(port, id, version); err != nil {
+		return "", fmt.Errorf("ibc: application rejected channel: %w", err)
+	}
+	end := &ChannelEnd{
+		State:        StateTryOpen,
+		Ordering:     ordering,
+		Counterparty: counterparty,
+		ConnectionID: connID,
+		Version:      version,
+	}
+	if err := h.setChannel(port, id, end); err != nil {
+		return "", err
+	}
+	if err := h.store.Set(NextSequenceSendPath(port, id), sequenceValue(1)); err != nil {
+		return "", err
+	}
+	if err := h.store.Set(NextSequenceRecvPath(port, id), sequenceValue(1)); err != nil {
+		return "", err
+	}
+	h.emit("ChanOpenTry", id)
+	return id, nil
+}
+
+// ChanOpenAck completes chain A's channel end.
+func (h *Handler) ChanOpenAck(port PortID, id ChannelID, counterpartyChannel ChannelID, proofTry []byte, proofHeight Height) error {
+	end, err := h.Channel(port, id)
+	if err != nil {
+		return err
+	}
+	if end.State != StateInit {
+		return fmt.Errorf("%w: channel %s/%s is %v, want INIT", ErrInvalidState, port, id, end.State)
+	}
+	conn, err := h.openConnection(end.ConnectionID)
+	if err != nil {
+		return err
+	}
+	client, err := h.Client(conn.ClientID)
+	if err != nil {
+		return err
+	}
+	expected := &ChannelEnd{
+		State:        StateTryOpen,
+		Ordering:     end.Ordering,
+		Counterparty: ChannelCounterparty{PortID: port, ChannelID: id},
+		ConnectionID: conn.Counterparty.ConnectionID,
+		Version:      end.Version,
+	}
+	if err := client.VerifyMembership(proofHeight, ChannelPath(end.Counterparty.PortID, counterpartyChannel), expectedChannelBytes(expected), proofTry); err != nil {
+		return err
+	}
+	end.State = StateOpen
+	end.Counterparty.ChannelID = counterpartyChannel
+	if err := h.setChannel(port, id, end); err != nil {
+		return err
+	}
+	h.emit("ChanOpenAck", id)
+	return nil
+}
+
+// ChanOpenConfirm completes chain B's channel end.
+func (h *Handler) ChanOpenConfirm(port PortID, id ChannelID, proofAck []byte, proofHeight Height) error {
+	end, err := h.Channel(port, id)
+	if err != nil {
+		return err
+	}
+	if end.State != StateTryOpen {
+		return fmt.Errorf("%w: channel %s/%s is %v, want TRYOPEN", ErrInvalidState, port, id, end.State)
+	}
+	conn, err := h.openConnection(end.ConnectionID)
+	if err != nil {
+		return err
+	}
+	client, err := h.Client(conn.ClientID)
+	if err != nil {
+		return err
+	}
+	expected := &ChannelEnd{
+		State:        StateOpen,
+		Ordering:     end.Ordering,
+		Counterparty: ChannelCounterparty{PortID: port, ChannelID: id},
+		ConnectionID: conn.Counterparty.ConnectionID,
+		Version:      end.Version,
+	}
+	if err := client.VerifyMembership(proofHeight, ChannelPath(end.Counterparty.PortID, end.Counterparty.ChannelID), expectedChannelBytes(expected), proofAck); err != nil {
+		return err
+	}
+	end.State = StateOpen
+	if err := h.setChannel(port, id, end); err != nil {
+		return err
+	}
+	h.emit("ChanOpenConfirm", id)
+	return nil
+}
+
+// ChanCloseInit closes this end of a channel voluntarily.
+func (h *Handler) ChanCloseInit(port PortID, id ChannelID) error {
+	end, err := h.Channel(port, id)
+	if err != nil {
+		return err
+	}
+	if end.State != StateOpen {
+		return fmt.Errorf("%w: channel %s/%s is %v, want OPEN", ErrInvalidState, port, id, end.State)
+	}
+	end.State = StateClosed
+	if err := h.setChannel(port, id, end); err != nil {
+		return err
+	}
+	h.emit("ChanCloseInit", id)
+	return nil
+}
+
+// ChanCloseConfirm closes this end after the counterparty proved its end
+// closed.
+func (h *Handler) ChanCloseConfirm(port PortID, id ChannelID, proofClosed []byte, proofHeight Height) error {
+	end, err := h.Channel(port, id)
+	if err != nil {
+		return err
+	}
+	if end.State != StateOpen {
+		return fmt.Errorf("%w: channel %s/%s is %v, want OPEN", ErrInvalidState, port, id, end.State)
+	}
+	conn, err := h.openConnection(end.ConnectionID)
+	if err != nil {
+		return err
+	}
+	client, err := h.Client(conn.ClientID)
+	if err != nil {
+		return err
+	}
+	expected := &ChannelEnd{
+		State:        StateClosed,
+		Ordering:     end.Ordering,
+		Counterparty: ChannelCounterparty{PortID: port, ChannelID: id},
+		ConnectionID: conn.Counterparty.ConnectionID,
+		Version:      end.Version,
+	}
+	if err := client.VerifyMembership(proofHeight, ChannelPath(end.Counterparty.PortID, end.Counterparty.ChannelID), expectedChannelBytes(expected), proofClosed); err != nil {
+		return err
+	}
+	end.State = StateClosed
+	if err := h.setChannel(port, id, end); err != nil {
+		return err
+	}
+	h.emit("ChanCloseConfirm", id)
+	return nil
+}
+
+// --- Packet lifecycle ---
+
+// SendPacket assigns the next sequence, commits the packet, and returns it
+// (Alg. 1 SendPacket, minus the host-specific fee collection which the
+// Guest Contract layers on top).
+func (h *Handler) SendPacket(port PortID, id ChannelID, data []byte, timeoutHeight Height, timeoutTimestamp time.Time) (*Packet, error) {
+	end, err := h.Channel(port, id)
+	if err != nil {
+		return nil, err
+	}
+	if end.State != StateOpen {
+		return nil, fmt.Errorf("%w: channel %s/%s is %v", ErrChannelClosed, port, id, end.State)
+	}
+	raw, err := h.store.Get(NextSequenceSendPath(port, id))
+	if err != nil {
+		return nil, err
+	}
+	seq, err := decodeSequence(raw)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{
+		Sequence:         seq,
+		SourcePort:       port,
+		SourceChannel:    id,
+		DestPort:         end.Counterparty.PortID,
+		DestChannel:      end.Counterparty.ChannelID,
+		Data:             append([]byte(nil), data...),
+		TimeoutHeight:    timeoutHeight,
+		TimeoutTimestamp: timeoutTimestamp,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := h.store.Set(NextSequenceSendPath(port, id), sequenceValue(seq+1)); err != nil {
+		return nil, err
+	}
+	if err := h.store.Set(CommitmentPath(port, id, seq), p.CommitmentBytes()); err != nil {
+		return nil, err
+	}
+	h.emit("SendPacket", p)
+	return p, nil
+}
+
+// RecvPacket verifies an incoming packet against the counterparty's
+// commitment proof, guards against double delivery, hands the payload to
+// the bound application, and commits the acknowledgement (Alg. 1
+// ReceivePacket).
+func (h *Handler) RecvPacket(p *Packet, proof []byte, proofHeight Height) ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	end, err := h.Channel(p.DestPort, p.DestChannel)
+	if err != nil {
+		return nil, err
+	}
+	if end.State != StateOpen {
+		return nil, fmt.Errorf("%w: channel %s/%s is %v", ErrChannelClosed, p.DestPort, p.DestChannel, end.State)
+	}
+	if end.Counterparty.PortID != p.SourcePort || end.Counterparty.ChannelID != p.SourceChannel {
+		return nil, fmt.Errorf("%w: route mismatch", ErrInvalidPacket)
+	}
+	conn, err := h.openConnection(end.ConnectionID)
+	if err != nil {
+		return nil, err
+	}
+	client, err := h.Client(conn.ClientID)
+	if err != nil {
+		return nil, err
+	}
+	if p.TimedOut(h.self.CurrentHeight(), h.self.CurrentTime()) {
+		return nil, ErrPacketExpired
+	}
+	commitPath := CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
+	if err := client.VerifyMembership(proofHeight, commitPath, p.CommitmentBytes(), proof); err != nil {
+		return nil, err
+	}
+
+	switch end.Ordering {
+	case Ordered:
+		raw, err := h.store.Get(NextSequenceRecvPath(p.DestPort, p.DestChannel))
+		if err != nil {
+			return nil, err
+		}
+		next, err := decodeSequence(raw)
+		if err != nil {
+			return nil, err
+		}
+		if p.Sequence != next {
+			if p.Sequence < next {
+				return nil, ErrDuplicatePacket
+			}
+			return nil, fmt.Errorf("%w: got %d, want %d", ErrSequenceMismatch, p.Sequence, next)
+		}
+		if err := h.store.Set(NextSequenceRecvPath(p.DestPort, p.DestChannel), sequenceValue(next+1)); err != nil {
+			return nil, err
+		}
+	case Unordered:
+		receiptPath := ReceiptPath(p.DestPort, p.DestChannel, p.Sequence)
+		has, err := h.store.Has(receiptPath)
+		switch {
+		case errors.Is(err, trie.ErrSealed):
+			return nil, ErrDuplicatePacket
+		case err != nil:
+			return nil, err
+		case has:
+			return nil, ErrDuplicatePacket
+		}
+		err = h.store.Set(receiptPath, receiptValue)
+		switch {
+		case errors.Is(err, trie.ErrSealed):
+			// The sealed receipt IS the double-delivery guard (§III-A).
+			return nil, ErrDuplicatePacket
+		case err != nil:
+			return nil, err
+		}
+		if has, _ := h.store.Has(receiptPath); !has {
+			return nil, fmt.Errorf("ibc: receipt write lost for %q", receiptPath)
+		}
+		if h.sealReceipts {
+			if err := h.store.Seal(receiptPath); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ibc: channel has invalid ordering %v", end.Ordering)
+	}
+
+	m, err := h.module(p.DestPort)
+	if err != nil {
+		return nil, err
+	}
+	ack, err := m.OnRecvPacket(*p)
+	if err != nil {
+		return nil, fmt.Errorf("ibc: application rejected packet: %w", err)
+	}
+	if len(ack) == 0 {
+		return nil, fmt.Errorf("ibc: application returned empty acknowledgement")
+	}
+	if err := h.store.Set(AckPath(p.DestPort, p.DestChannel, p.Sequence), AckCommitmentBytes(ack)); err != nil {
+		return nil, err
+	}
+	h.emit("RecvPacket", p)
+	h.emit("WriteAck", struct {
+		Packet *Packet
+		Ack    []byte
+	}{p, ack})
+	return ack, nil
+}
+
+// hasReceipt reports whether an unordered-channel receipt exists or was
+// sealed (either way the packet was delivered).
+func (h *Handler) hasReceipt(p *Packet) bool {
+	path := ReceiptPath(p.DestPort, p.DestChannel, p.Sequence)
+	if has, _ := h.store.Has(path); has {
+		return true
+	}
+	return h.store.IsSealed(path)
+}
+
+// AcknowledgePacket verifies the counterparty committed ack for a packet
+// this chain sent, notifies the application, and clears the commitment.
+func (h *Handler) AcknowledgePacket(p *Packet, ack []byte, proofAck []byte, proofHeight Height) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	end, err := h.Channel(p.SourcePort, p.SourceChannel)
+	if err != nil {
+		return err
+	}
+	conn, err := h.openConnection(end.ConnectionID)
+	if err != nil {
+		return err
+	}
+	client, err := h.Client(conn.ClientID)
+	if err != nil {
+		return err
+	}
+	commitPath := CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
+	has, err := h.store.Has(commitPath)
+	if err != nil {
+		return err
+	}
+	if !has {
+		// Already acknowledged or timed out.
+		return ErrDuplicatePacket
+	}
+	stored, err := h.store.Get(commitPath)
+	if err != nil {
+		return err
+	}
+	if string(stored) != string(p.CommitmentBytes()) {
+		return fmt.Errorf("%w: commitment mismatch", ErrInvalidPacket)
+	}
+	ackPath := AckPath(p.DestPort, p.DestChannel, p.Sequence)
+	if err := client.VerifyMembership(proofHeight, ackPath, AckCommitmentBytes(ack), proofAck); err != nil {
+		return err
+	}
+	m, err := h.module(p.SourcePort)
+	if err != nil {
+		return err
+	}
+	if err := m.OnAcknowledgementPacket(*p, ack); err != nil {
+		return fmt.Errorf("ibc: application ack callback: %w", err)
+	}
+	if err := h.store.Delete(commitPath); err != nil {
+		return err
+	}
+	h.emit("AcknowledgePacket", p)
+	return nil
+}
+
+// TimeoutPacket proves a sent packet was never delivered before its
+// timeout, notifies the application (refunds etc.), and clears the
+// commitment. For unordered channels the proof is receipt non-membership;
+// for ordered channels it is a nextSequenceRecv proof.
+func (h *Handler) TimeoutPacket(p *Packet, proofUnreceived []byte, proofHeight Height) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	end, err := h.Channel(p.SourcePort, p.SourceChannel)
+	if err != nil {
+		return err
+	}
+	conn, err := h.openConnection(end.ConnectionID)
+	if err != nil {
+		return err
+	}
+	client, err := h.Client(conn.ClientID)
+	if err != nil {
+		return err
+	}
+	commitPath := CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
+	has, err := h.store.Has(commitPath)
+	if err != nil {
+		return err
+	}
+	if !has {
+		return ErrDuplicatePacket
+	}
+	stored, err := h.store.Get(commitPath)
+	if err != nil {
+		return err
+	}
+	if string(stored) != string(p.CommitmentBytes()) {
+		return fmt.Errorf("%w: commitment mismatch", ErrInvalidPacket)
+	}
+
+	// The timeout must have elapsed as observed through the light client.
+	expired := false
+	if p.TimeoutHeight != 0 && proofHeight >= p.TimeoutHeight {
+		expired = true
+	}
+	if !expired && !p.TimeoutTimestamp.IsZero() {
+		ts, err := client.ConsensusTime(proofHeight)
+		if err != nil {
+			return err
+		}
+		if !ts.Before(p.TimeoutTimestamp) {
+			expired = true
+		}
+	}
+	if !expired {
+		return ErrPacketNotExpired
+	}
+
+	switch end.Ordering {
+	case Unordered:
+		receiptPath := ReceiptPath(p.DestPort, p.DestChannel, p.Sequence)
+		if err := client.VerifyNonMembership(proofHeight, receiptPath, proofUnreceived); err != nil {
+			return err
+		}
+	case Ordered:
+		// Prove the counterparty's nextSequenceRecv is still <= seq.
+		nsrPath := NextSequenceRecvPath(p.DestPort, p.DestChannel)
+		// proofUnreceived carries (value || proof): first 8 bytes value.
+		if len(proofUnreceived) < 8 {
+			return fmt.Errorf("%w: short ordered timeout proof", ErrInvalidProof)
+		}
+		next, err := decodeSequence(proofUnreceived[:8])
+		if err != nil {
+			return err
+		}
+		if next > p.Sequence {
+			return fmt.Errorf("%w: counterparty already received %d", ErrInvalidPacket, p.Sequence)
+		}
+		if err := client.VerifyMembership(proofHeight, nsrPath, sequenceValue(next), proofUnreceived[8:]); err != nil {
+			return err
+		}
+	}
+
+	m, err := h.module(p.SourcePort)
+	if err != nil {
+		return err
+	}
+	if err := m.OnTimeoutPacket(*p); err != nil {
+		return fmt.Errorf("ibc: application timeout callback: %w", err)
+	}
+	if err := h.store.Delete(commitPath); err != nil {
+		return err
+	}
+	// Per ICS-04, a timeout on an ordered channel breaks the ordering
+	// guarantee permanently: the channel closes.
+	if end.Ordering == Ordered {
+		end.State = StateClosed
+		if err := h.setChannel(p.SourcePort, p.SourceChannel, end); err != nil {
+			return err
+		}
+		h.emit("ChannelClosed", p.SourceChannel)
+	}
+	h.emit("TimeoutPacket", p)
+	return nil
+}
+
+// NextSendSequence returns the next outgoing sequence for a channel.
+func (h *Handler) NextSendSequence(port PortID, id ChannelID) (uint64, error) {
+	raw, err := h.store.Get(NextSequenceSendPath(port, id))
+	if err != nil {
+		return 0, err
+	}
+	return decodeSequence(raw)
+}
+
+// HasCommitment reports whether an outgoing packet commitment is pending.
+func (h *Handler) HasCommitment(p *Packet) bool {
+	has, _ := h.store.Has(CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence))
+	return has
+}
+
+// PacketDelivered reports whether an incoming packet was delivered.
+func (h *Handler) PacketDelivered(p *Packet) bool { return h.hasReceipt(p) }

@@ -1,0 +1,57 @@
+package ibc
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// EncodePacket appends the packet's canonical wire encoding.
+func EncodePacket(w *wire.Writer, p *Packet) {
+	w.U64(p.Sequence)
+	w.String16(string(p.SourcePort))
+	w.String16(string(p.SourceChannel))
+	w.String16(string(p.DestPort))
+	w.String16(string(p.DestChannel))
+	w.Bytes32(p.Data)
+	w.U64(uint64(p.TimeoutHeight))
+	w.Time(p.TimeoutTimestamp)
+}
+
+// DecodePacket reads a packet written by EncodePacket.
+func DecodePacket(r *wire.Reader) (*Packet, error) {
+	p := &Packet{
+		Sequence:      r.U64(),
+		SourcePort:    PortID(r.String16()),
+		SourceChannel: ChannelID(r.String16()),
+		DestPort:      PortID(r.String16()),
+		DestChannel:   ChannelID(r.String16()),
+		Data:          r.Bytes32(),
+	}
+	p.TimeoutHeight = Height(r.U64())
+	p.TimeoutTimestamp = r.Time()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("ibc: decode packet: %w", err)
+	}
+	return p, nil
+}
+
+// MarshalPacket returns the packet's wire encoding.
+func MarshalPacket(p *Packet) []byte {
+	w := wire.NewWriter()
+	EncodePacket(w, p)
+	return w.Bytes()
+}
+
+// UnmarshalPacket decodes a packet from its wire encoding.
+func UnmarshalPacket(data []byte) (*Packet, error) {
+	r := wire.NewReader(data)
+	p, err := DecodePacket(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("ibc: decode packet: %w", err)
+	}
+	return p, nil
+}

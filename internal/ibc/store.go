@@ -1,0 +1,163 @@
+package ibc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/trie"
+)
+
+// Store is the provable storage an IBC handler writes through: a sealable
+// Merkle trie holding value commitments, plus a side table with the full
+// value bytes (the trie commits to H(value); peers verify values against
+// proofs of their hashes, exactly the "stores its commitment" model of
+// Alg. 1).
+type Store struct {
+	trie   *trie.Trie
+	values map[string][]byte
+}
+
+// NewStore returns an empty provable store. Trie options (such as the
+// fixed-capacity arena modelling the 10 MiB account) pass through.
+func NewStore(opts ...trie.Option) *Store {
+	return &Store{
+		trie:   trie.New(opts...),
+		values: make(map[string][]byte),
+	}
+}
+
+// Root returns the current commitment root.
+func (s *Store) Root() cryptoutil.Hash { return s.trie.Root() }
+
+// Clone returns a deep snapshot of the store; off-chain actors take
+// snapshots at block boundaries to prove against historical roots.
+func (s *Store) Clone() *Store {
+	values := make(map[string][]byte, len(s.values))
+	for k, v := range s.values {
+		values[k] = v
+	}
+	return &Store{trie: s.trie.Clone(), values: values}
+}
+
+// Trie exposes the underlying sealable trie (for storage accounting).
+func (s *Store) Trie() *trie.Trie { return s.trie }
+
+// Set stores value under the ICS-24 path.
+func (s *Store) Set(path string, value []byte) error {
+	if len(value) == 0 {
+		return fmt.Errorf("ibc: empty value for %q", path)
+	}
+	if err := s.trie.Set(PathToKey(path), cryptoutil.HashBytes(value)); err != nil {
+		return fmt.Errorf("ibc: set %q: %w", path, err)
+	}
+	s.values[path] = append([]byte(nil), value...)
+	return nil
+}
+
+// Get returns the value bytes stored under path.
+func (s *Store) Get(path string) ([]byte, error) {
+	if _, err := s.trie.Get(PathToKey(path)); err != nil {
+		return nil, fmt.Errorf("ibc: get %q: %w", path, err)
+	}
+	v, ok := s.values[path]
+	if !ok {
+		return nil, fmt.Errorf("ibc: get %q: value table out of sync", path)
+	}
+	return v, nil
+}
+
+// Has reports whether path holds a live value.
+func (s *Store) Has(path string) (bool, error) {
+	ok, err := s.trie.Has(PathToKey(path))
+	if err != nil {
+		return false, fmt.Errorf("ibc: has %q: %w", path, err)
+	}
+	return ok, nil
+}
+
+// IsSealed reports whether the path was sealed.
+func (s *Store) IsSealed(path string) bool {
+	_, err := s.trie.Get(PathToKey(path))
+	return errors.Is(err, trie.ErrSealed)
+}
+
+// Delete removes path (used for packet commitments cleared on ack).
+func (s *Store) Delete(path string) error {
+	if err := s.trie.Delete(PathToKey(path)); err != nil {
+		return fmt.Errorf("ibc: delete %q: %w", path, err)
+	}
+	delete(s.values, path)
+	return nil
+}
+
+// Seal permanently retires path, reclaiming its storage while keeping the
+// root commitment intact (§III-A). Used for delivered packet receipts.
+func (s *Store) Seal(path string) error {
+	if err := s.trie.Seal(PathToKey(path)); err != nil {
+		return fmt.Errorf("ibc: seal %q: %w", path, err)
+	}
+	delete(s.values, path)
+	return nil
+}
+
+// ProveMembership returns (value, serialized proof) for a present path.
+func (s *Store) ProveMembership(path string) ([]byte, []byte, error) {
+	proof, err := s.trie.Prove(PathToKey(path))
+	if err != nil {
+		return nil, nil, fmt.Errorf("ibc: prove %q: %w", path, err)
+	}
+	if !proof.Membership {
+		return nil, nil, fmt.Errorf("ibc: prove %q: path is absent", path)
+	}
+	raw, err := proof.MarshalBinary()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ibc: prove %q: %w", path, err)
+	}
+	v, ok := s.values[path]
+	if !ok {
+		return nil, nil, fmt.Errorf("ibc: prove %q: value table out of sync", path)
+	}
+	return v, raw, nil
+}
+
+// ProveNonMembership returns a serialized absence proof for path.
+func (s *Store) ProveNonMembership(path string) ([]byte, error) {
+	proof, err := s.trie.Prove(PathToKey(path))
+	if err != nil {
+		return nil, fmt.Errorf("ibc: prove absence %q: %w", path, err)
+	}
+	if proof.Membership {
+		return nil, fmt.Errorf("ibc: prove absence %q: path is present", path)
+	}
+	raw, err := proof.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("ibc: prove absence %q: %w", path, err)
+	}
+	return raw, nil
+}
+
+// VerifyStoredMembership verifies a serialized proof that path holds value
+// under root. It is the verification half used by light clients.
+func VerifyStoredMembership(root cryptoutil.Hash, path string, value []byte, rawProof []byte) error {
+	var proof trie.Proof
+	if err := proof.UnmarshalBinary(rawProof); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+	if err := trie.VerifyMembership(root, PathToKey(path), cryptoutil.HashBytes(value), &proof); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+	return nil
+}
+
+// VerifyStoredNonMembership verifies a serialized absence proof for path.
+func VerifyStoredNonMembership(root cryptoutil.Hash, path string, rawProof []byte) error {
+	var proof trie.Proof
+	if err := proof.UnmarshalBinary(rawProof); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+	if err := trie.VerifyNonMembership(root, PathToKey(path), &proof); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package relayer
+
+import (
+	"fmt"
+
+	"repro/internal/counterparty"
+	"repro/internal/cryptoutil"
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/lightclient/guestlc"
+	"repro/internal/lightclient/tendermint"
+)
+
+// Bootstrap runs the operator-side setup between a freshly deployed guest
+// blockchain and the counterparty: create the light clients on both sides,
+// run the four-step connection handshake (§II), and open a channel between
+// the two ports. Every handshake step verifies a real membership proof and
+// the self-client validation the paper highlights as the introspection
+// requirement.
+//
+// Bootstrap runs "directly" — outside the paced transaction machinery —
+// because it is a one-off operator action, not part of the evaluated
+// packet path. Guest blocks minted during the handshake are finalised with
+// the supplied genesis validator keys.
+type Bootstrap struct {
+	HostChain *host.Chain
+	Contract  *guest.Contract
+	CP        *counterparty.Chain
+	// ValidatorKeys finalise the handshake's guest blocks.
+	ValidatorKeys []*cryptoutil.PrivKey
+
+	GuestPort ibc.PortID
+	CPPort    ibc.PortID
+	Ordering  ibc.Ordering
+	Version   string
+
+	// Reuse, when set, opens the new channel over an existing
+	// connection (and its clients) instead of creating fresh ones —
+	// IBC multiplexes any number of channels over one connection.
+	Reuse *Result
+
+	// glc holds the guest client created for the counterparty during a
+	// full bootstrap (needed for self-client validation in ConnOpenAck).
+	glc *guestlc.Client
+}
+
+// Result reports the identifiers Bootstrap created.
+type Result struct {
+	GuestClientID     ibc.ClientID // tendermint client on the guest
+	GuestOnCPClientID ibc.ClientID // guest client on the counterparty
+	GuestConnection   ibc.ConnectionID
+	CPConnection      ibc.ConnectionID
+	GuestChannel      ibc.ChannelID
+	CPChannel         ibc.ChannelID
+}
+
+// Run executes the bootstrap.
+func (b *Bootstrap) Run() (*Result, error) {
+	if b.Ordering == 0 {
+		b.Ordering = ibc.Unordered
+	}
+	if b.Version == "" {
+		b.Version = "ics20-1"
+	}
+	st, err := b.Contract.State(b.HostChain)
+	if err != nil {
+		return nil, err
+	}
+	st.BeginDirect(b.HostChain.Now(), uint64(b.HostChain.Slot()))
+	res := &Result{GuestClientID: "tendermint-0", GuestOnCPClientID: "guest-0"}
+	if b.Reuse != nil {
+		res.GuestClientID = b.Reuse.GuestClientID
+		res.GuestOnCPClientID = b.Reuse.GuestOnCPClientID
+		res.GuestConnection = b.Reuse.GuestConnection
+		res.CPConnection = b.Reuse.CPConnection
+	}
+
+	// --- Clients (skipped when reusing an existing connection) ---
+	var tmc *tendermint.Client
+	if b.Reuse == nil {
+		hdr, vals := b.CP.GenesisUpdate()
+		tmc, err = tendermint.NewClient(b.CP.ChainID(), hdr, vals)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap: tendermint client: %w", err)
+		}
+		if err := st.Handler.CreateClient(res.GuestClientID, tmc); err != nil {
+			return nil, err
+		}
+		genesisEntry, err := st.Entry(1)
+		if err != nil {
+			return nil, err
+		}
+		glc, err := guestlc.NewClient(genesisEntry.Block, genesisEntry.Epoch)
+		if err != nil {
+			return nil, fmt.Errorf("bootstrap: guest client: %w", err)
+		}
+		if err := b.CP.Handler().CreateClient(res.GuestOnCPClientID, glc); err != nil {
+			return nil, err
+		}
+		b.glc = glc
+	}
+
+	// finaliseGuest mints + finalises a guest block and teaches it to the
+	// counterparty's guest client.
+	finaliseGuest := func() (*guest.BlockEntry, error) {
+		entry, err := st.DirectGenerateBlock()
+		if err != nil {
+			return nil, err
+		}
+		if err := st.DirectFinalise(entry, b.ValidatorKeys); err != nil {
+			return nil, err
+		}
+		if err := b.CP.Handler().UpdateClient(res.GuestOnCPClientID, entry.SignedBlock().Marshal()); err != nil {
+			return nil, err
+		}
+		return entry, nil
+	}
+	// advanceCP commits cp state into a block and teaches it to the guest.
+	advanceCP := func() (uint64, error) {
+		h := b.CP.ProduceBlock()
+		update, err := b.CP.UpdateAt(h.Height)
+		if err != nil {
+			return 0, err
+		}
+		if err := st.Handler.UpdateClient(res.GuestClientID, update.Marshal()); err != nil {
+			return 0, err
+		}
+		return h.Height, nil
+	}
+
+	// --- Connection handshake (ICS-03, skipped when reusing) ---
+	if b.Reuse != nil {
+		return b.channelHandshake(st, res, finaliseGuest, advanceCP)
+	}
+	connG, err := st.Handler.ConnOpenInit(res.GuestClientID, res.GuestOnCPClientID)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: ConnOpenInit: %w", err)
+	}
+	res.GuestConnection = connG
+
+	entry, err := finaliseGuest()
+	if err != nil {
+		return nil, err
+	}
+	_, proofInit, err := st.ProveMembershipAt(entry.Block.Height, ibc.ConnectionPath(connG))
+	if err != nil {
+		return nil, err
+	}
+	connC, err := b.CP.Handler().ConnOpenTry(
+		res.GuestOnCPClientID,
+		ibc.Counterparty{ClientID: res.GuestClientID, ConnectionID: connG},
+		tmc.StateBytes(),
+		proofInit,
+		ibc.Height(entry.Block.Height),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: ConnOpenTry: %w", err)
+	}
+	res.CPConnection = connC
+
+	cpH, err := advanceCP()
+	if err != nil {
+		return nil, err
+	}
+	_, proofTry, err := b.CP.ProveMembershipAt(cpH, ibc.ConnectionPath(connC))
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Handler.ConnOpenAck(connG, connC, b.glc.StateBytes(), proofTry, ibc.Height(cpH)); err != nil {
+		return nil, fmt.Errorf("bootstrap: ConnOpenAck: %w", err)
+	}
+
+	entry, err = finaliseGuest()
+	if err != nil {
+		return nil, err
+	}
+	_, proofAck, err := st.ProveMembershipAt(entry.Block.Height, ibc.ConnectionPath(connG))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.CP.Handler().ConnOpenConfirm(connC, proofAck, ibc.Height(entry.Block.Height)); err != nil {
+		return nil, fmt.Errorf("bootstrap: ConnOpenConfirm: %w", err)
+	}
+
+	// --- Channel handshake (ICS-04) ---
+	return b.channelHandshake(st, res, finaliseGuest, advanceCP)
+}
+
+// channelHandshake runs the four-step ICS-04 channel handshake over the
+// connection recorded in res.
+func (b *Bootstrap) channelHandshake(
+	st *guest.State,
+	res *Result,
+	finaliseGuest func() (*guest.BlockEntry, error),
+	advanceCP func() (uint64, error),
+) (*Result, error) {
+	chG, err := st.Handler.ChanOpenInit(b.GuestPort, res.GuestConnection, b.CPPort, b.Ordering, b.Version)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: ChanOpenInit: %w", err)
+	}
+	res.GuestChannel = chG
+
+	entry, err := finaliseGuest()
+	if err != nil {
+		return nil, err
+	}
+	_, proofChanInit, err := st.ProveMembershipAt(entry.Block.Height, ibc.ChannelPath(b.GuestPort, chG))
+	if err != nil {
+		return nil, err
+	}
+	chC, err := b.CP.Handler().ChanOpenTry(
+		b.CPPort,
+		res.CPConnection,
+		ibc.ChannelCounterparty{PortID: b.GuestPort, ChannelID: chG},
+		b.Ordering,
+		b.Version,
+		proofChanInit,
+		ibc.Height(entry.Block.Height),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap: ChanOpenTry: %w", err)
+	}
+	res.CPChannel = chC
+
+	cpH, err := advanceCP()
+	if err != nil {
+		return nil, err
+	}
+	_, proofChanTry, err := b.CP.ProveMembershipAt(cpH, ibc.ChannelPath(b.CPPort, chC))
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Handler.ChanOpenAck(b.GuestPort, chG, chC, proofChanTry, ibc.Height(cpH)); err != nil {
+		return nil, fmt.Errorf("bootstrap: ChanOpenAck: %w", err)
+	}
+
+	entry, err = finaliseGuest()
+	if err != nil {
+		return nil, err
+	}
+	_, proofChanAck, err := st.ProveMembershipAt(entry.Block.Height, ibc.ChannelPath(b.GuestPort, chG))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.CP.Handler().ChanOpenConfirm(b.CPPort, chC, proofChanAck, ibc.Height(entry.Block.Height)); err != nil {
+		return nil, fmt.Errorf("bootstrap: ChanOpenConfirm: %w", err)
+	}
+	return res, nil
+}

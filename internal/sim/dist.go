@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Dist draws durations; implementations model validator signing latency,
+// transaction landing time, and packet inter-arrival gaps.
+type Dist interface {
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// Constant always returns d.
+type Constant time.Duration
+
+// Sample implements Dist.
+func (c Constant) Sample(*rand.Rand) time.Duration { return time.Duration(c) }
+
+// Uniform draws uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Sample implements Dist.
+func (u Uniform) Sample(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// LogNormal draws exp(N(Mu, Sigma)) seconds, shifted by Shift. It is the
+// workhorse for signing latencies: Table I's per-validator quartiles are
+// well fit by shifted lognormals.
+type LogNormal struct {
+	// Mu and Sigma parameterise the underlying normal (of log-seconds).
+	Mu, Sigma float64
+	// Shift is added to every sample (network + host floor).
+	Shift time.Duration
+	// Cap truncates samples (0 = uncapped).
+	Cap time.Duration
+}
+
+// Sample implements Dist.
+func (l LogNormal) Sample(rng *rand.Rand) time.Duration {
+	x := math.Exp(l.Mu + l.Sigma*rng.NormFloat64())
+	d := l.Shift + time.Duration(x*float64(time.Second))
+	if l.Cap > 0 && d > l.Cap {
+		d = l.Cap
+	}
+	return d
+}
+
+// Exponential draws from an exponential with the given mean (inter-arrival
+// gaps of a Poisson packet workload).
+type Exponential struct {
+	Mean time.Duration
+}
+
+// Sample implements Dist.
+func (e Exponential) Sample(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(e.Mean))
+}
+
+// Mixture draws from Components[i] with probability Weights[i]
+// (normalised). It models heavy-tailed behaviour such as validator #1's
+// occasional ten-hour outage (Table I max 35957 s).
+type Mixture struct {
+	Weights    []float64
+	Components []Dist
+}
+
+// Sample implements Dist.
+func (m Mixture) Sample(rng *rand.Rand) time.Duration {
+	var total float64
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range m.Weights {
+		if x < w {
+			return m.Components[i].Sample(rng)
+		}
+		x -= w
+	}
+	return m.Components[len(m.Components)-1].Sample(rng)
+}

@@ -1,0 +1,110 @@
+// Package sim provides the discrete-event machinery the evaluation runs
+// on: a virtual clock with a time-ordered action queue, and the latency
+// distributions used to model validator signing behaviour and transaction
+// landing times. A simulated month of deployment (§V) executes in seconds,
+// deterministically.
+package sim
+
+import (
+	"container/heap"
+	"time"
+
+	"repro/internal/host"
+)
+
+// Action is a scheduled callback.
+type Action func()
+
+type event struct {
+	at  time.Time
+	seq int // FIFO tiebreak for equal timestamps
+	fn  Action
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns a manual clock and executes actions in timestamp order.
+type Scheduler struct {
+	clock *host.ManualClock
+	queue eventQueue
+	seq   int
+}
+
+// NewScheduler returns a scheduler starting at start.
+func NewScheduler(start time.Time) *Scheduler {
+	return &Scheduler{clock: host.NewManualClock(start)}
+}
+
+// Clock returns the scheduler's clock (share it with the chains).
+func (s *Scheduler) Clock() *host.ManualClock { return s.clock }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Time { return s.clock.Now() }
+
+// At schedules fn at t (immediately if t is in the past).
+func (s *Scheduler) At(t time.Time, fn Action) {
+	if t.Before(s.clock.Now()) {
+		t = s.clock.Now()
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn after delay.
+func (s *Scheduler) After(delay time.Duration, fn Action) {
+	s.At(s.clock.Now().Add(delay), fn)
+}
+
+// Every schedules fn at a fixed interval until it returns false.
+func (s *Scheduler) Every(interval time.Duration, fn func() bool) {
+	var tick Action
+	tick = func() {
+		if fn() {
+			s.After(interval, tick)
+		}
+	}
+	s.After(interval, tick)
+}
+
+// RunUntil executes queued actions, advancing the clock, until the queue
+// is empty or the next action lies beyond end. The clock finishes at end.
+func (s *Scheduler) RunUntil(end time.Time) {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at.After(end) {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.clock.Set(next.at)
+		next.fn()
+	}
+	if s.clock.Now().Before(end) {
+		s.clock.Set(end)
+	}
+}
+
+// RunFor runs for a virtual duration.
+func (s *Scheduler) RunFor(d time.Duration) {
+	s.RunUntil(s.clock.Now().Add(d))
+}
+
+// Pending returns the number of queued actions.
+func (s *Scheduler) Pending() int { return len(s.queue) }

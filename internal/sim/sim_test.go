@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestSchedulerOrdersByTime(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	var got []int
+	s.After(3*time.Second, func() { got = append(got, 3) })
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	s.After(2*time.Second, func() { got = append(got, 2) })
+	s.RunFor(10 * time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order: %v", got)
+	}
+}
+
+func TestSchedulerFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	var got []int
+	at := s.Now().Add(time.Second)
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(at, func() { got = append(got, i) })
+	}
+	s.RunFor(2 * time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("not FIFO: %v", got)
+		}
+	}
+}
+
+func TestSchedulerStopsAtEnd(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	fired := false
+	s.After(time.Hour, func() { fired = true })
+	s.RunFor(time.Minute)
+	if fired {
+		t.Fatal("future action fired early")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	if got := s.Now(); got != time.Unix(60, 0) {
+		t.Fatalf("clock = %v", got)
+	}
+	s.RunFor(time.Hour)
+	if !fired {
+		t.Fatal("action never fired")
+	}
+}
+
+func TestSchedulerNestedScheduling(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 10 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(time.Second, tick)
+	s.RunFor(time.Minute)
+	if count != 10 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestSchedulerEvery(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	count := 0
+	s.Every(time.Second, func() bool {
+		count++
+		return count < 5
+	})
+	s.RunFor(time.Minute)
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestPastActionRunsImmediately(t *testing.T) {
+	s := NewScheduler(time.Unix(100, 0))
+	ran := false
+	s.At(time.Unix(0, 0), func() { ran = true })
+	s.RunFor(time.Millisecond)
+	if !ran {
+		t.Fatal("past action dropped")
+	}
+}
+
+func TestDistributionsSane(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+
+	if d := (Constant(5 * time.Second)).Sample(rng); d != 5*time.Second {
+		t.Fatalf("constant = %v", d)
+	}
+
+	u := Uniform{Min: time.Second, Max: 3 * time.Second}
+	for i := 0; i < 1000; i++ {
+		d := u.Sample(rng)
+		if d < time.Second || d > 3*time.Second {
+			t.Fatalf("uniform out of range: %v", d)
+		}
+	}
+
+	// LogNormal: median ≈ exp(Mu) + shift.
+	ln := LogNormal{Mu: math.Log(4), Sigma: 0.5, Shift: time.Second}
+	var xs []float64
+	for i := 0; i < 20_000; i++ {
+		xs = append(xs, ln.Sample(rng).Seconds())
+	}
+	med := median(xs)
+	if med < 4.5 || med > 5.5 {
+		t.Fatalf("lognormal median = %v, want ~5", med)
+	}
+
+	// Cap applies.
+	capped := LogNormal{Mu: 10, Sigma: 1, Cap: 2 * time.Second}
+	for i := 0; i < 100; i++ {
+		if d := capped.Sample(rng); d > 2*time.Second {
+			t.Fatalf("cap violated: %v", d)
+		}
+	}
+
+	// Exponential mean.
+	e := Exponential{Mean: 2 * time.Second}
+	var sum float64
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(rng).Seconds()
+	}
+	if mean := sum / n; mean < 1.9 || mean > 2.1 {
+		t.Fatalf("exponential mean = %v", mean)
+	}
+
+	// Mixture respects weights.
+	m := Mixture{
+		Weights:    []float64{0.9, 0.1},
+		Components: []Dist{Constant(time.Second), Constant(time.Hour)},
+	}
+	long := 0
+	for i := 0; i < 10_000; i++ {
+		if m.Sample(rng) == time.Hour {
+			long++
+		}
+	}
+	if long < 800 || long > 1200 {
+		t.Fatalf("mixture tail draws = %d, want ~1000", long)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

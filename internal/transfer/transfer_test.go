@@ -1,0 +1,221 @@
+package transfer
+
+import (
+	"testing"
+
+	"repro/internal/ibc"
+)
+
+func pkt(srcChan, dstChan ibc.ChannelID, d *PacketData) ibc.Packet {
+	return ibc.Packet{
+		Sequence:      1,
+		SourcePort:    "transfer",
+		SourceChannel: srcChan,
+		DestPort:      "transfer",
+		DestChannel:   dstChan,
+		Data:          d.Marshal(),
+	}
+}
+
+func TestEscrowAndMint(t *testing.T) {
+	src := New("transfer")
+	dst := New("transfer")
+	src.Mint("alice", "SOL", 1000)
+
+	d := &PacketData{Denom: "SOL", Amount: 400, Sender: "alice", Receiver: "bob"}
+	if err := src.PrepareSend("channel-0", d); err != nil {
+		t.Fatal(err)
+	}
+	if src.Balance("alice", "SOL") != 600 {
+		t.Fatalf("alice = %d", src.Balance("alice", "SOL"))
+	}
+	if src.EscrowedAmount("channel-0", "SOL") != 400 {
+		t.Fatalf("escrow = %d", src.EscrowedAmount("channel-0", "SOL"))
+	}
+	ack, err := dst.OnRecvPacket(pkt("channel-0", "channel-5", d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSuccessAck(ack) {
+		t.Fatalf("ack = %s", ack)
+	}
+	if dst.Balance("bob", "transfer/channel-5/SOL") != 400 {
+		t.Fatal("voucher not minted")
+	}
+	if dst.Mints != 1 {
+		t.Fatalf("mints = %d", dst.Mints)
+	}
+}
+
+func TestVoucherReturnsHome(t *testing.T) {
+	src := New("transfer")
+	dst := New("transfer")
+	src.Mint("alice", "SOL", 1000)
+
+	// SOL travels src(channel-0) -> dst(channel-5).
+	d := &PacketData{Denom: "SOL", Amount: 300, Sender: "alice", Receiver: "bob"}
+	if err := src.PrepareSend("channel-0", d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.OnRecvPacket(pkt("channel-0", "channel-5", d)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Voucher goes home dst(channel-5) -> src(channel-0): burn + unescrow.
+	voucher := "transfer/channel-5/SOL"
+	back := &PacketData{Denom: voucher, Amount: 300, Sender: "bob", Receiver: "alice"}
+	if err := dst.PrepareSend("channel-5", back); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Balance("bob", voucher) != 0 {
+		t.Fatal("voucher not burned")
+	}
+	if dst.Burns != 1 {
+		t.Fatalf("burns = %d", dst.Burns)
+	}
+	ack, err := src.OnRecvPacket(pkt("channel-5", "channel-0", back))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsSuccessAck(ack) {
+		t.Fatalf("ack = %s", ack)
+	}
+	if src.Balance("alice", "SOL") != 1000 {
+		t.Fatalf("alice = %d, want full 1000 back", src.Balance("alice", "SOL"))
+	}
+	if src.EscrowedAmount("channel-0", "SOL") != 0 {
+		t.Fatal("escrow not released")
+	}
+}
+
+func TestInsufficientFundsRejected(t *testing.T) {
+	app := New("transfer")
+	app.Mint("alice", "SOL", 10)
+	d := &PacketData{Denom: "SOL", Amount: 100, Sender: "alice", Receiver: "bob"}
+	if err := app.PrepareSend("channel-0", d); err == nil {
+		t.Fatal("overdraft accepted")
+	}
+}
+
+func TestRecvInsufficientEscrowAcksError(t *testing.T) {
+	app := New("transfer")
+	// A voucher "returning" without matching escrow must produce an error
+	// ack, not a panic or a mint.
+	back := &PacketData{Denom: "transfer/channel-9/SOL", Amount: 50, Sender: "eve", Receiver: "eve2"}
+	ack, err := app.OnRecvPacket(pkt("channel-9", "channel-0", back))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsSuccessAck(ack) {
+		t.Fatal("unbacked unescrow succeeded")
+	}
+}
+
+func TestMalformedDataAcksError(t *testing.T) {
+	app := New("transfer")
+	p := ibc.Packet{
+		Sequence: 1, SourcePort: "transfer", SourceChannel: "channel-0",
+		DestPort: "transfer", DestChannel: "channel-1", Data: []byte("not json"),
+	}
+	ack, err := app.OnRecvPacket(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsSuccessAck(ack) {
+		t.Fatal("malformed packet acked as success")
+	}
+}
+
+func TestErrorAckRefunds(t *testing.T) {
+	app := New("transfer")
+	app.Mint("alice", "SOL", 500)
+	d := &PacketData{Denom: "SOL", Amount: 200, Sender: "alice", Receiver: "bob"}
+	if err := app.PrepareSend("channel-0", d); err != nil {
+		t.Fatal(err)
+	}
+	p := pkt("channel-0", "channel-5", d)
+	if err := app.OnAcknowledgementPacket(p, AckError("failed over there")); err != nil {
+		t.Fatal(err)
+	}
+	if app.Balance("alice", "SOL") != 500 {
+		t.Fatalf("alice = %d after refund", app.Balance("alice", "SOL"))
+	}
+	if app.EscrowedAmount("channel-0", "SOL") != 0 {
+		t.Fatal("escrow not released on refund")
+	}
+	if app.Refunds != 1 {
+		t.Fatalf("refunds = %d", app.Refunds)
+	}
+}
+
+func TestSuccessAckDoesNotRefund(t *testing.T) {
+	app := New("transfer")
+	app.Mint("alice", "SOL", 500)
+	d := &PacketData{Denom: "SOL", Amount: 200, Sender: "alice", Receiver: "bob"}
+	if err := app.PrepareSend("channel-0", d); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.OnAcknowledgementPacket(pkt("channel-0", "channel-5", d), AckSuccess); err != nil {
+		t.Fatal(err)
+	}
+	if app.Balance("alice", "SOL") != 300 {
+		t.Fatal("success ack refunded")
+	}
+}
+
+func TestTimeoutRefundsBurnedVoucher(t *testing.T) {
+	app := New("transfer")
+	voucher := "transfer/channel-0/PICA"
+	app.Mint("bob", voucher, 80)
+	d := &PacketData{Denom: voucher, Amount: 80, Sender: "bob", Receiver: "alice"}
+	if err := app.PrepareSend("channel-0", d); err != nil {
+		t.Fatal(err)
+	}
+	if app.Balance("bob", voucher) != 0 {
+		t.Fatal("voucher not burned")
+	}
+	if err := app.OnTimeoutPacket(pkt("channel-0", "channel-5", d)); err != nil {
+		t.Fatal(err)
+	}
+	if app.Balance("bob", voucher) != 80 {
+		t.Fatal("burned voucher not restored on timeout")
+	}
+}
+
+func TestPacketDataValidation(t *testing.T) {
+	cases := []PacketData{
+		{Denom: "", Amount: 1, Sender: "a", Receiver: "b"},
+		{Denom: "X", Amount: 0, Sender: "a", Receiver: "b"},
+		{Denom: "X", Amount: 1, Sender: "", Receiver: "b"},
+		{Denom: "X", Amount: 1, Sender: "a", Receiver: ""},
+	}
+	for i, c := range cases {
+		if _, err := UnmarshalPacketData(c.Marshal()); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, c)
+		}
+	}
+	good := PacketData{Denom: "X", Amount: 1, Sender: "a", Receiver: "b", Memo: "m"}
+	got, err := UnmarshalPacketData(good.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != good {
+		t.Fatalf("round trip changed data: %+v", got)
+	}
+}
+
+func TestChanOpenValidation(t *testing.T) {
+	app := New("transfer")
+	if err := app.OnChanOpen("transfer", "channel-0", "ics20-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.OnChanOpen("transfer", "channel-0", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.OnChanOpen("other", "channel-0", "ics20-1"); err == nil {
+		t.Fatal("wrong port accepted")
+	}
+	if err := app.OnChanOpen("transfer", "channel-0", "ics99"); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}

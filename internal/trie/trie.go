@@ -1,0 +1,649 @@
+package trie
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cryptoutil"
+)
+
+// Errors returned by trie operations.
+var (
+	// ErrNotFound is returned when a key is provably absent.
+	ErrNotFound = errors.New("trie: key not found")
+	// ErrSealed is returned when an operation would need to access a
+	// sealed (freed) part of the trie. In the Guest Contract this error is
+	// precisely what prevents double delivery of a packet (§III-A).
+	ErrSealed = errors.New("trie: subtree is sealed")
+	// ErrFull is returned when the arena capacity (modelling the fixed
+	// 10 MiB Solana account) is exhausted.
+	ErrFull = errors.New("trie: storage arena full")
+	// ErrZeroValue is returned when storing the reserved all-zero value.
+	ErrZeroValue = errors.New("trie: cannot store zero value hash")
+)
+
+// Trie is a sealable Merkle-Patricia binary trie over fixed 32-byte keys and
+// 32-byte value hashes. The zero value is NOT ready to use; call New.
+//
+// Trie is not safe for concurrent use; the Guest Contract serialises access
+// the same way the Solana runtime serialises writes to an account.
+type Trie struct {
+	root ref
+
+	nodeCount   int // live (unsealed, allocated) nodes
+	sealedCount int // refs currently marked sealed
+	maxNodes    int // 0 = unlimited
+
+	// Cumulative counters used by the storage experiments.
+	totalAllocs int
+	totalFrees  int
+}
+
+// Option configures a Trie.
+type Option func(*Trie)
+
+// WithCapacity limits the number of live nodes, modelling a fixed-size
+// account. Operations that would allocate past the limit fail with ErrFull.
+func WithCapacity(maxNodes int) Option {
+	return func(t *Trie) { t.maxNodes = maxNodes }
+}
+
+// WithCapacityBytes limits the arena by modelled storage bytes
+// (storageBytes per node).
+func WithCapacityBytes(maxBytes int) Option {
+	return func(t *Trie) { t.maxNodes = maxBytes / storageBytes }
+}
+
+// New returns an empty trie.
+func New(opts ...Option) *Trie {
+	t := &Trie{}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+// EmptyRoot is the root commitment of an empty trie.
+func EmptyRoot() cryptoutil.Hash { return cryptoutil.ZeroHash }
+
+// Root returns the current root commitment.
+func (t *Trie) Root() cryptoutil.Hash { return t.root.hash }
+
+// Len returns the number of live (retrievable) key-value pairs. Sealed
+// entries are not counted.
+func (t *Trie) Len() int { return t.countLeaves(&t.root) }
+
+func (t *Trie) countLeaves(r *ref) int {
+	if r.node == nil {
+		return 0
+	}
+	switch r.node.kind {
+	case kindLeaf:
+		if r.node.sealed {
+			return 0
+		}
+		return 1
+	case kindExt:
+		return t.countLeaves(&r.node.child)
+	default:
+		return t.countLeaves(&r.node.children[0]) + t.countLeaves(&r.node.children[1])
+	}
+}
+
+// NodeCount returns the number of live allocated nodes.
+func (t *Trie) NodeCount() int { return t.nodeCount }
+
+// SealedCount returns the number of sealed references currently held.
+func (t *Trie) SealedCount() int { return t.sealedCount }
+
+// StorageBytes returns the modelled on-chain byte footprint of live nodes.
+func (t *Trie) StorageBytes() int { return t.nodeCount * storageBytes }
+
+// TotalAllocs returns the cumulative number of node allocations.
+func (t *Trie) TotalAllocs() int { return t.totalAllocs }
+
+// TotalFrees returns the cumulative number of node frees (from sealing or
+// deletion).
+func (t *Trie) TotalFrees() int { return t.totalFrees }
+
+func (t *Trie) alloc(n *node) (*node, error) {
+	if t.maxNodes > 0 && t.nodeCount >= t.maxNodes {
+		return nil, ErrFull
+	}
+	t.nodeCount++
+	t.totalAllocs++
+	return n, nil
+}
+
+func (t *Trie) free(n *node) {
+	if n == nil {
+		return
+	}
+	t.nodeCount--
+	t.totalFrees++
+}
+
+// rehash recomputes commitments from the deepest changed ref up to the root.
+func rehash(stack []*ref) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		stack[i].hash = stack[i].node.hash()
+	}
+}
+
+// Set stores value under key. Inserting a key whose path crosses a sealed
+// reference fails with ErrSealed — including re-inserting a key that was
+// itself sealed, which is the double-delivery guard of Alg. 1 line 37.
+func (t *Trie) Set(key [KeySize]byte, value cryptoutil.Hash) error {
+	if value.IsZero() {
+		return ErrZeroValue
+	}
+	remaining := keyToPath(key)
+	cur := &t.root
+	var stack []*ref
+
+	for {
+		if cur.sealed {
+			return ErrSealed
+		}
+		if cur.node == nil {
+			if !cur.hash.IsZero() {
+				// Defensive: a non-zero hash without a node must be sealed.
+				return ErrSealed
+			}
+			leaf, err := t.alloc(&node{kind: kindLeaf, path: remaining.clone(), value: value})
+			if err != nil {
+				return err
+			}
+			cur.node = leaf
+			cur.hash = leaf.hash()
+			rehash(stack)
+			return nil
+		}
+		n := cur.node
+		switch n.kind {
+		case kindLeaf:
+			c := commonPrefixLen(n.path, remaining)
+			if c == len(n.path) && c == len(remaining) {
+				if n.sealed {
+					// Double-delivery guard (Alg. 1 line 37): a sealed
+					// key can never be written again.
+					return ErrSealed
+				}
+				n.value = value
+				cur.hash = n.hash()
+				rehash(stack)
+				return nil
+			}
+			if err := t.splitLeaf(cur, n, remaining, value, c); err != nil {
+				return err
+			}
+			rehash(stack)
+			return nil
+		case kindExt:
+			c := commonPrefixLen(n.path, remaining)
+			if c == len(n.path) {
+				remaining = remaining[c:]
+				stack = append(stack, cur)
+				cur = &n.child
+				continue
+			}
+			if err := t.splitExt(cur, n, remaining, value, c); err != nil {
+				return err
+			}
+			rehash(stack)
+			return nil
+		case kindBranch:
+			if len(remaining) == 0 {
+				return fmt.Errorf("trie: internal: key exhausted at branch")
+			}
+			b := remaining[0]
+			remaining = remaining[1:]
+			stack = append(stack, cur)
+			cur = &n.children[b]
+		default:
+			return fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
+		}
+	}
+}
+
+// splitLeaf replaces the leaf held by cur with a structure distinguishing
+// the existing leaf from the new (key remainder, value) pair. c is the
+// common prefix length; because keys are fixed length, both remainders are
+// non-empty and differ at bit c.
+func (t *Trie) splitLeaf(cur *ref, old *node, remaining path, value cryptoutil.Hash, c int) error {
+	oldRest := old.path[c:]
+	newRest := remaining[c:]
+
+	newLeaf, err := t.alloc(&node{kind: kindLeaf, path: newRest[1:].clone(), value: value})
+	if err != nil {
+		return err
+	}
+	br, err := t.alloc(&node{kind: kindBranch})
+	if err != nil {
+		t.free(newLeaf)
+		return err
+	}
+	// Reuse the old leaf node with a shortened path.
+	old.path = oldRest[1:].clone()
+	br.children[oldRest[0]] = ref{hash: old.hash(), node: old}
+	br.children[newRest[0]] = ref{hash: newLeaf.hash(), node: newLeaf}
+
+	if c == 0 {
+		cur.node = br
+		cur.hash = br.hash()
+		return nil
+	}
+	ext, err := t.alloc(&node{kind: kindExt, path: remaining[:c].clone()})
+	if err != nil {
+		t.free(newLeaf)
+		t.free(br)
+		return err
+	}
+	ext.child = ref{hash: br.hash(), node: br}
+	cur.node = ext
+	cur.hash = ext.hash()
+	return nil
+}
+
+// splitExt replaces the extension held by cur so the new key can branch off
+// at bit c of the extension's path.
+func (t *Trie) splitExt(cur *ref, old *node, remaining path, value cryptoutil.Hash, c int) error {
+	oldRest := old.path[c:] // >= 1 bit
+	newRest := remaining[c:]
+
+	newLeaf, err := t.alloc(&node{kind: kindLeaf, path: newRest[1:].clone(), value: value})
+	if err != nil {
+		return err
+	}
+	br, err := t.alloc(&node{kind: kindBranch})
+	if err != nil {
+		t.free(newLeaf)
+		return err
+	}
+
+	// The old extension's child goes under oldRest[0], via a shortened
+	// extension if bits remain.
+	if len(oldRest) == 1 {
+		br.children[oldRest[0]] = old.child
+		t.free(old)
+	} else {
+		old.path = oldRest[1:].clone()
+		br.children[oldRest[0]] = ref{hash: old.hash(), node: old}
+	}
+	br.children[newRest[0]] = ref{hash: newLeaf.hash(), node: newLeaf}
+
+	if c == 0 {
+		cur.node = br
+		cur.hash = br.hash()
+		return nil
+	}
+	ext, err := t.alloc(&node{kind: kindExt, path: remaining[:c].clone()})
+	if err != nil {
+		t.free(newLeaf)
+		t.free(br)
+		return err
+	}
+	ext.child = ref{hash: br.hash(), node: br}
+	cur.node = ext
+	cur.hash = ext.hash()
+	return nil
+}
+
+// Get returns the value stored under key. It returns ErrNotFound if the key
+// is provably absent and ErrSealed if the lookup would need to traverse a
+// sealed reference.
+func (t *Trie) Get(key [KeySize]byte) (cryptoutil.Hash, error) {
+	remaining := keyToPath(key)
+	cur := &t.root
+	for {
+		if cur.sealed {
+			return cryptoutil.ZeroHash, ErrSealed
+		}
+		if cur.node == nil {
+			return cryptoutil.ZeroHash, ErrNotFound
+		}
+		n := cur.node
+		switch n.kind {
+		case kindLeaf:
+			if n.path.equal(remaining) {
+				if n.sealed {
+					return cryptoutil.ZeroHash, ErrSealed
+				}
+				return n.value, nil
+			}
+			return cryptoutil.ZeroHash, ErrNotFound
+		case kindExt:
+			c := commonPrefixLen(n.path, remaining)
+			if c < len(n.path) {
+				return cryptoutil.ZeroHash, ErrNotFound
+			}
+			remaining = remaining[c:]
+			cur = &n.child
+		case kindBranch:
+			b := remaining[0]
+			remaining = remaining[1:]
+			cur = &n.children[b]
+		default:
+			return cryptoutil.ZeroHash, fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
+		}
+	}
+}
+
+// Has reports whether key is present (and unsealed).
+func (t *Trie) Has(key [KeySize]byte) (bool, error) {
+	_, err := t.Get(key)
+	switch {
+	case err == nil:
+		return true, nil
+	case errors.Is(err, ErrNotFound):
+		return false, nil
+	default:
+		return false, err
+	}
+}
+
+// Seal marks the leaf holding key as sealed (§III-A): its value becomes
+// permanently inaccessible while the root commitment is unchanged. The leaf
+// is retained as an immutable stub so neighbouring keys stay insertable;
+// once every key under a subtree's prefix has been sealed (which happens
+// for the dense sequential sequence-number keys the Guest Contract uses),
+// the saturated subtree collapses into a single opaque reference and its
+// nodes are freed — this is the disk-reclamation mechanism that bounds the
+// guest blockchain's storage.
+func (t *Trie) Seal(key [KeySize]byte) error {
+	remaining := keyToPath(key)
+	cur := &t.root
+	var stack []*ref
+
+	for {
+		if cur.sealed {
+			return ErrSealed
+		}
+		if cur.node == nil {
+			return ErrNotFound
+		}
+		n := cur.node
+		switch n.kind {
+		case kindLeaf:
+			if !n.path.equal(remaining) {
+				return ErrNotFound
+			}
+			if n.sealed {
+				return ErrSealed
+			}
+			n.sealed = true
+			t.collapseSaturated(stack)
+			return nil
+		case kindExt:
+			c := commonPrefixLen(n.path, remaining)
+			if c < len(n.path) {
+				return ErrNotFound
+			}
+			remaining = remaining[c:]
+			stack = append(stack, cur)
+			cur = &n.child
+		case kindBranch:
+			b := remaining[0]
+			remaining = remaining[1:]
+			stack = append(stack, cur)
+			cur = &n.children[b]
+		default:
+			return fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
+		}
+	}
+}
+
+// saturated reports whether the ref's entire key range is sealed: either an
+// opaque sealed ref, or a zero-length-path sealed leaf stub (which covers
+// exactly one key).
+func saturated(r *ref) bool {
+	if r.sealed {
+		return true
+	}
+	n := r.node
+	return n != nil && n.kind == kindLeaf && n.sealed && len(n.path) == 0
+}
+
+// collapseSaturated walks ancestors from deepest to shallowest, replacing
+// any branch whose both children are saturated with an opaque sealed
+// reference and freeing the nodes. Extensions never collapse: their path
+// bits mean sibling keys were never inserted, so the covered range is not
+// saturated. Hashes never change.
+func (t *Trie) collapseSaturated(stack []*ref) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		r := stack[i]
+		n := r.node
+		if n.kind != kindBranch || !saturated(&n.children[0]) || !saturated(&n.children[1]) {
+			return
+		}
+		for j := range n.children {
+			if n.children[j].node != nil {
+				t.free(n.children[j].node)
+			}
+			if n.children[j].sealed {
+				t.sealedCount--
+			}
+		}
+		t.free(n)
+		r.node = nil
+		r.sealed = true
+		t.sealedCount++
+	}
+}
+
+// Delete removes key from the trie, restructuring ancestors. Deleting a key
+// whose sibling subtree is sealed fails with ErrSealed, because merging
+// would require rebuilding a node whose contents were freed. (The Guest
+// Contract only deletes entries it never seals, e.g. packet commitments
+// cleared on acknowledgement.)
+func (t *Trie) Delete(key [KeySize]byte) error {
+	remaining := keyToPath(key)
+	cur := &t.root
+	var stack []*ref
+
+	for {
+		if cur.sealed {
+			return ErrSealed
+		}
+		if cur.node == nil {
+			return ErrNotFound
+		}
+		n := cur.node
+		switch n.kind {
+		case kindLeaf:
+			if !n.path.equal(remaining) {
+				return ErrNotFound
+			}
+			if n.sealed {
+				return ErrSealed
+			}
+			return t.deleteLeaf(cur, stack)
+		case kindExt:
+			c := commonPrefixLen(n.path, remaining)
+			if c < len(n.path) {
+				return ErrNotFound
+			}
+			remaining = remaining[c:]
+			stack = append(stack, cur)
+			cur = &n.child
+		case kindBranch:
+			b := remaining[0]
+			remaining = remaining[1:]
+			stack = append(stack, cur)
+			cur = &n.children[b]
+		default:
+			return fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
+		}
+	}
+}
+
+// deleteLeaf removes the leaf at cur and restructures: the leaf's parent
+// branch collapses into its sibling (possibly merging extensions/leaf
+// paths); a chain of extensions above is merged.
+func (t *Trie) deleteLeaf(cur *ref, stack []*ref) error {
+	// Find nearest branch ancestor; extensions between it and the leaf
+	// would only exist if the leaf were deeper than its parent ext, but an
+	// ext's child is the leaf only via direct ref, so cur's parent is
+	// either a branch, an ext (whose only child is this leaf), or the root.
+	if len(stack) == 0 {
+		// Leaf at root.
+		t.free(cur.node)
+		*cur = ref{}
+		return nil
+	}
+	parent := stack[len(stack)-1]
+	pn := parent.node
+
+	if pn.kind == kindExt {
+		// An extension leading directly to a leaf cannot exist by
+		// construction (extensions always lead to branches), but guard
+		// against it to keep Delete total.
+		return fmt.Errorf("trie: internal: extension above leaf")
+	}
+
+	// Parent is a branch: identify the sibling.
+	var sideBit byte
+	if &pn.children[1] == cur {
+		sideBit = 1
+	}
+	sib := pn.children[1-sideBit]
+	if sib.sealed {
+		return ErrSealed
+	}
+
+	// Replace the branch with "sibling prefixed by its branch bit". Build
+	// the replacement before freeing anything so an allocation failure
+	// leaves the trie untouched.
+	merged, err := t.mergeDown(1-sideBit, sib)
+	if err != nil {
+		return err
+	}
+	t.free(cur.node)
+	t.free(pn)
+	*parent = merged
+	stack = stack[:len(stack)-1]
+
+	// If the new parent slot is an ext/leaf and ITS parent is an ext,
+	// merge the two paths.
+	if len(stack) > 0 {
+		gp := stack[len(stack)-1]
+		if gp.node.kind == kindExt && parent == &gp.node.child {
+			if err := t.mergeExtChild(gp); err != nil {
+				return err
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	rehash(stack)
+	return nil
+}
+
+// mergeDown produces the ref that replaces a deleted branch: the surviving
+// child prefixed with its branch bit. Leaf and extension children absorb
+// the bit into their path; a branch child gets a fresh 1-bit extension.
+func (t *Trie) mergeDown(bit byte, sib ref) (ref, error) {
+	n := sib.node
+	switch n.kind {
+	case kindLeaf:
+		n.path = append(path{bit}, n.path...)
+		return ref{hash: n.hash(), node: n}, nil
+	case kindExt:
+		n.path = append(path{bit}, n.path...)
+		return ref{hash: n.hash(), node: n}, nil
+	case kindBranch:
+		ext, err := t.alloc(&node{kind: kindExt, path: path{bit}, child: sib})
+		if err != nil {
+			return ref{}, err
+		}
+		return ref{hash: ext.hash(), node: ext}, nil
+	default:
+		return ref{}, fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
+	}
+}
+
+// mergeExtChild merges gp (an extension) with its child when the child is
+// itself an extension or a leaf, concatenating paths.
+func (t *Trie) mergeExtChild(gp *ref) error {
+	ext := gp.node
+	child := ext.child.node
+	if child == nil {
+		return nil
+	}
+	switch child.kind {
+	case kindLeaf, kindExt:
+		child.path = append(ext.path.clone(), child.path...)
+		t.free(ext)
+		gp.node = child
+		gp.hash = child.hash()
+	case kindBranch:
+		gp.hash = ext.hash()
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the trie. Off-chain actors use clones as
+// historical snapshots at block boundaries (the simulation analogue of
+// querying account state at a past slot through an RPC node) so they can
+// generate proofs against a finalised block's root even after the live
+// trie has moved on.
+func (t *Trie) Clone() *Trie {
+	out := &Trie{
+		nodeCount:   t.nodeCount,
+		sealedCount: t.sealedCount,
+		maxNodes:    t.maxNodes,
+		totalAllocs: t.totalAllocs,
+		totalFrees:  t.totalFrees,
+	}
+	out.root = cloneRef(t.root)
+	return out
+}
+
+func cloneRef(r ref) ref {
+	out := ref{hash: r.hash, sealed: r.sealed}
+	if r.node == nil {
+		return out
+	}
+	n := &node{
+		kind:   r.node.kind,
+		path:   r.node.path.clone(),
+		value:  r.node.value,
+		sealed: r.node.sealed,
+	}
+	switch n.kind {
+	case kindBranch:
+		n.children[0] = cloneRef(r.node.children[0])
+		n.children[1] = cloneRef(r.node.children[1])
+	case kindExt:
+		n.child = cloneRef(r.node.child)
+	}
+	out.node = n
+	return out
+}
+
+// Keys returns all live keys in the trie, in depth-first order. Intended
+// for tests and debugging.
+func (t *Trie) Keys() [][KeySize]byte {
+	var out [][KeySize]byte
+	var walk func(r *ref, prefix path)
+	walk = func(r *ref, prefix path) {
+		if r.node == nil {
+			return
+		}
+		n := r.node
+		switch n.kind {
+		case kindLeaf:
+			if n.sealed {
+				return
+			}
+			full := append(prefix.clone(), n.path...)
+			out = append(out, pathToKey(full))
+		case kindExt:
+			walk(&n.child, append(prefix.clone(), n.path...))
+		case kindBranch:
+			walk(&n.children[0], append(prefix.clone(), 0))
+			walk(&n.children[1], append(prefix.clone(), 1))
+		}
+	}
+	walk(&t.root, nil)
+	return out
+}

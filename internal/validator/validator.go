@@ -1,0 +1,195 @@
+// Package validator implements the guest blockchain validator daemon
+// (§III-B, Alg. 2): it watches for NewBlock events, signs each block with
+// its key, and submits the Sign transaction under its own fee policy. The
+// behaviour model (latency distribution, fee level, liveness) reproduces
+// the per-validator statistics of Table I, including the 7 of 24
+// validators that never signed and validator #1's heavy-tailed outages.
+package validator
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/fees"
+	"repro/internal/guest"
+	"repro/internal/guestblock"
+	"repro/internal/host"
+	"repro/internal/sim"
+)
+
+// Behaviour models one operator's characteristics.
+type Behaviour struct {
+	// Active is false for validators that staked but never ran a daemon
+	// (7 of 24 in the deployment).
+	Active bool
+	// JoinAt is when the operator stakes and (if Active) starts the
+	// daemon, relative to network genesis; the gradually growing
+	// validator set is what spreads Table I's signature counts.
+	JoinAt time.Duration
+	// Latency is the distribution of block-seen → signature-submitted
+	// delay.
+	Latency sim.Dist
+	// Policy is the validator's fixed fee policy (Table I cost column).
+	Policy fees.Policy
+}
+
+// SignRecord is one submitted signature, for the Table I statistics.
+type SignRecord struct {
+	Height uint64
+	// Latency is block generation → sign transaction landing.
+	Latency time.Duration
+	// Cost is the transaction fee paid.
+	Cost host.Lamports
+}
+
+// Validator is the daemon for one validator key.
+type Validator struct {
+	Key       *cryptoutil.PrivKey
+	Behaviour Behaviour
+
+	chain    *host.Chain
+	contract *guest.Contract
+	builder  *guest.TxBuilder
+	sched    *sim.Scheduler
+	rng      *rand.Rand
+
+	// Records collects per-signature statistics.
+	Records []SignRecord
+	// pendingCost tracks the fee of the in-flight sign tx per height.
+	pendingCost map[uint64]host.Lamports
+	// signedHeights guards against double submission.
+	signedHeights map[uint64]bool
+	// stopped halts further signing (operator failure injection).
+	stopped bool
+	// joined marks the daemon as started (JoinAt reached).
+	joined bool
+}
+
+// New creates a validator daemon. The validator's host account must be
+// funded separately to cover fees.
+func New(key *cryptoutil.PrivKey, b Behaviour, chain *host.Chain, contract *guest.Contract, sched *sim.Scheduler, seed int64) *Validator {
+	builder := guest.NewTxBuilder(contract, key.Public())
+	builder.PriorityFee = b.Policy.PriorityFee
+	builder.BundleTip = b.Policy.BundleTip
+	return &Validator{
+		Key:           key,
+		Behaviour:     b,
+		chain:         chain,
+		contract:      contract,
+		builder:       builder,
+		sched:         sched,
+		rng:           rand.New(rand.NewSource(seed)),
+		pendingCost:   make(map[uint64]host.Lamports),
+		signedHeights: make(map[uint64]bool),
+	}
+}
+
+// Activate starts the daemon (scheduled at Behaviour.JoinAt).
+func (v *Validator) Activate() { v.joined = true }
+
+// Stop halts the daemon (failure injection, cf. validator #1's outage).
+func (v *Validator) Stop() { v.stopped = true }
+
+// Resume restarts a stopped daemon.
+func (v *Validator) Resume() { v.stopped = false }
+
+// OnHostBlock processes one host block's events (Alg. 2 upon NewBlock).
+func (v *Validator) OnHostBlock(b *host.Block) {
+	if !v.Behaviour.Active || !v.joined || v.stopped {
+		return
+	}
+	for _, ev := range b.EventsOfKind("NewBlock") {
+		block, ok := ev.Data.(*guestblock.Block)
+		if !ok {
+			continue
+		}
+		v.maybeSign(block, b.Time)
+	}
+	// Recovery path: a daemon that was down (or joined late) signs the
+	// still-unfinalised head it may have missed — without this, one
+	// missed NewBlock event would wedge finalisation forever.
+	st, err := v.contract.State(v.chain)
+	if err != nil {
+		return
+	}
+	head := st.Head()
+	if !head.Finalised {
+		v.maybeSign(head.Block, head.CreatedAt)
+	}
+}
+
+// maybeSign schedules a signature for block if due.
+func (v *Validator) maybeSign(block *guestblock.Block, created time.Time) {
+	if !v.inEpoch(block) || v.signedHeights[block.Height] {
+		return
+	}
+	v.signedHeights[block.Height] = true
+	delay := v.Behaviour.Latency.Sample(v.rng)
+	v.sched.After(delay, func() {
+		v.submitSign(block, created)
+	})
+}
+
+func (v *Validator) inEpoch(block *guestblock.Block) bool {
+	st, err := v.contract.State(v.chain)
+	if err != nil {
+		return false
+	}
+	entry, err := st.Entry(block.Height)
+	if err != nil {
+		return false
+	}
+	return entry.Epoch.Has(v.Key.Public())
+}
+
+// submitSign signs and submits; latency is measured at submission (the
+// host includes it in the next slot, which Table I's 0.4 s quantisation
+// reflects).
+func (v *Validator) submitSign(block *guestblock.Block, created time.Time) {
+	if v.stopped {
+		return
+	}
+	tx := v.builder.SignTx(v.Key, block)
+	if err := v.chain.Submit(tx); err != nil {
+		return
+	}
+	// Landing happens at the next slot boundary; record latency as
+	// submission delay plus the half-slot expectation, quantised by the
+	// host's slots like the paper's dataset.
+	slot := v.chain.Profile().SlotDuration
+	land := v.sched.Now().Add(slot / 2)
+	latency := land.Sub(created).Truncate(slot)
+	if latency <= 0 {
+		latency = slot
+	}
+	v.Records = append(v.Records, SignRecord{
+		Height:  block.Height,
+		Latency: latency,
+		Cost:    tx.Fee(),
+	})
+}
+
+// SignCount returns the number of submitted signatures.
+func (v *Validator) SignCount() int { return len(v.Records) }
+
+// LatenciesSeconds returns per-signature latencies in seconds.
+func (v *Validator) LatenciesSeconds() []float64 {
+	out := make([]float64, 0, len(v.Records))
+	for _, r := range v.Records {
+		out = append(out, r.Latency.Seconds())
+	}
+	return out
+}
+
+// PublishForgedSignature is the byzantine action the fisherman example and
+// tests exploit: the validator signs an arbitrary (non-canonical) block
+// hash at the given height and returns the signature for gossip.
+func (v *Validator) PublishForgedSignature(height uint64, forgedHash cryptoutil.Hash) guestblock.BlockSignature {
+	payload := guestblock.SigningPayloadForHash(forgedHash)
+	return guestblock.BlockSignature{
+		Height:    height,
+		PubKey:    v.Key.Public(),
+		Signature: v.Key.SignHash(payload),
+	}
+}
