@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all build vet test race bench
+
+all: test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier-1 gate: everything must compile, vet clean, and pass the test suite.
+test: build vet
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/cryptoutil"
 	"repro/internal/experiments"
+	"repro/internal/guestblock"
 	"repro/internal/trie"
 )
 
@@ -205,6 +206,7 @@ func BenchmarkTrieSet(b *testing.B) {
 	keys := benchKeys(b.N)
 	value := cryptoutil.HashBytes([]byte("v"))
 	tr := trie.New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := tr.Set(keys[i], value); err != nil {
@@ -223,6 +225,7 @@ func BenchmarkTrieGet(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Get(keys[i%n]); err != nil {
@@ -241,6 +244,7 @@ func BenchmarkTrieProve(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tr.Prove(keys[i%n]); err != nil {
@@ -268,6 +272,7 @@ func BenchmarkTrieVerifyMembership(b *testing.B) {
 		}
 		proofs[i] = p
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := trie.VerifyMembership(root, keys[i%n], value, proofs[i%n]); err != nil {
@@ -281,6 +286,7 @@ func BenchmarkTrieSealSequential(b *testing.B) {
 	tr := trie.New()
 	var key [trie.KeySize]byte
 	key[0] = 0x02
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < 8; j++ {
@@ -292,5 +298,69 @@ func BenchmarkTrieSealSequential(b *testing.B) {
 		if err := tr.Seal(key); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// --- Quorum verification: the crypto hot path (Alg. 1/2, §V Fig. 4-5) ---
+
+// quorumFixture builds an n-validator epoch and a block finalised by every
+// validator, outside any timed region.
+func quorumFixture(n int) (*guestblock.Epoch, *guestblock.SignedBlock) {
+	keys := make([]*cryptoutil.PrivKey, n)
+	vals := make([]guestblock.Validator, n)
+	for i := range keys {
+		keys[i] = cryptoutil.GenerateKeyIndexed("bench-quorum", i)
+		vals[i] = guestblock.Validator{PubKey: keys[i].Public(), Stake: 100}
+	}
+	epoch, err := guestblock.NewEpoch(0, vals)
+	if err != nil {
+		panic(err)
+	}
+	blk := &guestblock.Block{
+		Height:          1,
+		HostHeight:      7,
+		Time:            time.Unix(1_700_000_000, 0).UTC(),
+		StateRoot:       cryptoutil.HashBytes([]byte("bench-root")),
+		EpochIndex:      0,
+		EpochCommitment: epoch.Commitment(),
+	}
+	payload := blk.SigningPayload()
+	sb := &guestblock.SignedBlock{Block: blk}
+	for _, k := range keys {
+		sb.Signatures = append(sb.Signatures, guestblock.BlockSignature{
+			Height: blk.Height, PubKey: k.Public(), Signature: k.SignHash(payload),
+		})
+	}
+	return epoch, sb
+}
+
+// BenchmarkQuorumVerify compares 24-validator quorum verification across
+// the sequential baseline (one worker, no cache), the parallel batch path
+// (pool-wide fan-out, no cache; >= 2x on a multi-core runner), and the
+// full production configuration (pool + verification cache, where repeated
+// verification of an already-seen quorum skips Ed25519 entirely).
+func BenchmarkQuorumVerify(b *testing.B) {
+	epoch, sb := quorumFixture(24)
+	for _, bench := range []struct {
+		name     string
+		verifier *cryptoutil.BatchVerifier
+	}{
+		{"sequential", cryptoutil.NewBatchVerifier(cryptoutil.WithWorkers(1), cryptoutil.WithCacheSize(0))},
+		{"batch", cryptoutil.NewBatchVerifier(cryptoutil.WithCacheSize(0))},
+		{"batch-cached", cryptoutil.NewBatchVerifier()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sb.VerifyQuorumWith(epoch, bench.verifier); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s := bench.verifier.Stats()
+			if s.Hits+s.Misses > 0 {
+				b.ReportMetric(float64(s.Hits)/float64(s.Hits+s.Misses), "cache_hit_rate")
+			}
+		})
 	}
 }

@@ -23,22 +23,33 @@ type DeltaSweep struct {
 	Blocks []int
 }
 
-// RunDeltaSweep runs short deployments across Δ values.
+// RunDeltaSweep runs short deployments across Δ values. The deployments
+// are fully independent and seed-isolated, so they fan out across the
+// bounded worker pool; per-index result slots keep the output identical to
+// a sequential run.
 func RunDeltaSweep(deltas []time.Duration, days float64, seed int64) (*DeltaSweep, error) {
-	out := &DeltaSweep{Deltas: deltas}
-	for _, delta := range deltas {
+	out := &DeltaSweep{
+		Deltas:   deltas,
+		AtCutoff: make([]float64, len(deltas)),
+		Blocks:   make([]int, len(deltas)),
+	}
+	err := forEach(len(deltas), func(i int) error {
 		params := guest.DefaultParams()
-		params.Delta = delta
+		params.Delta = deltas[i]
 		cfg := DefaultConfig()
 		cfg.Duration = time.Duration(days * 24 * float64(time.Hour))
 		cfg.Seed = seed
 		dep, err := RunWithNetwork(cfg, core.Config{GuestParams: params, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fig := BuildFig6(dep)
-		out.AtCutoff = append(out.AtCutoff, fig.AtCutoff)
-		out.Blocks = append(out.Blocks, len(fig.Intervals)+1)
+		out.AtCutoff[i] = fig.AtCutoff
+		out.Blocks[i] = len(fig.Intervals) + 1
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -64,13 +75,18 @@ type QuorumSweep struct {
 }
 
 // RunQuorumSweep runs short deployments with equal-stake fleets of the
-// given sizes (identical per-validator latency models).
+// given sizes (identical per-validator latency models). Like the Δ sweep,
+// the per-size deployments are independent and run concurrently.
 func RunQuorumSweep(sizes []int, days float64, seed int64) (*QuorumSweep, error) {
-	out := &QuorumSweep{FleetSizes: sizes}
-	for _, n := range sizes {
-		fleet := make([]validator.Behaviour, n)
-		for i := range fleet {
-			fleet[i] = validator.Behaviour{
+	out := &QuorumSweep{
+		FleetSizes: sizes,
+		MedianSec:  make([]float64, len(sizes)),
+		P95Sec:     make([]float64, len(sizes)),
+	}
+	err := forEach(len(sizes), func(i int) error {
+		fleet := make([]validator.Behaviour, sizes[i])
+		for j := range fleet {
+			fleet[j] = validator.Behaviour{
 				Active:  true,
 				Latency: sim.LogNormal{Mu: 1.28, Sigma: 0.6, Shift: 400 * time.Millisecond},
 				Policy:  fees.Policy{Name: "fixed", PriorityFee: 10_000},
@@ -81,11 +97,15 @@ func RunQuorumSweep(sizes []int, days float64, seed int64) (*QuorumSweep, error)
 		cfg.Seed = seed
 		dep, err := RunWithNetwork(cfg, core.Config{Behaviours: fleet, Seed: seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fig := BuildFig2(dep)
-		out.MedianSec = append(out.MedianSec, fig.Summary.Med)
-		out.P95Sec = append(out.P95Sec, stats.QuantileUnsorted(fig.Latencies, 0.95))
+		out.MedianSec[i] = fig.Summary.Med
+		out.P95Sec[i] = stats.QuantileUnsorted(fig.Latencies, 0.95)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

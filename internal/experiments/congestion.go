@@ -50,10 +50,40 @@ func (p *noteProgram) Execute(ctx *host.ExecContext, ins host.Instruction) error
 	return nil
 }
 
-// RunCongestionAblation probes a host chain with three sender policies
-// across quiet and congested phases: spam paying a mid-level priority fee
-// floods the chain during the middle 40%% of the window.
+// probeResult is one policy's measurements from an isolated probe run.
+type probeResult struct {
+	delays []float64
+	cents  float64
+}
+
+// RunCongestionAblation probes a congested host with three sender
+// policies. Each policy gets its own fully independent simulated world —
+// the same spam schedule hits each chain, and a single probe measures
+// inclusion delay — so the three runs fan out across the worker pool while
+// staying individually deterministic. (The probes are a negligible load
+// next to the spam, so isolating them does not change the congestion the
+// spammer creates.)
 func RunCongestionAblation(minutes int, seed int64) *CongestionAblation {
+	names := []string{"fixed-low", "adaptive", "fixed-high"}
+	results := make([]probeResult, len(names))
+	_ = forEach(len(names), func(i int) error {
+		results[i] = runCongestionProbe(minutes, names[i])
+		return nil
+	})
+	return &CongestionAblation{
+		FixedLowDelays:  results[0].delays,
+		AdaptiveDelays:  results[1].delays,
+		FixedHighDelays: results[2].delays,
+		FixedLowCents:   results[0].cents,
+		AdaptiveCents:   results[1].cents,
+		FixedHighCents:  results[2].cents,
+	}
+}
+
+// runCongestionProbe measures one fee policy against the spam burst on a
+// private chain: spam paying a mid-level priority fee floods the chain
+// during the middle 40% of the window.
+func runCongestionProbe(minutes int, policyName string) probeResult {
 	sched := sim.NewScheduler(time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC))
 	chain := host.NewChain(sched.Clock())
 	chain.SetBlockRetention(64)
@@ -91,57 +121,48 @@ func RunCongestionAblation(minutes int, seed int64) *CongestionAblation {
 		return true
 	})
 
-	adaptive := fees.NewAdaptive(chain)
-	adaptive.Floor = 1_000
-	adaptive.Ceiling = 400_000
-	adaptive.FullAt = 150
+	var policy func() fees.Policy
+	switch policyName {
+	case "fixed-low":
+		policy = func() fees.Policy { return fees.Policy{Name: "low", PriorityFee: 1_000} }
+	case "fixed-high":
+		policy = func() fees.Policy { return fees.Policy{Name: "high", PriorityFee: 400_000} }
+	default:
+		adaptive := fees.NewAdaptive(chain)
+		adaptive.Floor = 1_000
+		adaptive.Ceiling = 400_000
+		adaptive.FullAt = 150
+		policy = adaptive.Policy
+	}
 
-	out := &CongestionAblation{}
-	type probe struct {
-		name     string
-		policy   func() fees.Policy
-		payer    cryptoutil.PubKey
-		sent     map[string]time.Time
-		delays   *[]float64
-		fees     host.Lamports
-		count    int
-		sequence int
-	}
-	probes := []*probe{
-		{name: "fixed-low", policy: func() fees.Policy { return fees.Policy{Name: "low", PriorityFee: 1_000} }, delays: &out.FixedLowDelays},
-		{name: "adaptive", policy: adaptive.Policy, delays: &out.AdaptiveDelays},
-		{name: "fixed-high", policy: func() fees.Policy { return fees.Policy{Name: "high", PriorityFee: 400_000} }, delays: &out.FixedHighDelays},
-	}
-	for _, p := range probes {
-		p.payer = cryptoutil.GenerateKey("probe-" + p.name).Public()
-		chain.Fund(p.payer, 1_000*host.LamportsPerSOL)
-		p.sent = make(map[string]time.Time)
-	}
+	payer := cryptoutil.GenerateKey("probe-" + policyName).Public()
+	chain.Fund(payer, 1_000*host.LamportsPerSOL)
+	sent := make(map[string]time.Time)
+	var res probeResult
+	var paid host.Lamports
+	var count, sequence int
 
 	// Probes fire every ~10 s, offset from slot boundaries so the
 	// inclusion delay is visible.
-	for _, p := range probes {
-		p := p
-		sched.Every(9700*time.Millisecond, func() bool {
-			p.sequence++
-			tag := fmt.Sprintf("%s/%d", p.name, p.sequence)
-			pol := p.policy()
-			tx := &host.Transaction{
-				FeePayer:     p.payer,
-				Instructions: []host.Instruction{{Program: probeProg.id, Data: []byte(tag)}},
-				PriorityFee:  pol.PriorityFee,
-				BundleTip:    pol.BundleTip,
-				Label:        "probe",
-			}
-			if err := chain.Submit(tx); err != nil {
-				return true
-			}
-			p.sent[tag] = sched.Now()
-			p.fees += tx.Fee()
-			p.count++
+	sched.Every(9700*time.Millisecond, func() bool {
+		sequence++
+		tag := fmt.Sprintf("%s/%d", policyName, sequence)
+		pol := policy()
+		tx := &host.Transaction{
+			FeePayer:     payer,
+			Instructions: []host.Instruction{{Program: probeProg.id, Data: []byte(tag)}},
+			PriorityFee:  pol.PriorityFee,
+			BundleTip:    pol.BundleTip,
+			Label:        "probe",
+		}
+		if err := chain.Submit(tx); err != nil {
 			return true
-		})
-	}
+		}
+		sent[tag] = sched.Now()
+		paid += tx.Fee()
+		count++
+		return true
+	})
 
 	// Watcher: collect probe landings once per slot.
 	var cursor host.Slot
@@ -153,11 +174,9 @@ func RunCongestionAblation(minutes int, seed int64) *CongestionAblation {
 				if !ok {
 					continue
 				}
-				for _, p := range probes {
-					if at, ok := p.sent[tag]; ok {
-						*p.delays = append(*p.delays, b.Time.Sub(at).Seconds())
-						delete(p.sent, tag)
-					}
+				if at, ok := sent[tag]; ok {
+					res.delays = append(res.delays, b.Time.Sub(at).Seconds())
+					delete(sent, tag)
 				}
 			}
 		}
@@ -166,21 +185,10 @@ func RunCongestionAblation(minutes int, seed int64) *CongestionAblation {
 
 	sched.RunFor(time.Duration(minutes) * time.Minute)
 
-	for _, p := range probes {
-		if p.count == 0 {
-			continue
-		}
-		mean := fees.Cents(p.fees) / float64(p.count)
-		switch p.name {
-		case "fixed-low":
-			out.FixedLowCents = mean
-		case "adaptive":
-			out.AdaptiveCents = mean
-		case "fixed-high":
-			out.FixedHighCents = mean
-		}
+	if count > 0 {
+		res.cents = fees.Cents(paid) / float64(count)
 	}
-	return out
+	return res
 }
 
 // Render prints the ablation.

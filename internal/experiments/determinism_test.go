@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepParallelDeterminism pins the fan-out pool to one worker, runs
+// the sweeps sequentially, then re-runs them with a wide pool and requires
+// byte-identical rendered figures: parallelising the drivers must not
+// change a single reported metric.
+func TestSweepParallelDeterminism(t *testing.T) {
+	old := sweepWorkers
+	defer func() { sweepWorkers = old }()
+
+	sizes := []int{4, 8}
+	deltas := []time.Duration{30 * time.Minute, 2 * time.Hour}
+
+	sweepWorkers = 1
+	seqQ, err := RunQuorumSweep(sizes, 0.25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqD, err := RunDeltaSweep(deltas, 0.25, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqC := RunCongestionAblation(6, 13)
+
+	sweepWorkers = 4
+	parQ, err := RunQuorumSweep(sizes, 0.25, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parD, err := RunDeltaSweep(deltas, 0.25, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parC := RunCongestionAblation(6, 13)
+
+	if got, want := parQ.Render(), seqQ.Render(); got != want {
+		t.Errorf("quorum sweep diverged:\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+	if got, want := parD.Render(), seqD.Render(); got != want {
+		t.Errorf("delta sweep diverged:\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+	if got, want := parC.Render(), seqC.Render(); got != want {
+		t.Errorf("congestion ablation diverged:\nsequential:\n%s\nparallel:\n%s", want, got)
+	}
+}

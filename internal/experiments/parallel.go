@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// sweepWorkers caps the goroutines used to fan out independent sweep
+// deployments; 0 means GOMAXPROCS. The determinism regression test pins it
+// to 1 to prove the parallel fan-out reproduces the sequential results
+// byte for byte.
+var sweepWorkers = 0
+
+// forEach runs fn(i) for every i in [0, n) across a bounded pool of
+// goroutines. Each index is fully independent (the sweeps seed each
+// deployment separately), so the only coordination is the index counter.
+// Results must be written to per-index slots by fn, which keeps output
+// ordering — and therefore rendered figures — identical to a sequential
+// loop. On error, the error from the smallest index is returned, again
+// matching what a sequential loop would surface first.
+func forEach(n int, fn func(i int) error) error {
+	workers := sweepWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		firstIdx = n
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -25,25 +25,37 @@ type ProfileComparison struct {
 }
 
 // RunProfileComparison runs a short identical workload on each host
-// profile.
+// profile. The three hosts are independent simulated worlds, so they run
+// concurrently on the bounded pool.
 func RunProfileComparison(days float64, seed int64) (*ProfileComparison, error) {
-	out := &ProfileComparison{}
-	for _, profile := range []host.Profile{
+	profiles := []host.Profile{
 		host.SolanaProfile(),
 		host.NEARLikeProfile(),
 		host.TRONLikeProfile(),
-	} {
+	}
+	out := &ProfileComparison{
+		Profiles:  make([]string, len(profiles)),
+		UpdateTxs: make([]float64, len(profiles)),
+		RecvTxs:   make([]float64, len(profiles)),
+		Delivered: make([]int, len(profiles)),
+	}
+	err := forEach(len(profiles), func(i int) error {
+		profile := profiles[i]
 		cfg := DefaultConfig()
 		cfg.Duration = time.Duration(days * 24 * float64(time.Hour))
 		cfg.Seed = seed
 		dep, err := RunWithNetwork(cfg, core.Config{HostProfile: profile, Seed: seed})
 		if err != nil {
-			return nil, fmt.Errorf("profile %s: %w", profile.Name, err)
+			return fmt.Errorf("profile %s: %w", profile.Name, err)
 		}
-		out.Profiles = append(out.Profiles, profile.Name)
-		out.UpdateTxs = append(out.UpdateTxs, stats.Mean(dep.UpdateTxCounts))
-		out.RecvTxs = append(out.RecvTxs, stats.Mean(dep.RecvTxs))
-		out.Delivered = append(out.Delivered, len(dep.RecvTxs))
+		out.Profiles[i] = profile.Name
+		out.UpdateTxs[i] = stats.Mean(dep.UpdateTxCounts)
+		out.RecvTxs[i] = stats.Mean(dep.RecvTxs)
+		out.Delivered[i] = len(dep.RecvTxs)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -74,7 +74,11 @@ func New(name string, chain *host.Chain, contract *guest.Contract, gossip *Gossi
 // Key returns the fisherman's fee-paying key.
 func (f *Fisherman) Key() *cryptoutil.PrivKey { return f.key }
 
-// Poll scans new sightings and submits evidence for offences.
+// Poll scans new sightings and submits evidence for offences. The audit
+// screens the whole poll window's signatures as one batch — forged
+// sightings are dropped per-entry rather than failing the poll, so the
+// batch runs without fail-fast — and classification stays serial to keep
+// evidence submission order deterministic.
 func (f *Fisherman) Poll() error {
 	obs, cursor := f.gossip.Since(f.cursor)
 	f.cursor = cursor
@@ -82,8 +86,13 @@ func (f *Fisherman) Poll() error {
 	if err != nil {
 		return err
 	}
-	for _, o := range obs {
-		if !cryptoutil.VerifyHash(o.PubKey, guestblock.SigningPayloadForHash(o.BlockHash), o.Signature) {
+	tasks := make([]cryptoutil.VerifyTask, len(obs))
+	for i, o := range obs {
+		tasks[i] = cryptoutil.HashTask(o.PubKey, guestblock.SigningPayloadForHash(o.BlockHash), o.Signature)
+	}
+	valid := cryptoutil.DefaultBatchVerifier().VerifyEach(tasks)
+	for i, o := range obs {
+		if !valid[i] {
 			continue // forged sighting, not usable evidence
 		}
 		if ev := f.classify(st, o); ev != nil {

@@ -254,17 +254,30 @@ func UnmarshalSignedBlock(data []byte) (*SignedBlock, error) {
 }
 
 // VerifyQuorum checks that the signatures are valid votes from distinct
-// epoch validators whose stake reaches the epoch quorum.
+// epoch validators whose stake reaches the epoch quorum. Signature checks
+// run through the shared batch verifier (worker pool + verification cache),
+// so a quorum the relayer, light client, and fishermen each inspect is only
+// paid for once.
 func (sb *SignedBlock) VerifyQuorum(epoch *Epoch) error {
+	return sb.VerifyQuorumWith(epoch, cryptoutil.DefaultBatchVerifier())
+}
+
+// VerifyQuorumWith is VerifyQuorum with an explicit verifier; benchmarks
+// and tests use it to compare sequential, parallel, and cached paths.
+func (sb *SignedBlock) VerifyQuorumWith(epoch *Epoch, verifier *cryptoutil.BatchVerifier) error {
 	if sb.Block.EpochIndex != epoch.Index {
 		return fmt.Errorf("guestblock: block epoch %d, verifying with epoch %d", sb.Block.EpochIndex, epoch.Index)
 	}
 	if sb.Block.EpochCommitment != epoch.Commitment() {
 		return errors.New("guestblock: epoch commitment mismatch")
 	}
+	// Cheap structural checks first: duplicates, membership, and stake
+	// arithmetic cost nothing next to Ed25519, and rejecting on them avoids
+	// burning pool time on a malformed update.
 	payload := sb.Block.SigningPayload()
 	seen := make(map[cryptoutil.PubKey]bool, len(sb.Signatures))
 	var stake uint64
+	tasks := make([]cryptoutil.VerifyTask, 0, len(sb.Signatures))
 	for _, s := range sb.Signatures {
 		if seen[s.PubKey] {
 			return fmt.Errorf("guestblock: duplicate signature from %s", s.PubKey.Short())
@@ -274,13 +287,20 @@ func (sb *SignedBlock) VerifyQuorum(epoch *Epoch) error {
 		if vstake == 0 {
 			return fmt.Errorf("guestblock: signer %s not in epoch", s.PubKey.Short())
 		}
-		if !cryptoutil.VerifyHash(s.PubKey, payload, s.Signature) {
-			return fmt.Errorf("guestblock: invalid signature from %s", s.PubKey.Short())
-		}
 		stake += vstake
+		tasks = append(tasks, cryptoutil.HashTask(s.PubKey, payload, s.Signature))
 	}
 	if stake < epoch.QuorumStake {
 		return fmt.Errorf("guestblock: stake %d below quorum %d", stake, epoch.QuorumStake)
+	}
+	if !verifier.VerifyAll(tasks) {
+		// Rare failure path: rescan serially so the reported offender is
+		// the same one a sequential loop would name.
+		for i, t := range tasks {
+			if !verifier.Verify(t) {
+				return fmt.Errorf("guestblock: invalid signature from %s", sb.Signatures[i].PubKey.Short())
+			}
+		}
 	}
 	return nil
 }

@@ -201,23 +201,34 @@ func (c *Client) verifyCommit(u *Update, check SigChecker) error {
 	headerHash := u.Header.Hash()
 	seen := make(map[cryptoutil.PubKey]bool, len(u.Commit))
 	var ownPower, trustedPower uint64
+	tasks := make([]cryptoutil.VerifyTask, 0, len(u.Commit))
 	for _, sig := range u.Commit {
 		if seen[sig.PubKey] {
 			return fmt.Errorf("tendermint: duplicate commit signature from %s", sig.PubKey.Short())
 		}
 		seen[sig.PubKey] = true
 		payload := VotePayload(headerHash, sig.Timestamp)
-		ok := false
 		if check != nil {
-			ok = check(sig.PubKey, payload)
+			// Out-of-band checker (host precompile lookup): a map probe,
+			// nothing to parallelise.
+			if !check(sig.PubKey, payload) {
+				return fmt.Errorf("tendermint: invalid commit signature from %s", sig.PubKey.Short())
+			}
 		} else {
-			ok = cryptoutil.VerifyHash(sig.PubKey, payload, sig.Signature)
-		}
-		if !ok {
-			return fmt.Errorf("tendermint: invalid commit signature from %s", sig.PubKey.Short())
+			tasks = append(tasks, cryptoutil.HashTask(sig.PubKey, payload, sig.Signature))
 		}
 		ownPower += u.ValSet.PowerOf(sig.PubKey)
 		trustedPower += c.trustedVals.PowerOf(sig.PubKey)
+	}
+	if len(tasks) > 0 {
+		verifier := cryptoutil.DefaultBatchVerifier()
+		if !verifier.VerifyAll(tasks) {
+			for i, t := range tasks {
+				if !verifier.Verify(t) {
+					return fmt.Errorf("tendermint: invalid commit signature from %s", u.Commit[i].PubKey.Short())
+				}
+			}
+		}
 	}
 	if ownPower*3 <= u.ValSet.TotalPower()*2 {
 		return fmt.Errorf("%w: %d of %d", ErrInsufficientSig, ownPower, u.ValSet.TotalPower())

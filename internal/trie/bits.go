@@ -46,13 +46,13 @@ func pathToKey(p path) [KeySize]byte {
 // NOT included; callers hash the length separately. Trailing bits of the
 // final byte are zero.
 func (p path) pack() []byte {
-	out := make([]byte, (len(p)+7)/8)
+	buf := make([]byte, (len(p)+7)/8)
 	for i, b := range p {
 		if b != 0 {
-			out[i/8] |= 1 << (7 - uint(i%8))
+			buf[i/8] |= 1 << (7 - uint(i%8))
 		}
 	}
-	return out
+	return buf
 }
 
 // canonicalPacked reports whether packed is the canonical encoding of a

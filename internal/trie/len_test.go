@@ -1,0 +1,85 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cryptoutil"
+)
+
+// TestLenMatchesKeysUnderChurn drives the trie through interleaved inserts,
+// overwrites, seals, and deletes, asserting after every mutation that the
+// O(1) leaf counter agrees with a full walk (len(Keys())).
+func TestLenMatchesKeysUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	value := cryptoutil.HashBytes([]byte("v"))
+
+	check := func(op string, i int) {
+		t.Helper()
+		if got, want := tr.Len(), len(tr.Keys()); got != want {
+			t.Fatalf("step %d (%s): Len() = %d, Keys() walk = %d", i, op, got, want)
+		}
+	}
+
+	var live, sealed [][KeySize]byte
+	for i := 0; i < 4000; i++ {
+		switch r := rng.Float64(); {
+		case r < 0.5: // insert a fresh key
+			k := [KeySize]byte(cryptoutil.HashUint64('c', uint64(i)))
+			if err := tr.Set(k, value); err != nil {
+				t.Fatalf("step %d set: %v", i, err)
+			}
+			live = append(live, k)
+			check("set", i)
+		case r < 0.6 && len(live) > 0: // overwrite an existing key
+			k := live[rng.Intn(len(live))]
+			if err := tr.Set(k, cryptoutil.HashUint64('w', uint64(i))); err != nil {
+				t.Fatalf("step %d overwrite: %v", i, err)
+			}
+			check("overwrite", i)
+		case r < 0.8 && len(live) > 0: // seal a live key
+			j := rng.Intn(len(live))
+			k := live[j]
+			if err := tr.Seal(k); err != nil {
+				t.Fatalf("step %d seal: %v", i, err)
+			}
+			live = append(live[:j], live[j+1:]...)
+			sealed = append(sealed, k)
+			check("seal", i)
+		case len(live) > 0: // delete a live key (sealed siblings may block)
+			j := rng.Intn(len(live))
+			k := live[j]
+			err := tr.Delete(k)
+			switch err {
+			case nil:
+				live = append(live[:j], live[j+1:]...)
+			case ErrSealed:
+				// legal: sibling subtree sealed, key stays live
+			default:
+				t.Fatalf("step %d delete: %v", i, err)
+			}
+			check("delete", i)
+		}
+	}
+	if len(live) == 0 || len(sealed) == 0 {
+		t.Fatalf("churn did not exercise all paths: live=%d sealed=%d", len(live), len(sealed))
+	}
+
+	// Serialisation round-trips the counter.
+	data, err := tr.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalTrie(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("round-trip Len() = %d, want %d", back.Len(), tr.Len())
+	}
+	// And so does Clone.
+	if got := tr.Clone().Len(); got != tr.Len() {
+		t.Fatalf("clone Len() = %d, want %d", got, tr.Len())
+	}
+}

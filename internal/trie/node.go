@@ -1,6 +1,7 @@
 package trie
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 
 	"repro/internal/cryptoutil"
@@ -99,6 +100,59 @@ func (n *node) hash() cryptoutil.Hash {
 	default:
 		panic("trie: invalid node kind")
 	}
+}
+
+// nodeHasher assembles a node's preimage into a reusable scratch buffer
+// and digests it with one sha256.Sum256 call. Each Trie owns one: trie
+// mutations are serialised (the account model forbids concurrent writers
+// anyway), so the scratch removes the per-node path-packing allocation
+// from the rehash spine, and Sum256 keeps the digest state on the stack —
+// an interface-valued hash.Hash here would force every argument to escape.
+// The byte streams are identical to leafHash/branchHash/extHash.
+type nodeHasher struct {
+	buf []byte
+}
+
+// appendPacked appends the canonical packed encoding of p to b.
+func appendPacked(b []byte, p path) []byte {
+	start := len(b)
+	for n := (len(p) + 7) / 8; n > 0; n-- {
+		b = append(b, 0)
+	}
+	for i, bit := range p {
+		if bit != 0 {
+			b[start+i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return b
+}
+
+// node computes n's commitment using the reusable scratch buffer.
+func (nh *nodeHasher) node(n *node) cryptoutil.Hash {
+	if nh.buf == nil {
+		// Largest preimage: tag + 2-byte length + 32-byte packed path +
+		// 32-byte value/child hash, or tag + two 32-byte child hashes.
+		nh.buf = make([]byte, 0, 3+KeySize+KeySize)
+	}
+	b := nh.buf[:0]
+	switch n.kind {
+	case kindLeaf:
+		b = append(b, tagLeaf, byte(len(n.path)>>8), byte(len(n.path)))
+		b = appendPacked(b, n.path)
+		b = append(b, n.value[:]...)
+	case kindBranch:
+		b = append(b, tagBranch)
+		b = append(b, n.children[0].hash[:]...)
+		b = append(b, n.children[1].hash[:]...)
+	case kindExt:
+		b = append(b, tagExt, byte(len(n.path)>>8), byte(len(n.path)))
+		b = appendPacked(b, n.path)
+		b = append(b, n.child.hash[:]...)
+	default:
+		panic("trie: invalid node kind")
+	}
+	nh.buf = b
+	return sha256.Sum256(b)
 }
 
 // storageBytes models the on-chain storage footprint of a node, mirroring

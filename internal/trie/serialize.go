@@ -90,7 +90,7 @@ func UnmarshalTrie(data []byte) (*Trie, error) {
 		totalAllocs: int(r.U64()),
 		totalFrees:  int(r.U64()),
 	}
-	root, count, sealed, err := decodeRef(r, 0)
+	root, counts, err := decodeRef(r, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -98,67 +98,87 @@ func UnmarshalTrie(data []byte) (*Trie, error) {
 		return nil, fmt.Errorf("trie: decode: %w", err)
 	}
 	t.root = root
-	t.nodeCount = count
-	t.sealedCount = sealed
+	t.nodeCount = counts.nodes
+	t.sealedCount = counts.sealed
+	t.leafCount = counts.leaves
 	return t, nil
 }
 
-func decodeRef(r *wire.Reader, depth int) (ref, int, int, error) {
+// decodeCounts accumulates the node statistics rebuilt during decoding.
+type decodeCounts struct {
+	nodes  int // allocated nodes
+	sealed int // sealed refs
+	leaves int // live (unsealed) leaves, restoring the O(1) Len counter
+}
+
+func (c decodeCounts) plus(d decodeCounts, extraNodes int) decodeCounts {
+	return decodeCounts{
+		nodes:  c.nodes + d.nodes + extraNodes,
+		sealed: c.sealed + d.sealed,
+		leaves: c.leaves + d.leaves,
+	}
+}
+
+func decodeRef(r *wire.Reader, depth int) (ref, decodeCounts, error) {
 	if depth > keyBits+1 {
-		return ref{}, 0, 0, fmt.Errorf("trie: decode: depth overflow")
+		return ref{}, decodeCounts{}, fmt.Errorf("trie: decode: depth overflow")
 	}
 	switch tag := r.U8(); tag {
 	case serTagEmpty:
-		return ref{}, 0, 0, nil
+		return ref{}, decodeCounts{}, nil
 	case serTagSealed:
-		return ref{hash: r.Hash(), sealed: true}, 0, 1, nil
+		return ref{hash: r.Hash(), sealed: true}, decodeCounts{sealed: 1}, nil
 	case serTagLeaf:
 		flags := r.U8()
 		if flags > 1 {
-			return ref{}, 0, 0, fmt.Errorf("trie: decode: invalid leaf flags %#x", flags)
+			return ref{}, decodeCounts{}, fmt.Errorf("trie: decode: invalid leaf flags %#x", flags)
 		}
 		bits := int(r.U16())
 		packed := r.Bytes16()
 		if err := r.Err(); err != nil {
-			return ref{}, 0, 0, err
+			return ref{}, decodeCounts{}, err
 		}
 		if !canonicalPacked(packed, bits) {
-			return ref{}, 0, 0, fmt.Errorf("trie: decode: non-canonical leaf path")
+			return ref{}, decodeCounts{}, fmt.Errorf("trie: decode: non-canonical leaf path")
 		}
 		n := &node{kind: kindLeaf, path: unpackPath(packed, bits), value: r.Hash(), sealed: flags&1 != 0}
 		if r.Err() != nil {
-			return ref{}, 0, 0, r.Err()
+			return ref{}, decodeCounts{}, r.Err()
 		}
-		return ref{hash: n.hash(), node: n}, 1, 0, nil
+		counts := decodeCounts{nodes: 1}
+		if !n.sealed {
+			counts.leaves = 1
+		}
+		return ref{hash: n.hash(), node: n}, counts, nil
 	case serTagBranch:
-		left, lc, ls, err := decodeRef(r, depth+1)
+		left, lc, err := decodeRef(r, depth+1)
 		if err != nil {
-			return ref{}, 0, 0, err
+			return ref{}, decodeCounts{}, err
 		}
-		right, rc, rs, err := decodeRef(r, depth+1)
+		right, rc, err := decodeRef(r, depth+1)
 		if err != nil {
-			return ref{}, 0, 0, err
+			return ref{}, decodeCounts{}, err
 		}
 		n := &node{kind: kindBranch}
 		n.children[0] = left
 		n.children[1] = right
-		return ref{hash: n.hash(), node: n}, lc + rc + 1, ls + rs, nil
+		return ref{hash: n.hash(), node: n}, lc.plus(rc, 1), nil
 	case serTagExt:
 		bits := int(r.U16())
 		packed := r.Bytes16()
 		if err := r.Err(); err != nil {
-			return ref{}, 0, 0, err
+			return ref{}, decodeCounts{}, err
 		}
 		if !canonicalPacked(packed, bits) {
-			return ref{}, 0, 0, fmt.Errorf("trie: decode: non-canonical extension path")
+			return ref{}, decodeCounts{}, fmt.Errorf("trie: decode: non-canonical extension path")
 		}
-		child, cc, cs, err := decodeRef(r, depth+1)
+		child, cc, err := decodeRef(r, depth+1)
 		if err != nil {
-			return ref{}, 0, 0, err
+			return ref{}, decodeCounts{}, err
 		}
 		n := &node{kind: kindExt, path: unpackPath(packed, bits), child: child}
-		return ref{hash: n.hash(), node: n}, cc + 1, cs, nil
+		return ref{hash: n.hash(), node: n}, cc.plus(decodeCounts{}, 1), nil
 	default:
-		return ref{}, 0, 0, fmt.Errorf("trie: decode: unknown tag %d", tag)
+		return ref{}, decodeCounts{}, fmt.Errorf("trie: decode: unknown tag %d", tag)
 	}
 }

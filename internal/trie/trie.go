@@ -31,12 +31,18 @@ type Trie struct {
 	root ref
 
 	nodeCount   int // live (unsealed, allocated) nodes
+	leafCount   int // live (unsealed) leaves, maintained so Len is O(1)
 	sealedCount int // refs currently marked sealed
 	maxNodes    int // 0 = unlimited
 
 	// Cumulative counters used by the storage experiments.
 	totalAllocs int
 	totalFrees  int
+
+	// hs is the reusable hashing state for the rehash spine. It is never
+	// shared between tries (Clone leaves it zero) so single-writer tries
+	// stay goroutine-isolated.
+	hs nodeHasher
 }
 
 // Option configures a Trie.
@@ -70,25 +76,9 @@ func EmptyRoot() cryptoutil.Hash { return cryptoutil.ZeroHash }
 func (t *Trie) Root() cryptoutil.Hash { return t.root.hash }
 
 // Len returns the number of live (retrievable) key-value pairs. Sealed
-// entries are not counted.
-func (t *Trie) Len() int { return t.countLeaves(&t.root) }
-
-func (t *Trie) countLeaves(r *ref) int {
-	if r.node == nil {
-		return 0
-	}
-	switch r.node.kind {
-	case kindLeaf:
-		if r.node.sealed {
-			return 0
-		}
-		return 1
-	case kindExt:
-		return t.countLeaves(&r.node.child)
-	default:
-		return t.countLeaves(&r.node.children[0]) + t.countLeaves(&r.node.children[1])
-	}
-}
+// entries are not counted. The count is maintained incrementally by
+// Set/Seal/Delete, so Len is O(1) instead of a full trie walk.
+func (t *Trie) Len() int { return t.leafCount }
 
 // NodeCount returns the number of live allocated nodes.
 func (t *Trie) NodeCount() int { return t.nodeCount }
@@ -123,10 +113,11 @@ func (t *Trie) free(n *node) {
 	t.totalFrees++
 }
 
-// rehash recomputes commitments from the deepest changed ref up to the root.
-func rehash(stack []*ref) {
+// rehash recomputes commitments from the deepest changed ref up to the
+// root, through the trie's reusable hashing state.
+func (t *Trie) rehash(stack []*ref) {
 	for i := len(stack) - 1; i >= 0; i-- {
-		stack[i].hash = stack[i].node.hash()
+		stack[i].hash = t.hs.node(stack[i].node)
 	}
 }
 
@@ -155,8 +146,9 @@ func (t *Trie) Set(key [KeySize]byte, value cryptoutil.Hash) error {
 				return err
 			}
 			cur.node = leaf
-			cur.hash = leaf.hash()
-			rehash(stack)
+			cur.hash = t.hs.node(leaf)
+			t.leafCount++
+			t.rehash(stack)
 			return nil
 		}
 		n := cur.node
@@ -170,14 +162,14 @@ func (t *Trie) Set(key [KeySize]byte, value cryptoutil.Hash) error {
 					return ErrSealed
 				}
 				n.value = value
-				cur.hash = n.hash()
-				rehash(stack)
+				cur.hash = t.hs.node(n)
+				t.rehash(stack)
 				return nil
 			}
 			if err := t.splitLeaf(cur, n, remaining, value, c); err != nil {
 				return err
 			}
-			rehash(stack)
+			t.rehash(stack)
 			return nil
 		case kindExt:
 			c := commonPrefixLen(n.path, remaining)
@@ -190,7 +182,7 @@ func (t *Trie) Set(key [KeySize]byte, value cryptoutil.Hash) error {
 			if err := t.splitExt(cur, n, remaining, value, c); err != nil {
 				return err
 			}
-			rehash(stack)
+			t.rehash(stack)
 			return nil
 		case kindBranch:
 			if len(remaining) == 0 {
@@ -225,23 +217,25 @@ func (t *Trie) splitLeaf(cur *ref, old *node, remaining path, value cryptoutil.H
 	}
 	// Reuse the old leaf node with a shortened path.
 	old.path = oldRest[1:].clone()
-	br.children[oldRest[0]] = ref{hash: old.hash(), node: old}
-	br.children[newRest[0]] = ref{hash: newLeaf.hash(), node: newLeaf}
+	br.children[oldRest[0]] = ref{hash: t.hs.node(old), node: old}
+	br.children[newRest[0]] = ref{hash: t.hs.node(newLeaf), node: newLeaf}
+	t.leafCount++
 
 	if c == 0 {
 		cur.node = br
-		cur.hash = br.hash()
+		cur.hash = t.hs.node(br)
 		return nil
 	}
 	ext, err := t.alloc(&node{kind: kindExt, path: remaining[:c].clone()})
 	if err != nil {
 		t.free(newLeaf)
 		t.free(br)
+		t.leafCount--
 		return err
 	}
-	ext.child = ref{hash: br.hash(), node: br}
+	ext.child = ref{hash: t.hs.node(br), node: br}
 	cur.node = ext
-	cur.hash = ext.hash()
+	cur.hash = t.hs.node(ext)
 	return nil
 }
 
@@ -268,24 +262,26 @@ func (t *Trie) splitExt(cur *ref, old *node, remaining path, value cryptoutil.Ha
 		t.free(old)
 	} else {
 		old.path = oldRest[1:].clone()
-		br.children[oldRest[0]] = ref{hash: old.hash(), node: old}
+		br.children[oldRest[0]] = ref{hash: t.hs.node(old), node: old}
 	}
-	br.children[newRest[0]] = ref{hash: newLeaf.hash(), node: newLeaf}
+	br.children[newRest[0]] = ref{hash: t.hs.node(newLeaf), node: newLeaf}
+	t.leafCount++
 
 	if c == 0 {
 		cur.node = br
-		cur.hash = br.hash()
+		cur.hash = t.hs.node(br)
 		return nil
 	}
 	ext, err := t.alloc(&node{kind: kindExt, path: remaining[:c].clone()})
 	if err != nil {
 		t.free(newLeaf)
 		t.free(br)
+		t.leafCount--
 		return err
 	}
-	ext.child = ref{hash: br.hash(), node: br}
+	ext.child = ref{hash: t.hs.node(br), node: br}
 	cur.node = ext
-	cur.hash = ext.hash()
+	cur.hash = t.hs.node(ext)
 	return nil
 }
 
@@ -372,6 +368,7 @@ func (t *Trie) Seal(key [KeySize]byte) error {
 				return ErrSealed
 			}
 			n.sealed = true
+			t.leafCount--
 			t.collapseSaturated(stack)
 			return nil
 		case kindExt:
@@ -488,6 +485,7 @@ func (t *Trie) deleteLeaf(cur *ref, stack []*ref) error {
 	if len(stack) == 0 {
 		// Leaf at root.
 		t.free(cur.node)
+		t.leafCount--
 		*cur = ref{}
 		return nil
 	}
@@ -520,6 +518,7 @@ func (t *Trie) deleteLeaf(cur *ref, stack []*ref) error {
 	}
 	t.free(cur.node)
 	t.free(pn)
+	t.leafCount--
 	*parent = merged
 	stack = stack[:len(stack)-1]
 
@@ -534,7 +533,7 @@ func (t *Trie) deleteLeaf(cur *ref, stack []*ref) error {
 			stack = stack[:len(stack)-1]
 		}
 	}
-	rehash(stack)
+	t.rehash(stack)
 	return nil
 }
 
@@ -546,16 +545,16 @@ func (t *Trie) mergeDown(bit byte, sib ref) (ref, error) {
 	switch n.kind {
 	case kindLeaf:
 		n.path = append(path{bit}, n.path...)
-		return ref{hash: n.hash(), node: n}, nil
+		return ref{hash: t.hs.node(n), node: n}, nil
 	case kindExt:
 		n.path = append(path{bit}, n.path...)
-		return ref{hash: n.hash(), node: n}, nil
+		return ref{hash: t.hs.node(n), node: n}, nil
 	case kindBranch:
 		ext, err := t.alloc(&node{kind: kindExt, path: path{bit}, child: sib})
 		if err != nil {
 			return ref{}, err
 		}
-		return ref{hash: ext.hash(), node: ext}, nil
+		return ref{hash: t.hs.node(ext), node: ext}, nil
 	default:
 		return ref{}, fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
 	}
@@ -574,9 +573,9 @@ func (t *Trie) mergeExtChild(gp *ref) error {
 		child.path = append(ext.path.clone(), child.path...)
 		t.free(ext)
 		gp.node = child
-		gp.hash = child.hash()
+		gp.hash = t.hs.node(child)
 	case kindBranch:
-		gp.hash = ext.hash()
+		gp.hash = t.hs.node(ext)
 	}
 	return nil
 }
@@ -589,6 +588,7 @@ func (t *Trie) mergeExtChild(gp *ref) error {
 func (t *Trie) Clone() *Trie {
 	out := &Trie{
 		nodeCount:   t.nodeCount,
+		leafCount:   t.leafCount,
 		sealedCount: t.sealedCount,
 		maxNodes:    t.maxNodes,
 		totalAllocs: t.totalAllocs,
