@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench
+.PHONY: all build vet lint test race bench
 
 all: test
 
@@ -10,9 +10,21 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Tier-1 gate: everything must compile, vet clean, and pass the test suite.
+# Lint runs staticcheck when it is installed, and falls back to go vet
+# otherwise so the target works offline and in minimal containers.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+# Tier-1 gate: everything must compile, vet clean, pass the test suite, and
+# the telemetry package (shared mutable state everywhere) must be race-clean.
 test: build vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/telemetry/...
 
 race:
 	$(GO) test -race ./...

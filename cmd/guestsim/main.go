@@ -22,6 +22,7 @@ func main() {
 	inPerDay := flag.Float64("in", 14, "counterparty->guest packets per day")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	profileName := flag.String("profile", "solana", "host profile: solana, near-like, tron-like (§VI-D)")
+	metrics := flag.Bool("metrics", false, "print the full telemetry snapshot (metrics, event counts, packet traces)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -88,4 +89,8 @@ func main() {
 		st.StorageNodeCount(), st.StorageBytes(), st.Store.Trie().SealedCount())
 	fmt.Printf("state deposit:       $%.0f (paper: ~$14.6k)\n", fees.USD(dep.Net.Deposit))
 	fmt.Printf("relayer fees:        $%.2f total\n", fees.USD(dep.Net.Relayer.TotalFees))
+
+	if *metrics {
+		fmt.Printf("\n--- telemetry snapshot ---\n%s", dep.Net.SnapshotTelemetry().Render())
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ibc"
 	"repro/internal/relayer"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/transfer"
 	"repro/internal/validator"
 )
@@ -74,6 +75,10 @@ type Network struct {
 	Gossip    *fisherman.Gossip
 	Fishermen []*fisherman.Fisherman
 
+	// Tel collects metrics, events, and packet traces from every layer of
+	// the deployment; see SnapshotTelemetry.
+	Tel *telemetry.Telemetry
+
 	// Deposit is the rent-exempt deposit paid for the state account
 	// (§V-D: ≈ $14.6k).
 	Deposit host.Lamports
@@ -83,6 +88,11 @@ type Network struct {
 	crank         *guest.TxBuilder
 	slotScheduled bool
 	hostCursor    host.Slot
+
+	// Guest-block cadence instruments fed from dispatch.
+	mBlockInterval *telemetry.Histogram
+	mBlockFinalise *telemetry.Histogram
+	lastGuestBlock time.Time
 }
 
 // DefaultStakes returns 24 stakes summing to ≈ $1.25M at $200/SOL
@@ -135,9 +145,19 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.HostProfile.Name == "" {
 		cfg.HostProfile = host.SolanaProfile()
 	}
-	n := &Network{Sched: sim.NewScheduler(cfg.Start), cfg: cfg}
+	n := &Network{Sched: sim.NewScheduler(cfg.Start), cfg: cfg, Tel: telemetry.New()}
 	n.Host = host.NewChainWithProfile(n.Sched.Clock(), cfg.HostProfile)
 	n.Host.SetBlockRetention(2048)
+	n.Host.SetTelemetry(n.Tel.Metrics)
+	n.mBlockInterval = n.Tel.Metrics.Histogram("guest.block.interval_s")
+	n.mBlockFinalise = n.Tel.Metrics.Histogram("guest.block.finalise_s")
+	// Quorum verification cost is real CPU work (Ed25519), so it is the one
+	// wall-clock measurement in an otherwise virtual-time simulation. The
+	// observer is process-wide; the latest Network wins.
+	quorumHist := n.Tel.Metrics.Histogram("guestblock.quorum_verify_s")
+	guestblock.SetQuorumObserver(func(d time.Duration) {
+		quorumHist.Observe(d.Seconds())
+	})
 
 	n.payer = cryptoutil.GenerateKey("network-payer")
 	n.Host.Fund(n.payer.Public(), 1_000_000*host.LamportsPerSOL)
@@ -163,6 +183,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		Params:            cfg.GuestParams,
 		Payer:             n.payer.Public(),
 		GenesisValidators: genesis,
+		Telemetry:         n.Tel.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: deploy guest contract: %w", err)
@@ -170,7 +191,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.Contract = contract
 	n.Deposit = deposit
 
-	cp, err := counterparty.New(cfg.CP, n.Sched.Clock())
+	cp, err := counterparty.New(cfg.CP, n.Sched.Clock(), counterparty.WithTelemetry(n.Tel.Metrics))
 	if err != nil {
 		return nil, fmt.Errorf("core: counterparty: %w", err)
 	}
@@ -202,6 +223,21 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	n.Boot = res
 
+	// Seed the guest-block cadence histograms with the blocks minted during
+	// bootstrap, which predate the dispatch loop.
+	if st, err := contract.State(n.Host); err == nil {
+		for _, e := range st.Entries {
+			if !n.lastGuestBlock.IsZero() {
+				n.mBlockInterval.Observe(e.CreatedAt.Sub(n.lastGuestBlock).Seconds())
+			}
+			n.lastGuestBlock = e.CreatedAt
+			// The genesis entry is born finalised with no FinalisedAt.
+			if e.Finalised && !e.FinalisedAt.IsZero() {
+				n.mBlockFinalise.Observe(e.FinalisedAt.Sub(e.CreatedAt).Seconds())
+			}
+		}
+	}
+
 	rcfg := cfg.RelayerConfig
 	rcfg.GuestClientID = res.GuestClientID
 	rcfg.GuestOnCPClientID = res.GuestOnCPClientID
@@ -209,13 +245,15 @@ func NewNetwork(cfg Config) (*Network, error) {
 	rcfg.GuestChannel = res.GuestChannel
 	rcfg.CPPort = cfg.CPPort
 	rcfg.CPChannel = res.CPChannel
-	n.Relayer = relayer.New(rcfg, n.Host, contract, cp, n.Sched)
+	n.Relayer = relayer.New(rcfg, n.Host, contract, cp, n.Sched, relayer.WithTelemetry(n.Tel))
 	n.Host.Fund(n.Relayer.Key().Public(), 10_000*host.LamportsPerSOL)
 
 	// Validator daemons: activate (and stake, for late joiners) at their
 	// join time.
 	for i, b := range cfg.Behaviours {
-		v := validator.New(n.ValidatorKeys[i], b, n.Host, contract, n.Sched, cfg.Seed+int64(i)*101)
+		v := validator.New(n.ValidatorKeys[i], b, n.Host, contract, n.Sched,
+			validator.WithSeed(cfg.Seed+int64(i)*101),
+			validator.WithTelemetry(n.Tel.Metrics))
 		n.Validators = append(n.Validators, v)
 		i := i
 		if b.JoinAt <= 0 {
@@ -234,7 +272,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 	// Fisherman infrastructure.
 	n.Gossip = &fisherman.Gossip{}
-	f := fisherman.New("0", n.Host, contract, n.Gossip)
+	f := fisherman.New("0", n.Host, contract, n.Gossip, fisherman.WithTelemetry(n.Tel.Metrics))
 	n.Host.Fund(f.Key().Public(), 100*host.LamportsPerSOL)
 	n.Fishermen = []*fisherman.Fisherman{f}
 
@@ -311,8 +349,20 @@ func (n *Network) produceHostBlock() {
 	}
 }
 
-// dispatch fans a host block out to the daemons.
+// dispatch fans a host block out to the daemons and observes guest-block
+// cadence for the telemetry histograms.
 func (n *Network) dispatch(block *host.Block) {
+	for _, ev := range block.Events {
+		switch e := ev.Payload.(type) {
+		case guest.EventNewBlock:
+			if !n.lastGuestBlock.IsZero() {
+				n.mBlockInterval.Observe(e.Block.Time.Sub(n.lastGuestBlock).Seconds())
+			}
+			n.lastGuestBlock = e.Block.Time
+		case guest.EventFinalisedBlock:
+			n.mBlockFinalise.Observe(e.Entry.FinalisedAt.Sub(e.Entry.CreatedAt).Seconds())
+		}
+	}
 	for _, v := range n.Validators {
 		v.OnHostBlock(block)
 	}
@@ -413,4 +463,15 @@ func (n *Network) SendTransferFromCP(sender, receiver, denom string, amount uint
 // GuestState returns the live contract state (read-only off-chain view).
 func (n *Network) GuestState() (*guest.State, error) {
 	return n.Contract.State(n.Host)
+}
+
+// SnapshotTelemetry refreshes the signature-cache gauges from the shared
+// batch verifier and returns a point-in-time snapshot of every metric,
+// event-bus counter, and packet trace in the deployment.
+func (n *Network) SnapshotTelemetry() telemetry.Snapshot {
+	stats := cryptoutil.DefaultBatchVerifier().Stats()
+	n.Tel.Metrics.Gauge("cryptoutil.sigcache.hits").Set(int64(stats.Hits))
+	n.Tel.Metrics.Gauge("cryptoutil.sigcache.misses").Set(int64(stats.Misses))
+	n.Tel.Metrics.Gauge("cryptoutil.sigcache.len").Set(int64(stats.Len))
+	return n.Tel.Snapshot()
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/ibc"
 	"repro/internal/lightclient/tendermint"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises the chain.
@@ -49,11 +50,38 @@ func DefaultConfig() Config {
 	}
 }
 
-// Event is a chain event the relayer polls.
+// Event is a chain event the relayer polls. The payload is typed: ibc
+// handler events surface as ibc.Event* structs, and block-level packet
+// commits as EventPacketsCommitted.
 type Event struct {
-	Height uint64
-	Kind   string
-	Data   any
+	Height  uint64
+	Payload telemetry.Event
+}
+
+// Kind returns the payload's stable event name.
+func (e Event) Kind() string {
+	if e.Payload == nil {
+		return ""
+	}
+	return e.Payload.EventKind()
+}
+
+// EventPacketsCommitted reports the packets committed by a block (relayable
+// from that height on).
+type EventPacketsCommitted struct {
+	Packets []*ibc.Packet
+}
+
+// EventKind implements telemetry.Event.
+func (EventPacketsCommitted) EventKind() string { return "PacketsCommitted" }
+
+// Option configures the chain.
+type Option func(*Chain)
+
+// WithTelemetry registers the chain's IBC handler metrics (under "cp.ibc.")
+// in the given registry.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(c *Chain) { c.telemetry = reg }
 }
 
 // Chain is the simulated counterparty.
@@ -89,11 +117,12 @@ type Chain struct {
 	// packetsAt[height] lists packets committed at that height.
 	packetsAt map[uint64][]*ibc.Packet
 
-	events []Event
+	events    []Event
+	telemetry *telemetry.Registry
 }
 
 // New creates the chain and produces its genesis block.
-func New(cfg Config, clock host.Clock) (*Chain, error) {
+func New(cfg Config, clock host.Clock, opts ...Option) (*Chain, error) {
 	if cfg.NumValidators <= 0 {
 		return nil, errors.New("counterparty: need validators")
 	}
@@ -120,11 +149,16 @@ func New(cfg Config, clock host.Clock) (*Chain, error) {
 		return nil, err
 	}
 	c.valset = vs
+	for _, o := range opts {
+		o(c)
+	}
 	c.handler = ibc.NewHandler(c.store, c,
-		ibc.WithEventSink(func(kind string, data any) {
-			c.events = append(c.events, Event{Height: c.height, Kind: kind, Data: data})
-		}),
+		ibc.WithTelemetry(c.telemetry),
+		ibc.WithMetricsNamespace("cp.ibc"),
 	)
+	c.handler.Events().Subscribe(func(ev telemetry.Event) {
+		c.events = append(c.events, Event{Height: c.height, Payload: ev})
+	})
 	c.produceBlockLocked() // genesis
 	return c, nil
 }
@@ -210,7 +244,7 @@ func (c *Chain) produceBlockLocked() *tendermint.Header {
 
 	if len(c.pendingPackets) > 0 {
 		c.packetsAt[c.height] = c.pendingPackets
-		c.events = append(c.events, Event{Height: c.height, Kind: "PacketsCommitted", Data: c.pendingPackets})
+		c.events = append(c.events, Event{Height: c.height, Payload: EventPacketsCommitted{Packets: c.pendingPackets}})
 		c.pendingPackets = nil
 	}
 	return h

@@ -39,6 +39,13 @@ func (p *burnProgram) Execute(ctx *host.ExecContext, _ host.Instruction) error {
 	return ctx.Meter.Consume(p.units)
 }
 
+// probeEvent marks one probe transaction landing (probe landing detector).
+type probeEvent struct {
+	Tag string
+}
+
+func (probeEvent) EventKind() string { return "probe" }
+
 // noteProgram just records execution (probe landing detector).
 type noteProgram struct {
 	id host.ProgramID
@@ -46,7 +53,7 @@ type noteProgram struct {
 
 func (p *noteProgram) ID() host.ProgramID { return p.id }
 func (p *noteProgram) Execute(ctx *host.ExecContext, ins host.Instruction) error {
-	ctx.Emit("probe", string(ins.Data))
+	ctx.Emit(probeEvent{Tag: string(ins.Data)})
 	return nil
 }
 
@@ -169,14 +176,14 @@ func runCongestionProbe(minutes int, policyName string) probeResult {
 	sched.Every(host.SlotDuration, func() bool {
 		for _, b := range chain.BlocksSince(cursor) {
 			cursor = b.Slot
-			for _, ev := range b.EventsOfKind("probe") {
-				tag, ok := ev.Data.(string)
+			for _, ev := range b.Events {
+				pe, ok := ev.Payload.(probeEvent)
 				if !ok {
 					continue
 				}
-				if at, ok := sent[tag]; ok {
+				if at, ok := sent[pe.Tag]; ok {
 					res.delays = append(res.delays, b.Time.Sub(at).Seconds())
-					delete(sent, tag)
+					delete(sent, pe.Tag)
 				}
 			}
 		}

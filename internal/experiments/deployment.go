@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,6 +19,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/relayer"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises a deployment run.
@@ -171,14 +174,99 @@ func RunWithNetwork(cfg Config, netCfg core.Config) (*Deployment, error) {
 	return d, nil
 }
 
-// collect extracts all series from the finished network.
+// seriesSet bundles every figure series a deployment run produces.
+type seriesSet struct {
+	Sends           []SendSample
+	UpdateLatencies []float64
+	UpdateTxCounts  []float64
+	UpdateCosts     []float64
+	UpdateSigs      []float64
+	RecvTxs         []float64
+	RecvCostsCents  []float64
+	BlockIntervals  []float64
+}
+
+// collect extracts all series from the finished network's telemetry
+// snapshot. The legacy in-memory records remain available through
+// recordSeries as the determinism reference.
 func (d *Deployment) collect() {
+	s := d.telemetrySeries()
+	d.Sends = s.Sends
+	d.UpdateLatencies = s.UpdateLatencies
+	d.UpdateTxCounts = s.UpdateTxCounts
+	d.UpdateCosts = s.UpdateCosts
+	d.UpdateSigs = s.UpdateSigs
+	d.RecvTxs = s.RecvTxs
+	d.RecvCostsCents = s.RecvCostsCents
+	d.BlockIntervals = s.BlockIntervals
+}
+
+// telemetrySeries compiles every figure series from the network's telemetry
+// snapshot: packet traces give Figs. 2-3, the relayer histograms Figs. 4-5
+// and the §V-A receive flow, and the block-cadence histogram Fig. 6.
+func (d *Deployment) telemetrySeries() seriesSet {
+	var s seriesSet
+	snap := d.Net.SnapshotTelemetry()
+
 	// Figs. 2-3: per packet, SendPacket -> FinalisedBlock and the send
 	// transaction cost. Traces are joined with the recorded per-send fee
-	// policy by sequence number (sends are strictly ordered).
+	// policy by sequence number (sends are strictly ordered). Only traces
+	// the relayer opened with a send span are guest-side sends.
+	type seqTrace struct {
+		seq uint64
+		tr  telemetry.Trace
+	}
+	var traces []seqTrace
+	for _, tr := range snap.Traces {
+		if _, ok := tr.Span(telemetry.StageSend); !ok {
+			continue
+		}
+		keySeq := tr.Key[strings.LastIndexByte(tr.Key, '/')+1:]
+		seq, err := strconv.ParseUint(keySeq, 10, 64)
+		if err != nil {
+			continue
+		}
+		traces = append(traces, seqTrace{seq: seq, tr: tr})
+	}
+	sort.Slice(traces, func(i, j int) bool { return traces[i].seq < traces[j].seq })
+	for i, st := range traces {
+		send, _ := st.tr.Span(telemetry.StageSend)
+		fin, ok := st.tr.Span(telemetry.StageFinalise)
+		if !ok || i >= len(d.sendMeta) {
+			continue
+		}
+		meta := d.sendMeta[i]
+		s.Sends = append(s.Sends, SendSample{
+			Latency: fin.At.Sub(send.At).Seconds(),
+			CostUSD: fees.USD(meta.fee),
+			Policy:  meta.policy,
+		})
+	}
+
+	// Figs. 4-5: relayer client updates (histograms preserve observation
+	// order, so these series match the in-memory record order).
+	s.UpdateLatencies = snap.HistogramSamples("relayer.update.latency_s")
+	s.UpdateTxCounts = snap.HistogramSamples("relayer.update.txs")
+	s.UpdateCosts = snap.HistogramSamples("relayer.update.cost_cents")
+	s.UpdateSigs = snap.HistogramSamples("relayer.update.sigs")
+
+	// §V-A receive flow.
+	s.RecvTxs = snap.HistogramSamples("relayer.recv.txs")
+	s.RecvCostsCents = snap.HistogramSamples("relayer.recv.cost_cents")
+
+	// Fig. 6: guest block intervals.
+	s.BlockIntervals = snap.HistogramSamples("guest.block.interval_s")
+	return s
+}
+
+// recordSeries recomputes every series from the relayer's in-memory records
+// and the guest state — the pre-telemetry collection path. It is kept as the
+// reference implementation the determinism test pins telemetrySeries to.
+func (d *Deployment) recordSeries() seriesSet {
+	var s seriesSet
 	st, err := d.Net.GuestState()
 	if err != nil {
-		return
+		return s
 	}
 	traces := make([]*relayerTrace, 0, len(d.Net.Relayer.Traces))
 	for _, tr := range d.Net.Relayer.Traces {
@@ -190,32 +278,30 @@ func (d *Deployment) collect() {
 			continue
 		}
 		meta := d.sendMeta[i]
-		d.Sends = append(d.Sends, SendSample{
+		s.Sends = append(s.Sends, SendSample{
 			Latency: tr.FinalisedAt.Sub(tr.SentAt).Seconds(),
 			CostUSD: fees.USD(meta.fee),
 			Policy:  meta.policy,
 		})
 	}
 
-	// Figs. 4-5: relayer client updates.
 	for _, u := range d.Net.Relayer.Updates {
-		d.UpdateLatencies = append(d.UpdateLatencies, u.Latency.Seconds())
-		d.UpdateTxCounts = append(d.UpdateTxCounts, float64(u.Txs))
-		d.UpdateCosts = append(d.UpdateCosts, fees.Cents(u.Cost))
-		d.UpdateSigs = append(d.UpdateSigs, float64(u.Sigs))
+		s.UpdateLatencies = append(s.UpdateLatencies, u.Latency.Seconds())
+		s.UpdateTxCounts = append(s.UpdateTxCounts, float64(u.Txs))
+		s.UpdateCosts = append(s.UpdateCosts, fees.Cents(u.Cost))
+		s.UpdateSigs = append(s.UpdateSigs, float64(u.Sigs))
 	}
 
-	// §V-A receive flow.
 	for _, r := range d.Net.Relayer.Recvs {
-		d.RecvTxs = append(d.RecvTxs, float64(r.Txs))
-		d.RecvCostsCents = append(d.RecvCostsCents, fees.Cents(r.Cost))
+		s.RecvTxs = append(s.RecvTxs, float64(r.Txs))
+		s.RecvCostsCents = append(s.RecvCostsCents, fees.Cents(r.Cost))
 	}
 
-	// Fig. 6: guest block intervals.
 	for i := 1; i < len(st.Entries); i++ {
 		gap := st.Entries[i].CreatedAt.Sub(st.Entries[i-1].CreatedAt).Seconds()
-		d.BlockIntervals = append(d.BlockIntervals, gap)
+		s.BlockIntervals = append(s.BlockIntervals, gap)
 	}
+	return s
 }
 
 // relayerTrace aliases the relayer's packet trace type.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/guestblock"
 	"repro/internal/host"
+	"repro/internal/telemetry"
 )
 
 // Observation is a signature sighting: a validator's signature over a
@@ -53,15 +54,35 @@ type Fisherman struct {
 	// height to detect double-signing.
 	seen map[cryptoutil.PubKey]map[uint64]Observation
 
+	verifier  *cryptoutil.BatchVerifier
+	telemetry *telemetry.Registry
+	// Instruments (nil-safe no-ops without WithTelemetry).
+	mObservations *telemetry.Counter
+	mEvidence     *telemetry.Counter
+
 	// Submitted counts evidence transactions sent.
 	Submitted int
 }
 
+// Option configures a fisherman.
+type Option func(*Fisherman)
+
+// WithTelemetry registers the fisherman's sighting/evidence counters in reg.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(f *Fisherman) { f.telemetry = reg }
+}
+
+// WithBatchVerifier replaces the process-wide signature verifier, letting
+// tests isolate cache statistics.
+func WithBatchVerifier(v *cryptoutil.BatchVerifier) Option {
+	return func(f *Fisherman) { f.verifier = v }
+}
+
 // New creates a fisherman; fund its account for fees. Fishermen are
 // permissionless — anyone can run one (§III-C).
-func New(name string, chain *host.Chain, contract *guest.Contract, gossip *Gossip) *Fisherman {
+func New(name string, chain *host.Chain, contract *guest.Contract, gossip *Gossip, opts ...Option) *Fisherman {
 	key := cryptoutil.GenerateKey("fisherman/" + name)
-	return &Fisherman{
+	f := &Fisherman{
 		chain:    chain,
 		contract: contract,
 		gossip:   gossip,
@@ -69,6 +90,15 @@ func New(name string, chain *host.Chain, contract *guest.Contract, gossip *Gossi
 		key:      key,
 		seen:     make(map[cryptoutil.PubKey]map[uint64]Observation),
 	}
+	for _, o := range opts {
+		o(f)
+	}
+	if f.verifier == nil {
+		f.verifier = cryptoutil.DefaultBatchVerifier()
+	}
+	f.mObservations = f.telemetry.Counter("fisherman.observations")
+	f.mEvidence = f.telemetry.Counter("fisherman.evidence_submitted")
+	return f
 }
 
 // Key returns the fisherman's fee-paying key.
@@ -90,7 +120,8 @@ func (f *Fisherman) Poll() error {
 	for i, o := range obs {
 		tasks[i] = cryptoutil.HashTask(o.PubKey, guestblock.SigningPayloadForHash(o.BlockHash), o.Signature)
 	}
-	valid := cryptoutil.DefaultBatchVerifier().VerifyEach(tasks)
+	valid := f.verifier.VerifyEach(tasks)
+	f.mObservations.Add(uint64(len(obs)))
 	for i, o := range obs {
 		if !valid[i] {
 			continue // forged sighting, not usable evidence
@@ -161,5 +192,6 @@ func (f *Fisherman) submit(ev *guest.Evidence) error {
 		return err
 	}
 	f.Submitted++
+	f.mEvidence.Inc()
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/guestblock"
 	"repro/internal/host"
 	"repro/internal/ibc"
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 	"repro/internal/wire"
 )
@@ -35,6 +36,9 @@ type Config struct {
 	// GenesisValidators bootstrap epoch 0 with their stakes (the paper's
 	// deployment started with one operator validator; others staked in).
 	GenesisValidators []guestblock.Validator
+	// Telemetry, when set, registers the embedded IBC handler's metrics
+	// (under "guest.ibc.") in the given registry.
+	Telemetry *telemetry.Registry
 }
 
 // Deploy registers the Guest Contract on the chain, allocates its provable
@@ -69,10 +73,14 @@ func Deploy(chain *host.Chain, cfg Config) (*Contract, host.Lamports, error) {
 	}
 	st.Handler = ibc.NewHandler(store, st,
 		ibc.WithSealedReceipts(),
-		ibc.WithEventSink(func(kind string, data any) {
-			st.ibcEvents = append(st.ibcEvents, stateEvent{kind: kind, data: data})
-		}),
+		ibc.WithTelemetry(cfg.Telemetry),
+		ibc.WithMetricsNamespace("guest.ibc"),
 	)
+	// Buffer the handler's typed events; Execute flushes them to the host
+	// event log only if the instruction succeeds (atomicity).
+	st.Handler.Events().Subscribe(func(ev telemetry.Event) {
+		st.ibcEvents = append(st.ibcEvents, ev)
+	})
 	for _, v := range cfg.GenesisValidators {
 		st.Candidates[v.PubKey] = &Candidate{PubKey: v.PubKey, Owner: v.PubKey, Stake: host.Lamports(v.Stake)}
 	}
@@ -205,7 +213,7 @@ func (c *Contract) Execute(ctx *host.ExecContext, ins host.Instruction) error {
 	}
 	// Forward buffered IBC events to the host event log.
 	for _, e := range st.ibcEvents {
-		ctx.Emit("ibc."+e.kind, e.data)
+		ctx.Emit(e)
 	}
 	st.ibcEvents = nil
 	return nil
@@ -238,7 +246,7 @@ func (c *Contract) sendPacket(ctx *host.ExecContext, st *State, r *wire.Reader) 
 		return err
 	}
 	st.PendingPackets = append(st.PendingPackets, p)
-	ctx.Emit("PacketQueued", p)
+	ctx.Emit(EventPacketQueued{Packet: p})
 	return nil
 }
 
@@ -251,7 +259,7 @@ func (c *Contract) generateBlock(ctx *host.ExecContext, st *State) error {
 	if err != nil {
 		return err
 	}
-	ctx.Emit("NewBlock", entry.Block)
+	ctx.Emit(EventNewBlock{Block: entry.Block})
 	return nil
 }
 
@@ -286,9 +294,9 @@ func (c *Contract) sign(ctx *host.ExecContext, st *State, r *wire.Reader) error 
 	}
 
 	finalised := st.applySignature(entry, a.PubKey, a.Signature, ctx.Time)
-	ctx.Emit("Signed", EventSigned{Height: a.Height, PubKey: a.PubKey})
+	ctx.Emit(EventSigned{Height: a.Height, PubKey: a.PubKey})
 	if finalised {
-		ctx.Emit("FinalisedBlock", entry)
+		ctx.Emit(EventFinalisedBlock{Entry: entry})
 	}
 	return nil
 }
@@ -318,7 +326,7 @@ func (c *Contract) stake(ctx *host.ExecContext, st *State, r *wire.Reader) error
 	} else {
 		st.Candidates[a.Validator] = &Candidate{PubKey: a.Validator, Owner: owner, Stake: amount}
 	}
-	ctx.Emit("Staked", a.Validator)
+	ctx.Emit(EventStaked{Validator: a.Validator})
 	return nil
 }
 
@@ -343,7 +351,7 @@ func (c *Contract) unstake(ctx *host.ExecContext, st *State, r *wire.Reader) err
 		Amount:      cand.Stake,
 		AvailableAt: ctx.Time.Add(st.Params.UnbondingPeriod),
 	})
-	ctx.Emit("Unstaked", pub)
+	ctx.Emit(EventUnstaked{Validator: pub})
 	return nil
 }
 
@@ -367,7 +375,7 @@ func (c *Contract) withdraw(ctx *host.ExecContext, st *State) error {
 	}
 	ctx.Credit(owner, paid)
 	st.Withdrawals = kept
-	ctx.Emit("Withdrawn", owner)
+	ctx.Emit(EventWithdrawn{Owner: owner})
 	return nil
 }
 
@@ -439,7 +447,7 @@ func (c *Contract) commitUpdateClient(ctx *host.ExecContext, st *State, r *wire.
 		return err
 	}
 	buf.Txs++ // the commit transaction itself
-	ctx.Emit("ClientUpdated", EventClientUpdated{
+	ctx.Emit(EventClientUpdated{
 		ClientID: a.ClientID,
 		Height:   client.LatestHeight(),
 		Txs:      buf.Txs,
@@ -473,7 +481,7 @@ func (c *Contract) commitRecvPacket(ctx *host.ExecContext, st *State, r *wire.Re
 	if err != nil {
 		return err
 	}
-	ctx.Emit("PacketDelivered", EventPacketDelivered{Packet: payload.Packet, Ack: ack})
+	ctx.Emit(EventPacketDelivered{Packet: payload.Packet, Ack: ack})
 	return nil
 }
 
@@ -497,7 +505,7 @@ func (c *Contract) commitAck(ctx *host.ExecContext, st *State, r *wire.Reader) e
 	if err := st.Handler.AcknowledgePacket(payload.Packet, payload.Ack, payload.Proof, payload.ProofHeight); err != nil {
 		return err
 	}
-	ctx.Emit("PacketAcked", payload.Packet)
+	ctx.Emit(EventPacketAcked{Packet: payload.Packet})
 	return nil
 }
 
@@ -522,7 +530,7 @@ func (c *Contract) commitTimeout(ctx *host.ExecContext, st *State, r *wire.Reade
 	if err := st.Handler.TimeoutPacket(payload.Packet, payload.Proof, payload.ProofHeight); err != nil {
 		return err
 	}
-	ctx.Emit("PacketTimedOut", payload.Packet)
+	ctx.Emit(EventPacketTimedOut{Packet: payload.Packet})
 	return nil
 }
 
@@ -560,7 +568,7 @@ func (c *Contract) emergencyRelease(ctx *host.ExecContext, st *State) error {
 	st.Candidates = make(map[cryptoutil.PubKey]*Candidate)
 	st.Withdrawals = nil
 	st.Halted = true
-	ctx.Emit("EmergencyRelease", total)
+	ctx.Emit(EventEmergencyRelease{Released: total})
 	return nil
 }
 
@@ -646,7 +654,7 @@ func (c *Contract) submitMisbehaviour(ctx *host.ExecContext, st *State, r *wire.
 	}
 	st.Withdrawals = kept
 	st.SlashedPot += confiscated - reward
-	ctx.Emit("ValidatorSlashed", EventValidatorSlashed{
+	ctx.Emit(EventValidatorSlashed{
 		Validator: e.Validator,
 		Kind:      e.Kind,
 		Stake:     confiscated,

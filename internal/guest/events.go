@@ -2,12 +2,39 @@ package guest
 
 import (
 	"repro/internal/cryptoutil"
+	"repro/internal/guestblock"
 	"repro/internal/host"
 	"repro/internal/ibc"
 )
 
 // Event payload types emitted by the Guest Contract into the host event
-// log. Off-chain daemons (validators, relayers, fishermen) consume these.
+// log. Off-chain daemons (validators, relayers, fishermen) consume these by
+// type-switching on host.Event.Payload; each implements telemetry.Event.
+
+// EventPacketQueued reports an outgoing packet committed and waiting to
+// ride in the next guest block.
+type EventPacketQueued struct {
+	Packet *ibc.Packet
+}
+
+// EventKind implements telemetry.Event.
+func (EventPacketQueued) EventKind() string { return "PacketQueued" }
+
+// EventNewBlock reports a freshly minted (not yet finalised) guest block.
+type EventNewBlock struct {
+	Block *guestblock.Block
+}
+
+// EventKind implements telemetry.Event.
+func (EventNewBlock) EventKind() string { return "NewBlock" }
+
+// EventFinalisedBlock reports a guest block reaching quorum finality.
+type EventFinalisedBlock struct {
+	Entry *BlockEntry
+}
+
+// EventKind implements telemetry.Event.
+func (EventFinalisedBlock) EventKind() string { return "FinalisedBlock" }
 
 // EventClientUpdated reports a committed light-client update and how many
 // host transactions the chunked upload took (the Fig. 4 statistic).
@@ -17,6 +44,9 @@ type EventClientUpdated struct {
 	Txs      int
 }
 
+// EventKind implements telemetry.Event.
+func (EventClientUpdated) EventKind() string { return "ClientUpdated" }
+
 // EventPacketDelivered reports an incoming packet delivered to its
 // destination application with the acknowledgement that was committed.
 type EventPacketDelivered struct {
@@ -24,11 +54,67 @@ type EventPacketDelivered struct {
 	Ack    []byte
 }
 
+// EventKind implements telemetry.Event.
+func (EventPacketDelivered) EventKind() string { return "PacketDelivered" }
+
+// EventPacketAcked reports the acknowledgement for a guest-sent packet
+// landing back on the guest chain.
+type EventPacketAcked struct {
+	Packet *ibc.Packet
+}
+
+// EventKind implements telemetry.Event.
+func (EventPacketAcked) EventKind() string { return "PacketAcked" }
+
+// EventPacketTimedOut reports a guest-sent packet proven undelivered past
+// its timeout.
+type EventPacketTimedOut struct {
+	Packet *ibc.Packet
+}
+
+// EventKind implements telemetry.Event.
+func (EventPacketTimedOut) EventKind() string { return "PacketTimedOut" }
+
 // EventSigned reports an accepted validator signature.
 type EventSigned struct {
 	Height uint64
 	PubKey cryptoutil.PubKey
 }
+
+// EventKind implements telemetry.Event.
+func (EventSigned) EventKind() string { return "Signed" }
+
+// EventStaked reports new candidate stake.
+type EventStaked struct {
+	Validator cryptoutil.PubKey
+}
+
+// EventKind implements telemetry.Event.
+func (EventStaked) EventKind() string { return "Staked" }
+
+// EventUnstaked reports a candidate starting its unbonding exit.
+type EventUnstaked struct {
+	Validator cryptoutil.PubKey
+}
+
+// EventKind implements telemetry.Event.
+func (EventUnstaked) EventKind() string { return "Unstaked" }
+
+// EventWithdrawn reports matured stake paid out to its owner.
+type EventWithdrawn struct {
+	Owner cryptoutil.PubKey
+}
+
+// EventKind implements telemetry.Event.
+func (EventWithdrawn) EventKind() string { return "Withdrawn" }
+
+// EventEmergencyRelease reports the §VI-A dead-chain payout.
+type EventEmergencyRelease struct {
+	Released host.Lamports
+}
+
+// EventKind implements telemetry.Event.
+func (EventEmergencyRelease) EventKind() string { return "EmergencyRelease" }
 
 // EventValidatorSlashed reports a slashing caused by fisherman evidence.
 type EventValidatorSlashed struct {
@@ -36,3 +122,6 @@ type EventValidatorSlashed struct {
 	Kind      byte
 	Stake     host.Lamports
 }
+
+// EventKind implements telemetry.Event.
+func (EventValidatorSlashed) EventKind() string { return "ValidatorSlashed" }

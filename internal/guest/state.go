@@ -11,6 +11,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/ibc"
 	"repro/internal/lightclient/guestlc"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the Guest Contract.
@@ -142,8 +143,10 @@ type State struct {
 	nowTime time.Time
 	nowSlot uint64
 
-	// ibcEvents buffers handler events during one instruction.
-	ibcEvents []stateEvent
+	// ibcEvents buffers typed handler events during one instruction (the
+	// Deploy-time bus subscription appends here); Execute forwards them to
+	// the host event log after the instruction succeeds.
+	ibcEvents []telemetry.Event
 
 	// Experiment counters.
 	TotalFeesCollected host.Lamports
@@ -151,11 +154,6 @@ type State struct {
 	// Halted is set after an emergency release (§VI-A): the guest chain
 	// is dead and the contract refuses all further operations.
 	Halted bool
-}
-
-type stateEvent struct {
-	kind string
-	data any
 }
 
 // Head returns the latest block entry.

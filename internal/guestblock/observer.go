@@ -1,0 +1,28 @@
+package guestblock
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// quorumObserver, when set, receives the wall-clock duration of every
+// VerifyQuorumWith call. The hook keeps guestblock free of a telemetry
+// dependency while letting the network layer feed a latency histogram.
+var quorumObserver atomic.Value // of func(time.Duration)
+
+// SetQuorumObserver installs fn as the process-wide quorum-verification
+// observer. Passing nil removes the hook. Verification cost is measured in
+// wall-clock time (not simulated time) because signature checking is real
+// CPU work even inside the discrete-event simulation.
+func SetQuorumObserver(fn func(time.Duration)) {
+	if fn == nil {
+		fn = func(time.Duration) {}
+	}
+	quorumObserver.Store(fn)
+}
+
+func observeQuorum(d time.Duration) {
+	if fn, ok := quorumObserver.Load().(func(time.Duration)); ok {
+		fn(d)
+	}
+}

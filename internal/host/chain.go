@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/telemetry"
 )
 
 // Program is a smart contract registered on the host chain.
@@ -42,9 +43,9 @@ type ExecContext struct {
 	verified map[cryptoutil.Hash]bool
 }
 
-// Emit appends an event to the block log (dropped if the tx fails).
-func (ctx *ExecContext) Emit(kind string, data any) {
-	ctx.sink.emit(ctx.program, kind, data)
+// Emit appends a typed event to the block log (dropped if the tx fails).
+func (ctx *ExecContext) Emit(ev telemetry.Event) {
+	ctx.sink.emit(ctx.program, ev)
 }
 
 // Account returns the account with the given key, or ErrUnknownAccount.
@@ -146,6 +147,14 @@ type Chain struct {
 
 	// FeeCollector accumulates all fees charged (burned + tips).
 	feesCollected Lamports
+
+	// Telemetry instruments; nil (no-op) until SetTelemetry is called.
+	txsSubmitted *telemetry.Counter
+	txsExecuted  *telemetry.Counter
+	txsFailed    *telemetry.Counter
+	feesCharged  *telemetry.Counter
+	txCompute    *telemetry.Histogram
+	mempoolDepth *telemetry.Gauge
 }
 
 // NewChain creates a host chain on the given clock with the Solana
@@ -168,6 +177,19 @@ func NewChainWithProfile(clock Clock, profile Profile) *Chain {
 
 // Profile returns the chain's runtime constraints.
 func (c *Chain) Profile() Profile { return c.profile }
+
+// SetTelemetry registers the chain's transaction, fee, compute, and mempool
+// instruments in reg under the "host." prefix.
+func (c *Chain) SetTelemetry(reg *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.txsSubmitted = reg.Counter("host.txs_submitted")
+	c.txsExecuted = reg.Counter("host.txs_executed")
+	c.txsFailed = reg.Counter("host.txs_failed")
+	c.feesCharged = reg.Counter("host.fees_lamports")
+	c.txCompute = reg.Histogram("host.tx_compute_units")
+	c.mempoolDepth = reg.Gauge("host.mempool_depth")
+}
 
 // SetSubmitHook registers a callback fired after each successful Submit.
 func (c *Chain) SetSubmitHook(fn func()) {
@@ -305,6 +327,8 @@ func (c *Chain) Submit(tx *Transaction) error {
 	c.mu.Lock()
 	c.seq++
 	c.mempool = append(c.mempool, pendingTx{tx: tx, submitted: c.slot, seq: c.seq})
+	c.txsSubmitted.Inc()
+	c.mempoolDepth.Set(int64(len(c.mempool)))
 	hook := c.onSubmit
 	c.mu.Unlock()
 	if hook != nil {
@@ -383,6 +407,7 @@ func (c *Chain) ProduceBlock() *Block {
 		block.Results = append(block.Results, res)
 	}
 	c.mempool = rest
+	c.mempoolDepth.Set(int64(len(c.mempool)))
 
 	c.blocks = append(c.blocks, block)
 	if c.keepBlocks > 0 && len(c.blocks) > c.keepBlocks {
@@ -411,6 +436,8 @@ func (c *Chain) executeLocked(tx *Transaction, block *Block) TxResult {
 	fee := tx.FeeProfile(c.profile)
 	if payer.Lamports < fee {
 		res.Err = fmt.Errorf("%w: fee %d > balance %d", ErrInsufficientFunds, fee, payer.Lamports)
+		c.txsExecuted.Inc()
+		c.txsFailed.Inc()
 		return res
 	}
 	payer.Lamports -= fee
@@ -427,6 +454,9 @@ func (c *Chain) executeLocked(tx *Transaction, block *Block) TxResult {
 	verified, err := runPrecompiles(tx)
 	if err != nil {
 		res.Err = err
+		c.txsExecuted.Inc()
+		c.txsFailed.Inc()
+		c.feesCharged.Add(uint64(fee))
 		return res
 	}
 
@@ -459,6 +489,12 @@ func (c *Chain) executeLocked(tx *Transaction, block *Block) TxResult {
 		}
 	}
 	res.Units = meter.Used()
+	c.txsExecuted.Inc()
+	c.feesCharged.Add(uint64(fee))
+	c.txCompute.Observe(float64(res.Units))
+	if res.Err != nil {
+		c.txsFailed.Inc()
+	}
 
 	if res.Err == nil {
 		for i := range sink.events {

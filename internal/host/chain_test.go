@@ -19,6 +19,11 @@ type counterProgram struct {
 
 type counterState struct{ n int }
 
+// pingEvent is the typed event the test program emits for op=4.
+type pingEvent struct{ N int }
+
+func (pingEvent) EventKind() string { return "ping" }
+
 func (p *counterProgram) ID() ProgramID { return p.id }
 
 func (p *counterProgram) Execute(ctx *ExecContext, ins Instruction) error {
@@ -36,7 +41,7 @@ func (p *counterProgram) Execute(ctx *ExecContext, ins Instruction) error {
 	case 3:
 		return ctx.Meter.Consume(MaxComputeUnits + 1)
 	case 4:
-		ctx.Emit("ping", st.n)
+		ctx.Emit(pingEvent{N: st.n})
 		return nil
 	default:
 		return fmt.Errorf("bad op %d", ins.Data[0])

@@ -1,16 +1,29 @@
 package host
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // Event is a log record emitted by a program during execution; off-chain
 // actors (validators, relayers, fishermen) poll events by slot, mirroring
-// how the paper's daemons watch the Guest Contract.
+// how the paper's daemons watch the Guest Contract. The payload is a typed
+// telemetry.Event: consumers type-switch on the concrete struct rather than
+// string-matching a kind and down-casting an untyped value.
 type Event struct {
 	Slot    Slot
 	Time    time.Time
 	Program ProgramID
-	Kind    string
-	Data    any
+	Payload telemetry.Event
+}
+
+// Kind returns the payload's stable event name.
+func (e Event) Kind() string {
+	if e.Payload == nil {
+		return ""
+	}
+	return e.Payload.EventKind()
 }
 
 // Block is one produced host block: its slot, timestamp, executed
@@ -26,7 +39,7 @@ type Block struct {
 func (b *Block) EventsOfKind(kind string) []Event {
 	var out []Event
 	for _, e := range b.Events {
-		if e.Kind == kind {
+		if e.Kind() == kind {
 			out = append(out, e)
 		}
 	}
@@ -39,6 +52,6 @@ type eventSink struct {
 	events []Event
 }
 
-func (s *eventSink) emit(program ProgramID, kind string, data any) {
-	s.events = append(s.events, Event{Program: program, Kind: kind, Data: data})
+func (s *eventSink) emit(program ProgramID, ev telemetry.Event) {
+	s.events = append(s.events, Event{Program: program, Payload: ev})
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 )
 
@@ -36,9 +37,25 @@ type Handler struct {
 	// receipts are sealed immediately after delivery.
 	sealReceipts bool
 
-	// onEvent, when set, receives protocol events (the guest contract
-	// forwards them to the host event log).
-	onEvent func(kind string, data any)
+	// bus carries typed protocol events (ibc.Event* structs). It is always
+	// non-nil: with no subscribers it counts published events as dropped,
+	// so "nothing was listening" is observable instead of silent — the
+	// failure mode of the old WithEventSink nil-callback default.
+	bus *telemetry.Bus
+
+	// telemetry is the metrics registry (nil means no-op instruments);
+	// metricsNS prefixes metric names so several handlers (guest,
+	// counterparty) can share one registry without colliding.
+	telemetry *telemetry.Registry
+	metricsNS string
+
+	// Cached instruments; nil (no-op) unless WithTelemetry was given.
+	packetsSent     *telemetry.Counter
+	packetsReceived *telemetry.Counter
+	packetsAcked    *telemetry.Counter
+	packetsTimedOut *telemetry.Counter
+	receiptsSealed  *telemetry.Counter
+	updateVerify    *telemetry.Histogram
 }
 
 // HandlerOption configures a Handler.
@@ -50,38 +67,57 @@ func WithSealedReceipts() HandlerOption {
 	return func(h *Handler) { h.sealReceipts = true }
 }
 
-// WithEventSink routes protocol events to fn.
-func WithEventSink(fn func(kind string, data any)) HandlerOption {
-	return func(h *Handler) { h.onEvent = fn }
+// WithTelemetry registers the handler's packet counters and client-update
+// latency histogram in reg, under the handler's metrics namespace.
+func WithTelemetry(reg *telemetry.Registry) HandlerOption {
+	return func(h *Handler) { h.telemetry = reg }
+}
+
+// WithMetricsNamespace sets the metric-name prefix (default "ibc"). The
+// guest contract uses "guest.ibc" and the counterparty "cp.ibc" so both
+// ends report into one registry.
+func WithMetricsNamespace(ns string) HandlerOption {
+	return func(h *Handler) { h.metricsNS = ns }
 }
 
 // NewHandler creates a handler over the given store.
 func NewHandler(store *Store, self SelfInfo, opts ...HandlerOption) *Handler {
 	h := &Handler{
-		store:   store,
-		self:    self,
-		clients: make(map[ClientID]Client),
-		router:  make(map[PortID]Module),
+		store:     store,
+		self:      self,
+		clients:   make(map[ClientID]Client),
+		router:    make(map[PortID]Module),
+		bus:       telemetry.NewBus(),
+		metricsNS: "ibc",
 	}
 	for _, o := range opts {
 		o(h)
 	}
+	// Resolve instruments once options settled (namespace may follow the
+	// registry in the option list). With no registry these stay nil, which
+	// the telemetry package treats as no-ops.
+	h.packetsSent = h.telemetry.Counter(h.metricsNS + ".packets_sent")
+	h.packetsReceived = h.telemetry.Counter(h.metricsNS + ".packets_received")
+	h.packetsAcked = h.telemetry.Counter(h.metricsNS + ".packets_acked")
+	h.packetsTimedOut = h.telemetry.Counter(h.metricsNS + ".packets_timed_out")
+	h.receiptsSealed = h.telemetry.Counter(h.metricsNS + ".receipts_sealed")
+	h.updateVerify = h.telemetry.Histogram(h.metricsNS + ".update_verify_s")
 	return h
 }
 
 // Store returns the underlying provable store.
 func (h *Handler) Store() *Store { return h.store }
 
-func (h *Handler) emit(kind string, data any) {
-	if h.onEvent != nil {
-		h.onEvent(kind, data)
-	}
-}
+// Events returns the handler's event bus. Subscribe to receive typed
+// protocol events; delivery is synchronous and in subscription order.
+func (h *Handler) Events() *telemetry.Bus { return h.bus }
+
+func (h *Handler) emit(ev telemetry.Event) { h.bus.Publish(ev) }
 
 // BindPort registers an application module on a port.
 func (h *Handler) BindPort(port PortID, m Module) error {
 	if _, ok := h.router[port]; ok {
-		return fmt.Errorf("ibc: port %q already bound", port)
+		return fmt.Errorf("%w: %q", ErrPortAlreadyBound, port)
 	}
 	h.router[port] = m
 	return nil
@@ -103,7 +139,7 @@ func (h *Handler) CreateClient(id ClientID, c Client) error {
 		return fmt.Errorf("%w: %q", ErrClientExists, id)
 	}
 	h.clients[id] = c
-	h.emit("CreateClient", id)
+	h.emit(EventCreateClient{ClientID: id})
 	return nil
 }
 
@@ -124,10 +160,14 @@ func (h *Handler) UpdateClient(id ClientID, header []byte) error {
 	if err != nil {
 		return err
 	}
+	start := time.Now()
 	if err := c.Update(header, h.self.CurrentTime()); err != nil {
 		return fmt.Errorf("ibc: update client %q: %w", id, err)
 	}
-	h.emit("UpdateClient", id)
+	// Wall-clock cost of header verification — for the guest client this is
+	// the quorum signature check the paper prices in §V.
+	h.updateVerify.Observe(time.Since(start).Seconds())
+	h.emit(EventUpdateClient{ClientID: id})
 	return nil
 }
 
@@ -185,7 +225,7 @@ func (h *Handler) ConnOpenInit(clientID ClientID, counterpartyClientID ClientID)
 	if err := h.setConnection(id, end); err != nil {
 		return "", err
 	}
-	h.emit("ConnOpenInit", id)
+	h.emit(EventConnOpenInit{ConnectionID: id})
 	return id, nil
 }
 
@@ -226,7 +266,7 @@ func (h *Handler) ConnOpenTry(
 	if err := h.setConnection(id, end); err != nil {
 		return "", err
 	}
-	h.emit("ConnOpenTry", id)
+	h.emit(EventConnOpenTry{ConnectionID: id})
 	return id, nil
 }
 
@@ -265,7 +305,7 @@ func (h *Handler) ConnOpenAck(
 	if err := h.setConnection(id, end); err != nil {
 		return err
 	}
-	h.emit("ConnOpenAck", id)
+	h.emit(EventConnOpenAck{ConnectionID: id})
 	return nil
 }
 
@@ -294,7 +334,7 @@ func (h *Handler) ConnOpenConfirm(id ConnectionID, proofAck []byte, proofHeight 
 	if err := h.setConnection(id, end); err != nil {
 		return err
 	}
-	h.emit("ConnOpenConfirm", id)
+	h.emit(EventConnOpenConfirm{ConnectionID: id})
 	return nil
 }
 
@@ -358,7 +398,7 @@ func (h *Handler) ChanOpenInit(port PortID, connID ConnectionID, counterpartyPor
 	}
 	id := h.newChannelID()
 	if err := m.OnChanOpen(port, id, version); err != nil {
-		return "", fmt.Errorf("ibc: application rejected channel: %w", err)
+		return "", fmt.Errorf("%w: channel rejected: %w", ErrAppRejected, err)
 	}
 	end := &ChannelEnd{
 		State:        StateInit,
@@ -376,7 +416,7 @@ func (h *Handler) ChanOpenInit(port PortID, connID ConnectionID, counterpartyPor
 	if err := h.store.Set(NextSequenceRecvPath(port, id), sequenceValue(1)); err != nil {
 		return "", err
 	}
-	h.emit("ChanOpenInit", id)
+	h.emit(EventChanOpenInit{ChannelID: id})
 	return id, nil
 }
 
@@ -414,7 +454,7 @@ func (h *Handler) ChanOpenTry(
 	}
 	id := h.newChannelID()
 	if err := m.OnChanOpen(port, id, version); err != nil {
-		return "", fmt.Errorf("ibc: application rejected channel: %w", err)
+		return "", fmt.Errorf("%w: channel rejected: %w", ErrAppRejected, err)
 	}
 	end := &ChannelEnd{
 		State:        StateTryOpen,
@@ -432,7 +472,7 @@ func (h *Handler) ChanOpenTry(
 	if err := h.store.Set(NextSequenceRecvPath(port, id), sequenceValue(1)); err != nil {
 		return "", err
 	}
-	h.emit("ChanOpenTry", id)
+	h.emit(EventChanOpenTry{ChannelID: id})
 	return id, nil
 }
 
@@ -468,7 +508,7 @@ func (h *Handler) ChanOpenAck(port PortID, id ChannelID, counterpartyChannel Cha
 	if err := h.setChannel(port, id, end); err != nil {
 		return err
 	}
-	h.emit("ChanOpenAck", id)
+	h.emit(EventChanOpenAck{ChannelID: id})
 	return nil
 }
 
@@ -503,7 +543,7 @@ func (h *Handler) ChanOpenConfirm(port PortID, id ChannelID, proofAck []byte, pr
 	if err := h.setChannel(port, id, end); err != nil {
 		return err
 	}
-	h.emit("ChanOpenConfirm", id)
+	h.emit(EventChanOpenConfirm{ChannelID: id})
 	return nil
 }
 
@@ -520,7 +560,7 @@ func (h *Handler) ChanCloseInit(port PortID, id ChannelID) error {
 	if err := h.setChannel(port, id, end); err != nil {
 		return err
 	}
-	h.emit("ChanCloseInit", id)
+	h.emit(EventChanCloseInit{ChannelID: id})
 	return nil
 }
 
@@ -556,7 +596,7 @@ func (h *Handler) ChanCloseConfirm(port PortID, id ChannelID, proofClosed []byte
 	if err := h.setChannel(port, id, end); err != nil {
 		return err
 	}
-	h.emit("ChanCloseConfirm", id)
+	h.emit(EventChanCloseConfirm{ChannelID: id})
 	return nil
 }
 
@@ -600,7 +640,8 @@ func (h *Handler) SendPacket(port PortID, id ChannelID, data []byte, timeoutHeig
 	if err := h.store.Set(CommitmentPath(port, id, seq), p.CommitmentBytes()); err != nil {
 		return nil, err
 	}
-	h.emit("SendPacket", p)
+	h.packetsSent.Inc()
+	h.emit(EventSendPacket{Packet: p})
 	return p, nil
 }
 
@@ -677,15 +718,16 @@ func (h *Handler) RecvPacket(p *Packet, proof []byte, proofHeight Height) ([]byt
 			return nil, err
 		}
 		if has, _ := h.store.Has(receiptPath); !has {
-			return nil, fmt.Errorf("ibc: receipt write lost for %q", receiptPath)
+			return nil, fmt.Errorf("%w: %q", ErrReceiptLost, receiptPath)
 		}
 		if h.sealReceipts {
 			if err := h.store.Seal(receiptPath); err != nil {
 				return nil, err
 			}
+			h.receiptsSealed.Inc()
 		}
 	default:
-		return nil, fmt.Errorf("ibc: channel has invalid ordering %v", end.Ordering)
+		return nil, fmt.Errorf("%w: %v", ErrInvalidOrdering, end.Ordering)
 	}
 
 	m, err := h.module(p.DestPort)
@@ -694,7 +736,7 @@ func (h *Handler) RecvPacket(p *Packet, proof []byte, proofHeight Height) ([]byt
 	}
 	ack, err := m.OnRecvPacket(*p)
 	if err != nil {
-		return nil, fmt.Errorf("ibc: application rejected packet: %w", err)
+		return nil, fmt.Errorf("%w: packet rejected: %w", ErrAppRejected, err)
 	}
 	if len(ack) == 0 {
 		return nil, fmt.Errorf("ibc: application returned empty acknowledgement")
@@ -702,11 +744,9 @@ func (h *Handler) RecvPacket(p *Packet, proof []byte, proofHeight Height) ([]byt
 	if err := h.store.Set(AckPath(p.DestPort, p.DestChannel, p.Sequence), AckCommitmentBytes(ack)); err != nil {
 		return nil, err
 	}
-	h.emit("RecvPacket", p)
-	h.emit("WriteAck", struct {
-		Packet *Packet
-		Ack    []byte
-	}{p, ack})
+	h.packetsReceived.Inc()
+	h.emit(EventRecvPacket{Packet: p})
+	h.emit(EventWriteAck{Packet: p, Ack: ack})
 	return ack, nil
 }
 
@@ -763,12 +803,13 @@ func (h *Handler) AcknowledgePacket(p *Packet, ack []byte, proofAck []byte, proo
 		return err
 	}
 	if err := m.OnAcknowledgementPacket(*p, ack); err != nil {
-		return fmt.Errorf("ibc: application ack callback: %w", err)
+		return fmt.Errorf("%w: ack callback: %w", ErrAppRejected, err)
 	}
 	if err := h.store.Delete(commitPath); err != nil {
 		return err
 	}
-	h.emit("AcknowledgePacket", p)
+	h.packetsAcked.Inc()
+	h.emit(EventAcknowledgePacket{Packet: p})
 	return nil
 }
 
@@ -856,7 +897,7 @@ func (h *Handler) TimeoutPacket(p *Packet, proofUnreceived []byte, proofHeight H
 		return err
 	}
 	if err := m.OnTimeoutPacket(*p); err != nil {
-		return fmt.Errorf("ibc: application timeout callback: %w", err)
+		return fmt.Errorf("%w: timeout callback: %w", ErrAppRejected, err)
 	}
 	if err := h.store.Delete(commitPath); err != nil {
 		return err
@@ -868,9 +909,10 @@ func (h *Handler) TimeoutPacket(p *Packet, proofUnreceived []byte, proofHeight H
 		if err := h.setChannel(p.SourcePort, p.SourceChannel, end); err != nil {
 			return err
 		}
-		h.emit("ChannelClosed", p.SourceChannel)
+		h.emit(EventChannelClosed{ChannelID: p.SourceChannel})
 	}
-	h.emit("TimeoutPacket", p)
+	h.packetsTimedOut.Inc()
+	h.emit(EventTimeoutPacket{Packet: p})
 	return nil
 }
 

@@ -82,21 +82,36 @@ func (s State) String() string {
 	}
 }
 
-// Errors returned by the IBC handler.
+// Sentinel errors returned by the IBC handler. Every failure path wraps one
+// of these with %w, so callers branch with errors.Is instead of matching
+// message strings.
 var (
-	ErrClientNotFound     = errors.New("ibc: client not found")
-	ErrClientExists       = errors.New("ibc: client already exists")
-	ErrConnectionNotFound = errors.New("ibc: connection not found")
-	ErrChannelNotFound    = errors.New("ibc: channel not found")
-	ErrInvalidState       = errors.New("ibc: unexpected handshake state")
-	ErrInvalidProof       = errors.New("ibc: proof verification failed")
-	ErrPacketExpired      = errors.New("ibc: packet timeout has elapsed")
-	ErrPacketNotExpired   = errors.New("ibc: packet timeout has not elapsed")
-	ErrDuplicatePacket    = errors.New("ibc: packet already delivered")
-	ErrSequenceMismatch   = errors.New("ibc: out-of-order packet on ordered channel")
-	ErrPortNotBound       = errors.New("ibc: port not bound")
-	ErrChannelClosed      = errors.New("ibc: channel is closed")
-	ErrInvalidPacket      = errors.New("ibc: invalid packet")
+	ErrClientNotFound         = errors.New("ibc: client not found")
+	ErrClientExists           = errors.New("ibc: client already exists")
+	ErrConnectionNotFound     = errors.New("ibc: connection not found")
+	ErrChannelNotFound        = errors.New("ibc: channel not found")
+	ErrInvalidState           = errors.New("ibc: unexpected handshake state")
+	ErrProofVerification      = errors.New("ibc: proof verification failed")
+	ErrPacketExpired          = errors.New("ibc: packet timeout has elapsed")
+	ErrPacketNotExpired       = errors.New("ibc: packet timeout has not elapsed")
+	ErrPacketAlreadyDelivered = errors.New("ibc: packet already delivered")
+	ErrSequenceMismatch       = errors.New("ibc: out-of-order packet on ordered channel")
+	ErrPortNotBound           = errors.New("ibc: port not bound")
+	ErrPortAlreadyBound       = errors.New("ibc: port already bound")
+	ErrChannelClosed          = errors.New("ibc: channel is closed")
+	ErrInvalidPacket          = errors.New("ibc: invalid packet")
+	ErrInvalidOrdering        = errors.New("ibc: invalid channel ordering")
+	ErrAppRejected            = errors.New("ibc: application callback failed")
+	ErrReceiptLost            = errors.New("ibc: receipt write lost")
+)
+
+// Deprecated aliases for the pre-rename sentinel names. They are bound to
+// the same error values, so errors.Is works identically through either name.
+var (
+	// Deprecated: use ErrProofVerification.
+	ErrInvalidProof = ErrProofVerification
+	// Deprecated: use ErrPacketAlreadyDelivered.
+	ErrDuplicatePacket = ErrPacketAlreadyDelivered
 )
 
 // Client is a light client of a counterparty chain, stored in the local

@@ -83,7 +83,7 @@ func TestChunkedClientUpdateThroughTransactions(t *testing.T) {
 			}
 		}
 		for _, ev := range blk.EventsOfKind("ClientUpdated") {
-			e := ev.Data.(guest.EventClientUpdated)
+			e := ev.Payload.(guest.EventClientUpdated)
 			updated = &e
 		}
 	}

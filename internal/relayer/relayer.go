@@ -17,11 +17,13 @@ import (
 
 	"repro/internal/counterparty"
 	"repro/internal/cryptoutil"
+	"repro/internal/fees"
 	"repro/internal/guest"
 	"repro/internal/host"
 	"repro/internal/ibc"
 	"repro/internal/lightclient/tendermint"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Config parameterises the relayer.
@@ -136,7 +138,9 @@ type Relayer struct {
 	// timeoutInFlight dedups timeout submissions per packet.
 	timeoutInFlight map[string]bool
 
-	// Stats.
+	// Stats. The record slices are the pre-telemetry measurement path and
+	// stay authoritative for determinism checks; the telemetry histograms
+	// observe the exact same values.
 	Updates     []UpdateRecord
 	Recvs       []RecvRecord
 	Traces      map[string]*PacketTrace
@@ -145,6 +149,20 @@ type Relayer struct {
 
 	// updStart tracks in-flight update measurement.
 	updateSeq int
+
+	// Telemetry (all nil-safe no-ops unless WithTelemetry was given).
+	tel            *telemetry.Telemetry
+	tracer         *telemetry.Tracer
+	mUpdLatency    *telemetry.Histogram
+	mUpdTxs        *telemetry.Histogram
+	mUpdCost       *telemetry.Histogram
+	mUpdSigs       *telemetry.Histogram
+	mRecvTxs       *telemetry.Histogram
+	mRecvCost      *telemetry.Histogram
+	mJobLatency    *telemetry.Histogram
+	mQueueDepth    *telemetry.Gauge
+	mClientUpdates *telemetry.Counter
+	mTimeouts      *telemetry.Counter
 }
 
 type cpWork struct {
@@ -163,8 +181,17 @@ type cpAckBack struct {
 	ack    []byte
 }
 
+// Option configures a Relayer.
+type Option func(*Relayer)
+
+// WithTelemetry wires the relayer's histograms, queue gauge, and per-packet
+// lifecycle tracer into t.
+func WithTelemetry(t *telemetry.Telemetry) Option {
+	return func(r *Relayer) { r.tel = t }
+}
+
 // New creates a relayer; its host account must be funded for fees.
-func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counterparty.Chain, sched *sim.Scheduler) *Relayer {
+func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counterparty.Chain, sched *sim.Scheduler, opts ...Option) *Relayer {
 	key := cryptoutil.GenerateKey("relayer")
 	r := &Relayer{
 		cfg:       cfg,
@@ -177,6 +204,24 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 		builder:   guest.NewTxBuilderForProfile(contract, key.Public(), hostChain.Profile()),
 		Traces:    make(map[string]*PacketTrace),
 	}
+	for _, o := range opts {
+		o(r)
+	}
+	var reg *telemetry.Registry
+	if r.tel != nil {
+		reg = r.tel.Metrics
+		r.tracer = r.tel.Tracer
+	}
+	r.mUpdLatency = reg.Histogram("relayer.update.latency_s")
+	r.mUpdTxs = reg.Histogram("relayer.update.txs")
+	r.mUpdCost = reg.Histogram("relayer.update.cost_cents")
+	r.mUpdSigs = reg.Histogram("relayer.update.sigs")
+	r.mRecvTxs = reg.Histogram("relayer.recv.txs")
+	r.mRecvCost = reg.Histogram("relayer.recv.cost_cents")
+	r.mJobLatency = reg.Histogram("relayer.job.latency_s")
+	r.mQueueDepth = reg.Gauge("relayer.queue_depth")
+	r.mClientUpdates = reg.Counter("relayer.client_updates")
+	r.mTimeouts = reg.Counter("relayer.timeouts_submitted")
 	return r
 }
 
@@ -194,6 +239,7 @@ func traceKey(p *ibc.Packet) string {
 // transaction landing times.
 func (r *Relayer) enqueue(label string, txs []*host.Transaction, onDone func(started, finished time.Time)) {
 	r.queue = append(r.queue, &job{label: label, txs: txs, onDone: onDone})
+	r.mQueueDepth.Set(int64(len(r.queue)))
 	if !r.busy {
 		r.busy = true
 		r.sched.After(0, r.pump)
@@ -210,12 +256,17 @@ func (r *Relayer) pump() {
 	if len(j.txs) == 0 {
 		// Job finished submitting; fire completion after landing.
 		r.queue = r.queue[1:]
+		r.mQueueDepth.Set(int64(len(r.queue)))
 		done := j.onDone
 		started := j.started
 		slot := r.hostChain.Profile().SlotDuration
 		r.sched.After(slot+slot/2, func() {
+			finished := r.sched.Now()
+			if !started.IsZero() {
+				r.mJobLatency.Observe(finished.Sub(started).Seconds())
+			}
 			if done != nil {
-				done(started, r.sched.Now())
+				done(started, finished)
 			}
 		})
 		r.sched.After(0, r.pump)
@@ -232,6 +283,7 @@ func (r *Relayer) pump() {
 		// Oversized or malformed transactions are a relayer bug; drop the
 		// job rather than wedge the queue.
 		r.queue = r.queue[1:]
+		r.mQueueDepth.Set(int64(len(r.queue)))
 		r.sched.After(0, r.pump)
 		return
 	}
@@ -243,28 +295,21 @@ func (r *Relayer) pump() {
 // OnHostBlock processes new host blocks' events.
 func (r *Relayer) OnHostBlock(b *host.Block) {
 	for _, ev := range b.Events {
-		switch ev.Kind {
-		case "FinalisedBlock":
-			entry, ok := ev.Data.(*guest.BlockEntry)
-			if !ok {
-				continue
-			}
-			r.onGuestFinalised(entry)
-			r.RelayGuestAcksToCP(entry)
-		case "PacketDelivered":
-			pd, ok := ev.Data.(guest.EventPacketDelivered)
-			if !ok {
-				continue
-			}
+		switch e := ev.Payload.(type) {
+		case guest.EventFinalisedBlock:
+			r.onGuestFinalised(e.Entry)
+			r.RelayGuestAcksToCP(e.Entry)
+		case guest.EventPacketDelivered:
 			// A cp->guest packet was delivered on the guest; its ack needs
 			// to ride a finalised guest block back to the cp.
-			r.cpDelivered = append(r.cpDelivered, cpAckBack{packet: pd.Packet, ack: pd.Ack})
-		case "ibc.SendPacket":
-			p, ok := ev.Data.(*ibc.Packet)
-			if !ok {
-				continue
-			}
+			r.cpDelivered = append(r.cpDelivered, cpAckBack{packet: e.Packet, ack: e.Ack})
+		case ibc.EventSendPacket:
+			p := e.Packet
 			r.Traces[traceKey(p)] = &PacketTrace{Packet: p, SentAt: ev.Time}
+			// Send and commit coincide on the guest: the commitment is
+			// written in the same host transaction as SendPacket.
+			r.tracer.Mark(traceKey(p), telemetry.StageSend, ev.Time)
+			r.tracer.Mark(traceKey(p), telemetry.StageCommit, ev.Time)
 		}
 	}
 }
@@ -274,14 +319,11 @@ func (r *Relayer) OnCPBlock(_ uint64) {
 	events, cursor := r.cp.EventsSince(r.cpCursor)
 	r.cpCursor = cursor
 	for _, ev := range events {
-		if ev.Kind != "PacketsCommitted" {
-			continue
-		}
-		packets, ok := ev.Data.([]*ibc.Packet)
+		pc, ok := ev.Payload.(counterparty.EventPacketsCommitted)
 		if !ok {
 			continue
 		}
-		for _, p := range packets {
+		for _, p := range pc.Packets {
 			r.cpPacketBacklog = append(r.cpPacketBacklog, cpWork{packet: p, height: ev.Height})
 		}
 	}
@@ -300,6 +342,8 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 		if tr, ok := r.Traces[traceKey(p)]; ok {
 			tr.FinalisedAt = entry.FinalisedAt
 		}
+		r.tracer.Mark(traceKey(p), telemetry.StageFinalise, entry.FinalisedAt)
+		r.tracer.Mark(traceKey(p), telemetry.StagePickup, r.sched.Now())
 	}
 	if len(entry.Packets) == 0 && entry.Block.NextEpoch == nil {
 		return
@@ -329,6 +373,7 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 			if tr, ok := r.Traces[traceKey(p)]; ok {
 				tr.DeliveredAt = r.sched.Now()
 			}
+			r.tracer.Mark(traceKey(p), telemetry.StageRecv, r.sched.Now())
 			// The ack becomes provable at the next cp block.
 			r.pendingGuestAcks = append(r.pendingGuestAcks, ackWork{
 				packet: p,
@@ -402,14 +447,22 @@ func (r *Relayer) maybeUpdateGuestClient() {
 	r.clientUpdateInFlight = true
 	r.enqueue(fmt.Sprintf("client-update-%d", seq), txs, func(started, finished time.Time) {
 		r.clientUpdateInFlight = false
-		r.Updates = append(r.Updates, UpdateRecord{
+		rec := UpdateRecord{
 			Height:  ibc.Height(target),
 			Txs:     len(txs),
 			Bytes:   len(headerBytes),
 			Sigs:    len(sigs),
 			Cost:    cost,
 			Latency: finished.Sub(started),
-		})
+		}
+		r.Updates = append(r.Updates, rec)
+		// Observe the exact values the record path captured, so figures
+		// compiled from telemetry snapshots match the legacy series.
+		r.mClientUpdates.Inc()
+		r.mUpdLatency.Observe(rec.Latency.Seconds())
+		r.mUpdTxs.Observe(float64(rec.Txs))
+		r.mUpdCost.Observe(fees.Cents(rec.Cost))
+		r.mUpdSigs.Observe(float64(rec.Sigs))
 		r.flushGuestWork(target)
 		// More backlog may have arrived meanwhile.
 		r.maybeUpdateGuestClient()
@@ -460,6 +513,8 @@ func (r *Relayer) deliverToGuest(w cpWork) {
 	}
 	r.enqueue("recv", txs, func(_, _ time.Time) {
 		r.Recvs = append(r.Recvs, RecvRecord{Txs: len(txs), Cost: cost})
+		r.mRecvTxs.Observe(float64(len(txs)))
+		r.mRecvCost.Observe(fees.Cents(cost))
 	})
 }
 
@@ -481,6 +536,7 @@ func (r *Relayer) ackToGuest(w ackWork, provableAt uint64) {
 		if tr, ok := r.Traces[traceKey(pkt)]; ok {
 			tr.AckedAt = finished
 		}
+		r.tracer.Mark(traceKey(pkt), telemetry.StageAck, finished)
 	})
 }
 
@@ -579,7 +635,11 @@ func (r *Relayer) CheckTimeouts() {
 		}
 		r.timeoutInFlight[key] = true
 		r.TimeoutsRun++
-		r.enqueue("timeout", txs, nil)
+		r.mTimeouts.Inc()
+		tkey := key
+		r.enqueue("timeout", txs, func(_, finished time.Time) {
+			r.tracer.Mark(tkey, telemetry.StageTimeout, finished)
+		})
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/guestblock"
 	"repro/internal/host"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Behaviour models one operator's characteristics.
@@ -64,25 +65,51 @@ type Validator struct {
 	stopped bool
 	// joined marks the daemon as started (JoinAt reached).
 	joined bool
+
+	seed      int64
+	telemetry *telemetry.Registry
+	// Instruments (nil-safe no-ops without WithTelemetry).
+	mSignatures  *telemetry.Counter
+	mSignLatency *telemetry.Histogram
+}
+
+// Option configures a validator daemon.
+type Option func(*Validator)
+
+// WithSeed sets the latency-sampling RNG seed (default 0).
+func WithSeed(seed int64) Option {
+	return func(v *Validator) { v.seed = seed }
+}
+
+// WithTelemetry registers the daemon's signature counter and sign-latency
+// histogram (shared across validators under "validator.") in reg.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(v *Validator) { v.telemetry = reg }
 }
 
 // New creates a validator daemon. The validator's host account must be
 // funded separately to cover fees.
-func New(key *cryptoutil.PrivKey, b Behaviour, chain *host.Chain, contract *guest.Contract, sched *sim.Scheduler, seed int64) *Validator {
+func New(key *cryptoutil.PrivKey, b Behaviour, chain *host.Chain, contract *guest.Contract, sched *sim.Scheduler, opts ...Option) *Validator {
 	builder := guest.NewTxBuilder(contract, key.Public())
 	builder.PriorityFee = b.Policy.PriorityFee
 	builder.BundleTip = b.Policy.BundleTip
-	return &Validator{
+	v := &Validator{
 		Key:           key,
 		Behaviour:     b,
 		chain:         chain,
 		contract:      contract,
 		builder:       builder,
 		sched:         sched,
-		rng:           rand.New(rand.NewSource(seed)),
 		pendingCost:   make(map[uint64]host.Lamports),
 		signedHeights: make(map[uint64]bool),
 	}
+	for _, o := range opts {
+		o(v)
+	}
+	v.rng = rand.New(rand.NewSource(v.seed))
+	v.mSignatures = v.telemetry.Counter("validator.signatures")
+	v.mSignLatency = v.telemetry.Histogram("validator.sign_latency_s")
+	return v
 }
 
 // Activate starts the daemon (scheduled at Behaviour.JoinAt).
@@ -99,12 +126,12 @@ func (v *Validator) OnHostBlock(b *host.Block) {
 	if !v.Behaviour.Active || !v.joined || v.stopped {
 		return
 	}
-	for _, ev := range b.EventsOfKind("NewBlock") {
-		block, ok := ev.Data.(*guestblock.Block)
+	for _, ev := range b.Events {
+		nb, ok := ev.Payload.(guest.EventNewBlock)
 		if !ok {
 			continue
 		}
-		v.maybeSign(block, b.Time)
+		v.maybeSign(nb.Block, b.Time)
 	}
 	// Recovery path: a daemon that was down (or joined late) signs the
 	// still-unfinalised head it may have missed — without this, one
@@ -168,6 +195,8 @@ func (v *Validator) submitSign(block *guestblock.Block, created time.Time) {
 		Latency: latency,
 		Cost:    tx.Fee(),
 	})
+	v.mSignatures.Inc()
+	v.mSignLatency.Observe(latency.Seconds())
 }
 
 // SignCount returns the number of submitted signatures.

@@ -51,7 +51,7 @@ func newValEnv(t *testing.T, n int, latency sim.Dist) *valEnv {
 			Active:  true,
 			Latency: latency,
 			Policy:  fees.Policy{Name: "t", PriorityFee: 1_000},
-		}, chain, contract, sched, int64(i))
+		}, chain, contract, sched, WithSeed(int64(i)))
 		v.Activate()
 		e.daemons = append(e.daemons, v)
 	}
