@@ -24,6 +24,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/experiments"
 	"repro/internal/guestblock"
+	"repro/internal/ibc"
 	"repro/internal/trie"
 )
 
@@ -298,6 +299,49 @@ func BenchmarkTrieSealSequential(b *testing.B) {
 		if err := tr.Seal(key); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSnapshotPerBlock measures the per-block snapshot cost at growing
+// store sizes: the versioned path (Commit, an O(1) root-pointer capture) stays
+// flat while the deprecated deep-copy path (Clone) grows linearly with the
+// number of live pairs. Each iteration also proves one key from the captured
+// snapshot so both paths pay the same proof cost.
+func BenchmarkSnapshotPerBlock(b *testing.B) {
+	for _, size := range []int{1_000, 10_000, 50_000} {
+		store := ibc.NewStore()
+		paths := make([]string, size)
+		for i := 0; i < size; i++ {
+			paths[i] = fmt.Sprintf("bench/pair/%d", i)
+			if err := store.Set(paths[i], []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("versioned/pairs=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := store.Commit()
+				snap, err := store.At(v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := snap.ProveMembership(paths[i%size]); err != nil {
+					b.Fatal(err)
+				}
+				store.Release(v)
+			}
+		})
+		b.Run(fmt.Sprintf("clone/pairs=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := store.Clone()
+				if _, _, err := snap.ProveMembership(paths[i%size]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -465,13 +465,20 @@ func (n *Network) GuestState() (*guest.State, error) {
 	return n.Contract.State(n.Host)
 }
 
-// SnapshotTelemetry refreshes the signature-cache gauges from the shared
-// batch verifier and returns a point-in-time snapshot of every metric,
-// event-bus counter, and packet trace in the deployment.
+// SnapshotTelemetry refreshes the signature-cache and state-growth gauges
+// and returns a point-in-time snapshot of every metric, event-bus counter,
+// and packet trace in the deployment.
 func (n *Network) SnapshotTelemetry() telemetry.Snapshot {
 	stats := cryptoutil.DefaultBatchVerifier().Stats()
 	n.Tel.Metrics.Gauge("cryptoutil.sigcache.hits").Set(int64(stats.Hits))
 	n.Tel.Metrics.Gauge("cryptoutil.sigcache.misses").Set(int64(stats.Misses))
 	n.Tel.Metrics.Gauge("cryptoutil.sigcache.len").Set(int64(stats.Len))
+	if st, err := n.GuestState(); err == nil {
+		tr := st.Store.Trie()
+		n.Tel.Metrics.Gauge("guest.state.live_nodes").Set(int64(tr.NodeCount()))
+		n.Tel.Metrics.Gauge("guest.state.retained_versions").Set(int64(st.RetainedSnapshots()))
+		// Ratio in basis points (gauges are integral).
+		n.Tel.Metrics.Gauge("guest.state.shared_node_ratio_bp").Set(int64(tr.SharedNodeRatio() * 10_000))
+	}
 	return n.Tel.Snapshot()
 }

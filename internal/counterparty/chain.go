@@ -104,12 +104,15 @@ type Chain struct {
 	// operations for updates nobody relays).
 	signerCounts   []int
 	commitCache    map[uint64][]tendermint.CommitSig
-	snapshots      map[uint64]*ibc.Store
+	snapshots      map[uint64]ibc.Version
 	oldestSnapshot uint64
-	// lastSnapshot is shared across consecutive blocks whose root did
-	// not change (copy-on-change snapshotting).
-	lastSnapshot *ibc.Store
-	lastRoot     cryptoutil.Hash
+	// versionRefs counts how many heights share each committed version:
+	// consecutive blocks whose root did not change reuse one version
+	// (commit-on-change), and the version is released only when the last
+	// height referencing it is pruned.
+	versionRefs map[ibc.Version]int
+	lastVersion ibc.Version
+	lastRoot    cryptoutil.Hash
 
 	// pendingPackets are packets sent since the last block; like the
 	// guest chain, a packet becomes relayable once a block commits it.
@@ -134,7 +137,8 @@ func New(cfg Config, clock host.Clock, opts ...Option) (*Chain, error) {
 		clock:       clock,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		store:       ibc.NewStore(),
-		snapshots:   make(map[uint64]*ibc.Store),
+		snapshots:   make(map[uint64]ibc.Version),
+		versionRefs: make(map[ibc.Version]int),
 		commitCache: make(map[uint64][]tendermint.CommitSig),
 		packetsAt:   make(map[uint64][]*ibc.Packet),
 	}
@@ -233,13 +237,21 @@ func (c *Chain) produceBlockLocked() *tendermint.Header {
 
 	c.headers = append(c.headers, h)
 	c.signerCounts = append(c.signerCounts, n)
-	// Copy-on-change snapshotting: consecutive blocks with the same root
-	// share one snapshot.
-	if c.lastSnapshot == nil || c.store.Root() != c.lastRoot {
-		c.lastSnapshot = c.store.Clone()
+	// Commit-on-change versioning: consecutive blocks with the same root
+	// share one retained version.
+	if c.lastVersion == 0 || c.store.Root() != c.lastRoot {
+		// If every height that referenced the previous version was already
+		// pruned (it survived only as the reuse candidate), release it now.
+		if old := c.lastVersion; old != 0 {
+			if _, live := c.versionRefs[old]; !live {
+				c.store.Release(old)
+			}
+		}
+		c.lastVersion = c.store.Commit()
 		c.lastRoot = c.store.Root()
 	}
-	c.snapshots[c.height] = c.lastSnapshot
+	c.snapshots[c.height] = c.lastVersion
+	c.versionRefs[c.lastVersion]++
 	c.pruneSnapshots()
 
 	if len(c.pendingPackets) > 0 {
@@ -258,9 +270,18 @@ func (c *Chain) pruneSnapshots() {
 		c.oldestSnapshot = 1
 	}
 	// Heights are contiguous, so an advancing cursor prunes in O(1)
-	// amortised.
+	// amortised. A shared version is released only when its last height
+	// leaves the window.
 	for len(c.snapshots) > c.cfg.SnapshotRetention {
-		delete(c.snapshots, c.oldestSnapshot)
+		if v, ok := c.snapshots[c.oldestSnapshot]; ok {
+			delete(c.snapshots, c.oldestSnapshot)
+			if c.versionRefs[v]--; c.versionRefs[v] <= 0 {
+				delete(c.versionRefs, v)
+				if v != c.lastVersion {
+					c.store.Release(v)
+				}
+			}
+		}
 		c.oldestSnapshot++
 	}
 }
@@ -309,11 +330,16 @@ func (c *Chain) GenesisUpdate() (*tendermint.Header, *tendermint.ValidatorSet) {
 	return c.headers[0], c.valset
 }
 
-// SnapshotAt returns the store snapshot at height for proof generation.
-func (c *Chain) SnapshotAt(height uint64) (*ibc.Store, error) {
-	snap, ok := c.snapshots[height]
+// SnapshotAt returns a read-only view of the store version committed at
+// height, for proof generation.
+func (c *Chain) SnapshotAt(height uint64) (*ibc.ReadOnlyStore, error) {
+	v, ok := c.snapshots[height]
 	if !ok {
 		return nil, fmt.Errorf("counterparty: no snapshot at %d", height)
+	}
+	snap, err := c.store.At(v)
+	if err != nil {
+		return nil, fmt.Errorf("counterparty: snapshot at %d: %w", height, err)
 	}
 	return snap, nil
 }

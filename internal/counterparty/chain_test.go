@@ -132,7 +132,7 @@ func TestSharedSnapshotsForUnchangedRoots(t *testing.T) {
 		clock.Advance(6 * time.Second)
 		c.ProduceBlock()
 	}
-	// All five heights share the genesis snapshot (root never changed).
+	// All five heights share the genesis version (root never changed).
 	s2, err := c.SnapshotAt(2)
 	if err != nil {
 		t.Fatal(err)
@@ -141,8 +141,11 @@ func TestSharedSnapshotsForUnchangedRoots(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s2 != s5 {
-		t.Fatal("unchanged roots did not share a snapshot")
+	if s2.Version() != s5.Version() {
+		t.Fatalf("unchanged roots did not share a version: %d vs %d", s2.Version(), s5.Version())
+	}
+	if c.store.RetainedVersions() != 1 {
+		t.Fatalf("retained %d versions for one distinct root, want 1", c.store.RetainedVersions())
 	}
 }
 

@@ -25,6 +25,11 @@ type Storage struct {
 	LiveBytes   int
 	SealedRefs  int
 	TotalPacket int
+	// RetainedVersions and SharedNodeRatio describe the versioned store:
+	// how many historical snapshots the guest holds as O(1) handles, and
+	// what fraction of the head's nodes the latest snapshot shares with it.
+	RetainedVersions int
+	SharedNodeRatio  float64
 }
 
 // BuildStorage computes the storage analysis.
@@ -39,6 +44,8 @@ func BuildStorage(d *Deployment) *Storage {
 		s.LiveNodes = st.StorageNodeCount()
 		s.LiveBytes = st.StorageBytes()
 		s.SealedRefs = st.Store.Trie().SealedCount()
+		s.RetainedVersions = st.RetainedSnapshots()
+		s.SharedNodeRatio = st.Store.Trie().SharedNodeRatio()
 	}
 	s.TotalPacket = d.OutboundSent + d.InboundSent
 	return s
@@ -71,6 +78,8 @@ func (s *Storage) Render() string {
 	fmt.Fprintf(&b, "  arena capacity: %d key-value pairs (paper: >72k)\n", s.CapacityPairs)
 	fmt.Fprintf(&b, "  after the run: %d live nodes (%d bytes), %d sealed regions, %d packets handled\n",
 		s.LiveNodes, s.LiveBytes, s.SealedRefs, s.TotalPacket)
+	fmt.Fprintf(&b, "  versioned snapshots: %d retained (O(1) handles), %.2f shared-node ratio\n",
+		s.RetainedVersions, s.SharedNodeRatio)
 	return b.String()
 }
 

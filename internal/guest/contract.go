@@ -67,7 +67,7 @@ func Deploy(chain *host.Chain, cfg Config) (*Contract, host.Lamports, error) {
 		Candidates:   make(map[cryptoutil.PubKey]*Candidate),
 		Slashed:      make(map[cryptoutil.PubKey]bool),
 		staging:      make(map[stagingKey]*StagingBuffer),
-		snapshots:    make(map[uint64]*ibc.Store),
+		snapshots:    make(map[uint64]ibc.Version),
 		nowTime:      chain.Now(),
 		nowSlot:      uint64(chain.Slot()),
 	}
@@ -100,7 +100,7 @@ func Deploy(chain *host.Chain, cfg Config) (*Contract, host.Lamports, error) {
 		Finalised:  true,
 		CreatedAt:  chain.Now(),
 	})
-	st.snapshots[1] = store.Clone()
+	st.snapshots[1] = store.Commit()
 
 	deposit, err := chain.CreateStateAccount(cfg.Payer, c.stateKey, c.programID, cfg.Params.StateSize, st)
 	if err != nil {

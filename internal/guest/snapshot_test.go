@@ -1,0 +1,194 @@
+package guest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/guestblock"
+	"repro/internal/host"
+	"repro/internal/ibc"
+)
+
+// newSnapshotEnv deploys a contract with a tiny snapshot retention window so
+// pruning kicks in after a handful of blocks.
+func newSnapshotEnv(t *testing.T, retention int) (*host.ManualClock, *host.Chain, *Contract, []*cryptoutil.PrivKey) {
+	t.Helper()
+	clock := host.NewManualClock(time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC))
+	chain := host.NewChain(clock)
+	payer := cryptoutil.GenerateKey("snap-payer").Public()
+	chain.Fund(payer, 1_000_000*host.LamportsPerSOL)
+
+	var keys []*cryptoutil.PrivKey
+	var genesis []guestblock.Validator
+	for i := 0; i < 3; i++ {
+		k := cryptoutil.GenerateKeyIndexed("snap-val", i)
+		keys = append(keys, k)
+		chain.Fund(k.Public(), 2_000*host.LamportsPerSOL)
+		genesis = append(genesis, guestblock.Validator{PubKey: k.Public(), Stake: uint64(100 * host.LamportsPerSOL)})
+	}
+	params := DefaultParams()
+	params.Delta = time.Hour
+	params.EpochLength = 100000
+	params.SnapshotRetention = retention
+	contract, _, err := Deploy(chain, Config{Params: params, Payer: payer, GenesisValidators: genesis})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clock, chain, contract, keys
+}
+
+// mintBlock dirties the store, generates a block directly, and finalises it.
+func mintBlock(t *testing.T, clock *host.ManualClock, chain *host.Chain, contract *Contract, keys []*cryptoutil.PrivKey, tag string) *BlockEntry {
+	t.Helper()
+	st, err := contract.State(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(host.SlotDuration)
+	chain.ProduceBlock()
+	st.BeginDirect(clock.Now(), uint64(chain.Slot()))
+	if err := st.Store.Set("snap/"+tag, []byte(tag)); err != nil {
+		t.Fatal(err)
+	}
+	entry, err := st.DirectGenerateBlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.DirectFinalise(entry, keys); err != nil {
+		t.Fatal(err)
+	}
+	return entry
+}
+
+func TestSnapshotPrunedVsUnknownHeight(t *testing.T) {
+	clock, chain, contract, keys := newSnapshotEnv(t, 3)
+	for i := 0; i < 8; i++ {
+		mintBlock(t, clock, chain, contract, keys, fmt.Sprintf("b%d", i))
+	}
+	st, err := contract.State(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RetainedSnapshots() != 3 {
+		t.Fatalf("RetainedSnapshots = %d, want 3", st.RetainedSnapshots())
+	}
+	// Height 2 existed but fell out of the retention window.
+	if _, err := st.SnapshotAt(2); !errors.Is(err, ErrSnapshotPruned) {
+		t.Fatalf("SnapshotAt(pruned) = %v, want ErrSnapshotPruned", err)
+	}
+	if _, _, err := st.ProveMembershipAt(2, "snap/b0"); !errors.Is(err, ErrSnapshotPruned) {
+		t.Fatalf("ProveMembershipAt(pruned) = %v, want ErrSnapshotPruned", err)
+	}
+	// A height the chain never reached is a different error.
+	if _, err := st.SnapshotAt(1000); !errors.Is(err, ErrUnknownHeight) {
+		t.Fatalf("SnapshotAt(future) = %v, want ErrUnknownHeight", err)
+	}
+	if _, err := st.ProveNonMembershipAt(1000, "snap/none"); !errors.Is(err, ErrUnknownHeight) {
+		t.Fatalf("ProveNonMembershipAt(future) = %v, want ErrUnknownHeight", err)
+	}
+	// Height 0 is never valid either.
+	if _, err := st.SnapshotAt(0); !errors.Is(err, ErrUnknownHeight) {
+		t.Fatalf("SnapshotAt(0) = %v, want ErrUnknownHeight", err)
+	}
+	// The newest heights are still provable, and the proof verifies against
+	// the block's finalised state root.
+	head := st.Height()
+	entry, err := st.Entry(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value, proof, err := st.ProveMembershipAt(head, "snap/b0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(value, []byte("b0")) {
+		t.Fatalf("value = %q, want b0", value)
+	}
+	if err := ibc.VerifyStoredMembership(entry.Block.StateRoot, "snap/b0", value, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotsStayProvableAfterHeadMutation(t *testing.T) {
+	// The versioned handles must keep serving the exact roots the blocks
+	// committed, even as later blocks mutate the same paths.
+	clock, chain, contract, keys := newSnapshotEnv(t, 16)
+	st, err := contract.State(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pin struct {
+		height uint64
+		root   cryptoutil.Hash
+	}
+	var pins []pin
+	for i := 0; i < 6; i++ {
+		// Overwrite the same path every block so versions genuinely differ.
+		clock.Advance(host.SlotDuration)
+		chain.ProduceBlock()
+		st.BeginDirect(clock.Now(), uint64(chain.Slot()))
+		if err := st.Store.Set("hot/path", []byte(fmt.Sprintf("gen%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		entry, err := st.DirectGenerateBlock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.DirectFinalise(entry, keys); err != nil {
+			t.Fatal(err)
+		}
+		pins = append(pins, pin{height: entry.Block.Height, root: entry.Block.StateRoot})
+	}
+	for i, p := range pins {
+		// The block's snapshot is taken at creation, after that round's
+		// write, so height pins[i] holds generation i.
+		value, proof, err := st.ProveMembershipAt(p.height, "hot/path")
+		if err != nil {
+			t.Fatalf("height %d: %v", p.height, err)
+		}
+		want := fmt.Sprintf("gen%d", i)
+		if !bytes.Equal(value, []byte(want)) {
+			t.Fatalf("height %d value = %q, want %q", p.height, value, want)
+		}
+		if err := ibc.VerifyStoredMembership(p.root, "hot/path", value, proof); err != nil {
+			t.Fatalf("height %d: %v", p.height, err)
+		}
+	}
+	// Snapshot handles mirror the store's retained version count.
+	if st.RetainedSnapshots() != st.Store.RetainedVersions() {
+		t.Fatalf("RetainedSnapshots %d != store RetainedVersions %d",
+			st.RetainedSnapshots(), st.Store.RetainedVersions())
+	}
+}
+
+func TestLatestFinalised(t *testing.T) {
+	clock, chain, contract, keys := newSnapshotEnv(t, 8)
+	st, err := contract.State(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lf := st.LatestFinalised(); lf == nil || lf.Block.Height != 1 {
+		t.Fatalf("genesis LatestFinalised = %+v", lf)
+	}
+	mintBlock(t, clock, chain, contract, keys, "lf")
+	if lf := st.LatestFinalised(); lf == nil || lf.Block.Height != 2 {
+		t.Fatal("LatestFinalised did not advance")
+	}
+	// An unfinalised head is skipped.
+	clock.Advance(host.SlotDuration)
+	chain.ProduceBlock()
+	st.BeginDirect(clock.Now(), uint64(chain.Slot()))
+	if err := st.Store.Set("snap/unfin", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.DirectGenerateBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if lf := st.LatestFinalised(); lf == nil || lf.Block.Height != 2 {
+		t.Fatalf("LatestFinalised = %+v, want height 2 (head unfinalised)", lf)
+	}
+}

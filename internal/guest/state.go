@@ -19,6 +19,10 @@ var (
 	ErrHeadNotFinalised  = errors.New("guest: head block is not finalised")
 	ErrNothingToCommit   = errors.New("guest: state unchanged and head younger than delta")
 	ErrUnknownHeight     = errors.New("guest: unknown block height")
+	// ErrSnapshotPruned marks a height that existed but whose store version
+	// fell out of the retention window. Distinct from ErrUnknownHeight so a
+	// relayer can tell "retry against a newer root" from "bogus height".
+	ErrSnapshotPruned = errors.New("guest: snapshot pruned from retention window")
 	ErrNotValidator      = errors.New("guest: signer is not an epoch validator")
 	ErrAlreadySigned     = errors.New("guest: validator already signed this block")
 	ErrBadSignature      = errors.New("guest: signature not verified by runtime")
@@ -133,10 +137,12 @@ type State struct {
 
 	staging map[stagingKey]*StagingBuffer
 
-	// snapshots[height] is the store state at block creation — the
-	// simulation analogue of reading historical account data through an
-	// RPC node; relayers prove against finalised roots from these.
-	snapshots      map[uint64]*ibc.Store
+	// snapshots[height] is the store version committed at block creation —
+	// the simulation analogue of reading historical account data through an
+	// RPC node; relayers prove against finalised roots from these. Each
+	// handle is an O(1) copy-on-write version, not a deep copy, so the
+	// per-block snapshot cost no longer scales with state size.
+	snapshots      map[uint64]ibc.Version
 	oldestSnapshot uint64
 
 	// Execution context mirror: the handler's SelfInfo reads these.
@@ -171,12 +177,21 @@ func (s *State) Entry(height uint64) (*BlockEntry, error) {
 	return s.Entries[idx], nil
 }
 
-// SnapshotAt returns the store snapshot taken when the block at height was
-// created, if still retained.
-func (s *State) SnapshotAt(height uint64) (*ibc.Store, error) {
-	snap, ok := s.snapshots[height]
+// SnapshotAt returns a read-only view of the store version committed when
+// the block at height was created. A height inside the chain's history whose
+// version was released reports ErrSnapshotPruned; a height the chain never
+// reached reports ErrUnknownHeight.
+func (s *State) SnapshotAt(height uint64) (*ibc.ReadOnlyStore, error) {
+	v, ok := s.snapshots[height]
 	if !ok {
+		if height >= 1 && height <= s.Height() {
+			return nil, fmt.Errorf("%w: height %d", ErrSnapshotPruned, height)
+		}
 		return nil, fmt.Errorf("%w: no snapshot at %d", ErrUnknownHeight, height)
+	}
+	snap, err := s.Store.At(v)
+	if err != nil {
+		return nil, fmt.Errorf("guest: snapshot at %d: %w", height, err)
 	}
 	return snap, nil
 }
@@ -312,7 +327,7 @@ func (s *State) generateBlockCore(now time.Time, slot uint64) (*BlockEntry, erro
 	}
 	s.PendingPackets = nil
 	s.Entries = append(s.Entries, entry)
-	s.snapshots[block.Height] = s.Store.Clone()
+	s.snapshots[block.Height] = s.Store.Commit()
 	s.pruneSnapshots()
 
 	if block.NextEpoch != nil {
@@ -370,7 +385,8 @@ func (s *State) StorageNodeCount() int { return s.Store.Trie().NodeCount() }
 // StorageBytes exposes the modelled storage footprint.
 func (s *State) StorageBytes() int { return s.Store.Trie().StorageBytes() }
 
-// pruneSnapshots drops snapshots beyond the retention window.
+// pruneSnapshots releases store versions beyond the retention window, so
+// the trie nodes and value history only they kept alive can be reclaimed.
 func (s *State) pruneSnapshots() {
 	if s.Params.SnapshotRetention <= 0 {
 		return
@@ -379,7 +395,26 @@ func (s *State) pruneSnapshots() {
 		s.oldestSnapshot = 1
 	}
 	for len(s.snapshots) > s.Params.SnapshotRetention {
-		delete(s.snapshots, s.oldestSnapshot)
+		if v, ok := s.snapshots[s.oldestSnapshot]; ok {
+			s.Store.Release(v)
+			delete(s.snapshots, s.oldestSnapshot)
+		}
 		s.oldestSnapshot++
 	}
+}
+
+// RetainedSnapshots returns how many historical store versions the state
+// currently holds (telemetry).
+func (s *State) RetainedSnapshots() int { return len(s.snapshots) }
+
+// LatestFinalised returns the newest finalised block entry, or nil if none
+// is finalised yet. Relayers fall back to it when a proof height has been
+// pruned.
+func (s *State) LatestFinalised() *BlockEntry {
+	for i := len(s.Entries) - 1; i >= 0; i-- {
+		if s.Entries[i].Finalised {
+			return s.Entries[i]
+		}
+	}
+	return nil
 }

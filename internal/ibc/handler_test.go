@@ -25,7 +25,7 @@ type mockChain struct {
 	// roots[height] records the store root at each committed height.
 	roots map[Height]cryptoutil.Hash
 	times map[Height]time.Time
-	snaps map[Height]*Store
+	snaps map[Height]*ReadOnlyStore
 }
 
 func newMockChain(name string, opts ...HandlerOption) *mockChain {
@@ -36,7 +36,7 @@ func newMockChain(name string, opts ...HandlerOption) *mockChain {
 		now:    time.Unix(1_700_000_000, 0).UTC(),
 		roots:  map[Height]cryptoutil.Hash{},
 		times:  map[Height]time.Time{},
-		snaps:  map[Height]*Store{},
+		snaps:  map[Height]*ReadOnlyStore{},
 	}
 	c.handler = NewHandler(c.store, c, opts...)
 	c.commit()
@@ -56,7 +56,11 @@ func (c *mockChain) ValidateSelfClient(clientState []byte) error {
 func (c *mockChain) commit() {
 	c.roots[c.height] = c.store.Root()
 	c.times[c.height] = c.now
-	c.snaps[c.height] = c.store.Clone()
+	snap, err := c.store.At(c.store.Commit())
+	if err != nil {
+		panic(err)
+	}
+	c.snaps[c.height] = snap
 	c.height++
 	c.now = c.now.Add(5 * time.Second)
 }

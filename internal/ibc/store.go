@@ -3,45 +3,197 @@ package ibc
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/trie"
 )
 
+// Versioned store errors.
+var (
+	// ErrUnknownVersion is returned when reading a version that was never
+	// committed or has been released.
+	ErrUnknownVersion = trie.ErrUnknownVersion
+	// ErrValueMismatch is returned by Get when the side-table value no
+	// longer hashes to the trie leaf commitment — a store/trie desync that
+	// should be impossible and must surface loudly rather than produce
+	// unprovable values.
+	ErrValueMismatch = errors.New("ibc: value does not match trie commitment")
+)
+
+// Version identifies a committed, retained store snapshot.
+type Version = trie.Version
+
+// valueRev is one generation of a path's value history: the bytes written
+// while `ver` was the pending version, or a tombstone (nil val) recording a
+// Delete or Seal. Reads at version v resolve to the last entry with
+// ver <= v, so retained versions keep seeing the bytes they committed while
+// the head moves on — the value-table analogue of the trie's path copying.
+type valueRev struct {
+	ver Version
+	val []byte
+}
+
 // Store is the provable storage an IBC handler writes through: a sealable
-// Merkle trie holding value commitments, plus a side table with the full
-// value bytes (the trie commits to H(value); peers verify values against
-// proofs of their hashes, exactly the "stores its commitment" model of
-// Alg. 1).
+// Merkle trie holding value commitments, plus a versioned side table with
+// the full value bytes (the trie commits to H(value); peers verify values
+// against proofs of their hashes, exactly the "stores its commitment" model
+// of Alg. 1).
+//
+// The store is versioned: Commit freezes the current contents as an O(1)
+// version handle and At opens a read-only view of any retained version.
+// Mutations must come from a single writer (the account model already
+// forbids concurrent writers), but ReadOnlyStore views may be used from
+// other goroutines concurrently with head writes.
 type Store struct {
+	mu     sync.RWMutex
 	trie   *trie.Trie
-	values map[string][]byte
+	values map[string][]valueRev
+
+	// head is the version id the next Commit will return; writes are
+	// stamped with it. retained tracks live version handles. writeLog
+	// remembers which paths were written in each pending generation so
+	// Release can trim value histories in amortised O(writes) instead of
+	// scanning the whole table.
+	head     Version
+	retained map[Version]struct{}
+	writeLog map[Version][]string
 }
 
 // NewStore returns an empty provable store. Trie options (such as the
 // fixed-capacity arena modelling the 10 MiB account) pass through.
 func NewStore(opts ...trie.Option) *Store {
 	return &Store{
-		trie:   trie.New(opts...),
-		values: make(map[string][]byte),
+		trie:     trie.New(opts...),
+		values:   make(map[string][]valueRev),
+		head:     1,
+		retained: make(map[Version]struct{}),
+		writeLog: make(map[Version][]string),
 	}
 }
 
 // Root returns the current commitment root.
 func (s *Store) Root() cryptoutil.Hash { return s.trie.Root() }
 
-// Clone returns a deep snapshot of the store; off-chain actors take
-// snapshots at block boundaries to prove against historical roots.
-func (s *Store) Clone() *Store {
-	values := make(map[string][]byte, len(s.values))
-	for k, v := range s.values {
-		values[k] = v
-	}
-	return &Store{trie: s.trie.Clone(), values: values}
-}
-
 // Trie exposes the underlying sealable trie (for storage accounting).
 func (s *Store) Trie() *trie.Trie { return s.trie }
+
+// Commit freezes the current contents as a new retained version and returns
+// its handle. O(1): nothing is copied — the trie snapshots structurally and
+// the value side-table entries stamped with this version simply become
+// immutable history.
+func (s *Store) Commit() Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.trie.Snapshot()
+	s.retained[v] = struct{}{}
+	s.head = v + 1
+	return v
+}
+
+// At returns a read-only view of a committed, retained version.
+func (s *Store) At(v Version) (*ReadOnlyStore, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.retained[v]; !ok {
+		return nil, fmt.Errorf("ibc: at version %d: %w", v, ErrUnknownVersion)
+	}
+	view, err := s.trie.At(v)
+	if err != nil {
+		return nil, fmt.Errorf("ibc: at version %d: %w", v, err)
+	}
+	return &ReadOnlyStore{store: s, view: view}, nil
+}
+
+// Release drops a retained version, reclaiming value history (and letting
+// the trie nodes reachable only from it be collected). Releasing an unknown
+// or already-released version is a no-op.
+func (s *Store) Release(v Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.retained[v]; !ok {
+		return
+	}
+	delete(s.retained, v)
+	s.trie.Release(v)
+	s.pruneValuesLocked()
+}
+
+// RetainedVersions returns how many committed versions are currently held.
+func (s *Store) RetainedVersions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.retained)
+}
+
+// pruneValuesLocked trims value history no retained version can still read.
+// cutoff is the oldest version a reader may request; for each generation at
+// or below it, every logged path can drop history entries superseded at or
+// before the cutoff. Called with mu held.
+func (s *Store) pruneValuesLocked() {
+	cutoff := s.head
+	for v := range s.retained {
+		if v < cutoff {
+			cutoff = v
+		}
+	}
+	for gen, paths := range s.writeLog {
+		if gen > cutoff {
+			continue
+		}
+		for _, p := range paths {
+			s.trimHistoryLocked(p, cutoff)
+		}
+		delete(s.writeLog, gen)
+	}
+}
+
+// trimHistoryLocked drops leading history entries for path that are
+// shadowed at every readable version (>= cutoff), and removes the path
+// entirely once only a dead tombstone remains.
+func (s *Store) trimHistoryLocked(path string, cutoff Version) {
+	h, ok := s.values[path]
+	if !ok {
+		return
+	}
+	i := 0
+	for i+1 < len(h) && h[i+1].ver <= cutoff {
+		i++
+	}
+	h = h[i:]
+	if len(h) == 1 && h[0].val == nil && h[0].ver <= cutoff {
+		delete(s.values, path)
+		return
+	}
+	s.values[path] = h
+}
+
+// appendValueLocked records a new generation of path's value (nil marks a
+// tombstone). Writes within the same pending version coalesce: only the
+// last value before Commit is observable. Called with mu held.
+func (s *Store) appendValueLocked(path string, val []byte) {
+	h := s.values[path]
+	if n := len(h); n > 0 && h[n-1].ver == s.head {
+		h[n-1].val = val
+		return
+	}
+	s.values[path] = append(h, valueRev{ver: s.head, val: val})
+	s.writeLog[s.head] = append(s.writeLog[s.head], path)
+}
+
+// valueAt resolves path's bytes as of version v (the head sees v = current
+// pending version). A tombstone or missing history reads as absent.
+func (s *Store) valueAt(path string, v Version) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.values[path]
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].ver <= v {
+			return h[i].val, h[i].val != nil
+		}
+	}
+	return nil, false
+}
 
 // Set stores value under the ICS-24 path.
 func (s *Store) Set(path string, value []byte) error {
@@ -51,20 +203,34 @@ func (s *Store) Set(path string, value []byte) error {
 	if err := s.trie.Set(PathToKey(path), cryptoutil.HashBytes(value)); err != nil {
 		return fmt.Errorf("ibc: set %q: %w", path, err)
 	}
-	s.values[path] = append([]byte(nil), value...)
+	s.mu.Lock()
+	s.appendValueLocked(path, append([]byte(nil), value...))
+	s.mu.Unlock()
 	return nil
 }
 
-// Get returns the value bytes stored under path.
+// Get returns the value bytes stored under path, after checking that they
+// still hash to the trie's leaf commitment (desync → ErrValueMismatch).
 func (s *Store) Get(path string) ([]byte, error) {
-	if _, err := s.trie.Get(PathToKey(path)); err != nil {
+	h, err := s.trie.Get(PathToKey(path))
+	if err != nil {
 		return nil, fmt.Errorf("ibc: get %q: %w", path, err)
 	}
-	v, ok := s.values[path]
+	v, ok := s.valueAt(path, s.headVersion())
 	if !ok {
 		return nil, fmt.Errorf("ibc: get %q: value table out of sync", path)
 	}
+	if cryptoutil.HashBytes(v) != h {
+		return nil, fmt.Errorf("ibc: get %q: %w", path, ErrValueMismatch)
+	}
 	return v, nil
+}
+
+// headVersion returns the current pending version id.
+func (s *Store) headVersion() Version {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
 }
 
 // Has reports whether path holds a live value.
@@ -82,22 +248,30 @@ func (s *Store) IsSealed(path string) bool {
 	return errors.Is(err, trie.ErrSealed)
 }
 
-// Delete removes path (used for packet commitments cleared on ack).
+// Delete removes path (used for packet commitments cleared on ack). The
+// value history keeps a tombstone so retained versions still read the old
+// bytes.
 func (s *Store) Delete(path string) error {
 	if err := s.trie.Delete(PathToKey(path)); err != nil {
 		return fmt.Errorf("ibc: delete %q: %w", path, err)
 	}
-	delete(s.values, path)
+	s.mu.Lock()
+	s.appendValueLocked(path, nil)
+	s.mu.Unlock()
 	return nil
 }
 
 // Seal permanently retires path, reclaiming its storage while keeping the
-// root commitment intact (§III-A). Used for delivered packet receipts.
+// root commitment intact (§III-A). Used for delivered packet receipts. As
+// with Delete, retained versions keep serving the pre-seal value — sealing
+// at head must not invalidate historical proofs.
 func (s *Store) Seal(path string) error {
 	if err := s.trie.Seal(PathToKey(path)); err != nil {
 		return fmt.Errorf("ibc: seal %q: %w", path, err)
 	}
-	delete(s.values, path)
+	s.mu.Lock()
+	s.appendValueLocked(path, nil)
+	s.mu.Unlock()
 	return nil
 }
 
@@ -114,7 +288,7 @@ func (s *Store) ProveMembership(path string) ([]byte, []byte, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("ibc: prove %q: %w", path, err)
 	}
-	v, ok := s.values[path]
+	v, ok := s.valueAt(path, s.headVersion())
 	if !ok {
 		return nil, nil, fmt.Errorf("ibc: prove %q: value table out of sync", path)
 	}
@@ -133,6 +307,111 @@ func (s *Store) ProveNonMembership(path string) ([]byte, error) {
 	raw, err := proof.MarshalBinary()
 	if err != nil {
 		return nil, fmt.Errorf("ibc: prove absence %q: %w", path, err)
+	}
+	return raw, nil
+}
+
+// Clone returns a deep, fully independent copy of the store's head.
+//
+// Deprecated: Clone is the pre-versioning snapshot mechanism and costs
+// O(state size) per call. Use Commit and At, which freeze the same contents
+// in O(1). Clone is retained so external callers and the pre-versioning
+// benchmarks keep working; retained versions and history do not carry over.
+func (s *Store) Clone() *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := &Store{
+		trie:     s.trie.Clone(),
+		values:   make(map[string][]valueRev, len(s.values)),
+		head:     1,
+		retained: make(map[Version]struct{}),
+		writeLog: make(map[Version][]string),
+	}
+	for p, h := range s.values {
+		if n := len(h); n > 0 && h[n-1].val != nil {
+			out.values[p] = []valueRev{{ver: 1, val: h[n-1].val}}
+			out.writeLog[1] = append(out.writeLog[1], p)
+		}
+	}
+	return out
+}
+
+// ReadOnlyStore is a read-only view of one committed store version,
+// obtained from Store.At. It serves reads and proofs against the frozen
+// root for as long as the version stays retained, and is safe to use
+// concurrently with head writes.
+type ReadOnlyStore struct {
+	store *Store
+	view  *trie.View
+}
+
+// Version returns the committed version this view reads.
+func (r *ReadOnlyStore) Version() Version { return r.view.Version() }
+
+// Root returns the frozen commitment root.
+func (r *ReadOnlyStore) Root() cryptoutil.Hash { return r.view.Root() }
+
+// Get returns the value bytes stored under path at this version, with the
+// same trie-commitment integrity check as the head's Get.
+func (r *ReadOnlyStore) Get(path string) ([]byte, error) {
+	h, err := r.view.Get(PathToKey(path))
+	if err != nil {
+		return nil, fmt.Errorf("ibc: get %q at version %d: %w", path, r.Version(), err)
+	}
+	v, ok := r.store.valueAt(path, r.Version())
+	if !ok {
+		return nil, fmt.Errorf("ibc: get %q at version %d: value table out of sync", path, r.Version())
+	}
+	if cryptoutil.HashBytes(v) != h {
+		return nil, fmt.Errorf("ibc: get %q at version %d: %w", path, r.Version(), ErrValueMismatch)
+	}
+	return v, nil
+}
+
+// Has reports whether path held a live value at this version.
+func (r *ReadOnlyStore) Has(path string) (bool, error) {
+	ok, err := r.view.Has(PathToKey(path))
+	if err != nil {
+		return false, fmt.Errorf("ibc: has %q at version %d: %w", path, r.Version(), err)
+	}
+	return ok, nil
+}
+
+// ProveMembership returns (value, serialized proof) for a path present at
+// this version. Proofs are byte-identical to the ones the head produced
+// while this version was current.
+func (r *ReadOnlyStore) ProveMembership(path string) ([]byte, []byte, error) {
+	proof, err := r.view.Prove(PathToKey(path))
+	if err != nil {
+		return nil, nil, fmt.Errorf("ibc: prove %q at version %d: %w", path, r.Version(), err)
+	}
+	if !proof.Membership {
+		return nil, nil, fmt.Errorf("ibc: prove %q at version %d: path is absent", path, r.Version())
+	}
+	raw, err := proof.MarshalBinary()
+	if err != nil {
+		return nil, nil, fmt.Errorf("ibc: prove %q at version %d: %w", path, r.Version(), err)
+	}
+	v, ok := r.store.valueAt(path, r.Version())
+	if !ok {
+		return nil, nil, fmt.Errorf("ibc: prove %q at version %d: value table out of sync", path, r.Version())
+	}
+	return v, raw, nil
+}
+
+// ProveNonMembership returns a serialized absence proof for path at this
+// version.
+func (r *ReadOnlyStore) ProveNonMembership(path string) ([]byte, error) {
+	proof, err := r.view.Prove(PathToKey(path))
+	if err != nil {
+		return nil, fmt.Errorf("ibc: prove absence %q at version %d: %w", path, r.Version(), err)
+	}
+	if proof.Membership {
+		return nil, fmt.Errorf("ibc: prove absence %q at version %d: path is present", path, r.Version())
+	}
+	raw, err := proof.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("ibc: prove absence %q at version %d: %w", path, r.Version(), err)
 	}
 	return raw, nil
 }

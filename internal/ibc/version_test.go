@@ -1,0 +1,352 @@
+package ibc
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/trie"
+)
+
+func TestStoreCommitAtRelease(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("a/path", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	root1 := s.Root()
+	v1 := s.Commit()
+
+	if err := s.Set("a/path", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("b/path", []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := s.At(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version() != v1 {
+		t.Fatalf("snap.Version = %d, want %d", snap.Version(), v1)
+	}
+	if snap.Root() != root1 {
+		t.Fatal("snapshot root drifted after head writes")
+	}
+	got, err := snap.Get("a/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("snap.Get = %q, want original %q", got, "one")
+	}
+	if ok, err := snap.Has("b/path"); err != nil || ok {
+		t.Fatalf("snap.Has(b/path) = %v, %v; want absent", ok, err)
+	}
+	// Head still reads the new values.
+	if got, err := s.Get("a/path"); err != nil || !bytes.Equal(got, []byte("two")) {
+		t.Fatalf("head Get = %q, %v; want %q", got, err, "two")
+	}
+
+	s.Release(v1)
+	if _, err := s.At(v1); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("At(released) = %v, want ErrUnknownVersion", err)
+	}
+	s.Release(v1) // double release is a no-op
+	if s.RetainedVersions() != 0 {
+		t.Fatalf("RetainedVersions = %d, want 0", s.RetainedVersions())
+	}
+}
+
+func TestVersionedProofsVerifyAgainstFrozenRoot(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 20; i++ {
+		if err := s.Set(fmt.Sprintf("k/%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := s.Root()
+	v := s.Commit()
+	for i := 0; i < 20; i++ {
+		if err := s.Set(fmt.Sprintf("k/%d", i), []byte("overwritten")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := s.At(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		path := fmt.Sprintf("k/%d", i)
+		val, proof, err := snap.ProveMembership(path)
+		if err != nil {
+			t.Fatalf("ProveMembership(%s): %v", path, err)
+		}
+		if !bytes.Equal(val, []byte(fmt.Sprintf("v%d", i))) {
+			t.Fatalf("proved value %q, want frozen %q", val, fmt.Sprintf("v%d", i))
+		}
+		if err := VerifyStoredMembership(root, path, val, proof); err != nil {
+			t.Fatalf("verify %s: %v", path, err)
+		}
+	}
+	absence, err := snap.ProveNonMembership("missing/path")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyStoredNonMembership(root, "missing/path", absence); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealAtHeadKeepsVersionedValue(t *testing.T) {
+	// Sealing a receipt at head must not stop a retained version from
+	// proving membership with the original value bytes.
+	s := NewStore()
+	if err := s.Set("receipt/1", []byte("delivered")); err != nil {
+		t.Fatal(err)
+	}
+	root := s.Root()
+	v := s.Commit()
+	if err := s.Seal("receipt/1"); err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsSealed("receipt/1") {
+		t.Fatal("head did not seal")
+	}
+
+	snap, err := s.At(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val, proof, err := snap.ProveMembership("receipt/1")
+	if err != nil {
+		t.Fatalf("historical proof after head seal: %v", err)
+	}
+	if !bytes.Equal(val, []byte("delivered")) {
+		t.Fatalf("historical value = %q, want %q", val, "delivered")
+	}
+	if err := VerifyStoredMembership(root, "receipt/1", val, proof); err != nil {
+		t.Fatal(err)
+	}
+	// Deleted paths behave the same way.
+	if err := s.Set("commitment/1", []byte("pending")); err != nil {
+		t.Fatal(err)
+	}
+	root2 := s.Root()
+	v2 := s.Commit()
+	if err := s.Delete("commitment/1"); err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := s.At(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val2, proof2, err := snap2.ProveMembership("commitment/1")
+	if err != nil {
+		t.Fatalf("historical proof after head delete: %v", err)
+	}
+	if err := VerifyStoredMembership(root2, "commitment/1", val2, proof2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetIntegrityCheck(t *testing.T) {
+	s := NewStore()
+	if err := s.Set("x", []byte("honest")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the side table behind the store's back.
+	s.mu.Lock()
+	h := s.values["x"]
+	h[len(h)-1].val = []byte("tampered")
+	s.mu.Unlock()
+	if _, err := s.Get("x"); !errors.Is(err, ErrValueMismatch) {
+		t.Fatalf("Get on desynced table = %v, want ErrValueMismatch", err)
+	}
+	// Versioned reads run the same check.
+	if err := s.Set("y", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Commit()
+	s.mu.Lock()
+	h = s.values["y"]
+	h[len(h)-1].val = []byte("tampered too")
+	s.mu.Unlock()
+	snap, err := s.At(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Get("y"); !errors.Is(err, ErrValueMismatch) {
+		t.Fatalf("versioned Get on desynced table = %v, want ErrValueMismatch", err)
+	}
+}
+
+func TestReleasePrunesValueHistory(t *testing.T) {
+	s := NewStore()
+	var versions []Version
+	for i := 0; i < 10; i++ {
+		if err := s.Set("hot", []byte(fmt.Sprintf("gen%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		versions = append(versions, s.Commit())
+	}
+	if n := len(s.values["hot"]); n != 10 {
+		t.Fatalf("history length = %d, want 10", n)
+	}
+	for _, v := range versions[:9] {
+		s.Release(v)
+	}
+	if n := len(s.values["hot"]); n > 2 {
+		t.Fatalf("history not pruned: %d entries for 1 retained version", n)
+	}
+	// The surviving version still reads its value.
+	snap, err := s.At(versions[9])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := snap.Get("hot"); err != nil || !bytes.Equal(got, []byte("gen9")) {
+		t.Fatalf("survivor read = %q, %v; want gen9", got, err)
+	}
+	// A deleted path's tombstone goes away entirely once no version needs it.
+	if err := s.Set("gone", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Commit()
+	if err := s.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	s.Release(versions[9])
+	s.Release(v)
+	s.Commit() // advance head so the tombstone generation falls below cutoff
+	s.Release(s.Commit())
+	if _, ok := s.values["gone"]; ok {
+		t.Fatal("dead tombstone not reclaimed")
+	}
+}
+
+func TestConcurrentVersionReadsDuringHeadWrites(t *testing.T) {
+	// Run under -race (make race): versioned readers vs the single head
+	// writer, across commits and releases.
+	s := NewStore()
+	for i := 0; i < 64; i++ {
+		if err := s.Set(fmt.Sprintf("c/%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := s.Root()
+	v := s.Commit()
+	snap, err := s.At(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := fmt.Sprintf("c/%d", (g*17+i)%64)
+				val, proof, err := snap.ProveMembership(path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := VerifyStoredMembership(root, path, val, proof); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 500; i++ {
+		if err := s.Set(fmt.Sprintf("c/%d", i%64), []byte(fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%50 == 0 {
+			s.Release(s.Commit())
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestStoreCloneShimMatchesHead(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 8; i++ {
+		if err := s.Set(fmt.Sprintf("s/%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Commit()
+	if err := s.Set("s/0", []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal("s/7"); err != nil {
+		t.Fatal(err)
+	}
+	cp := s.Clone()
+	if cp.Root() != s.Root() {
+		t.Fatal("clone root differs from head")
+	}
+	if got, err := cp.Get("s/0"); err != nil || !bytes.Equal(got, []byte("updated")) {
+		t.Fatalf("clone Get = %q, %v", got, err)
+	}
+	if !cp.IsSealed("s/7") {
+		t.Fatal("clone lost sealed marker")
+	}
+	// The clone is independent and can version on its own.
+	v := cp.Commit()
+	if err := cp.Set("s/1", []byte("clone-only")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get("s/1"); err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("original polluted by clone write: %q, %v", got, err)
+	}
+	snap, err := cp.At(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := snap.Get("s/1"); err != nil || !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("clone version read = %q, %v", got, err)
+	}
+}
+
+func TestStoreVersionAfterTrieCapacityError(t *testing.T) {
+	// A failed write (arena full) must leave retained versions readable.
+	s := NewStore(trie.WithCapacity(8))
+	if err := s.Set("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v := s.Commit()
+	for i := 0; ; i++ {
+		if err := s.Set(fmt.Sprintf("fill/%d", i), []byte("x")); err != nil {
+			if !errors.Is(err, trie.ErrFull) {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	snap, err := s.At(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := snap.Get("a"); err != nil || !bytes.Equal(got, []byte("1")) {
+		t.Fatalf("versioned read after ErrFull = %q, %v", got, err)
+	}
+}

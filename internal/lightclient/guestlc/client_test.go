@@ -202,7 +202,16 @@ func TestMembershipVerificationThroughClient(t *testing.T) {
 	if err := c.UpdateSigned(signed(b, g.epoch, g.keys, 4)); err != nil {
 		t.Fatal(err)
 	}
-	value, proof, err := store.ProveMembership(ibc.CommitmentPath("transfer", "channel-0", 1))
+	// Prove from the versioned snapshot (the relayer path): commit the
+	// block's state as a version, mutate the head, prove from the version.
+	snap, err := store.At(store.Commit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Set(ibc.CommitmentPath("transfer", "channel-0", 9), []byte("later")); err != nil {
+		t.Fatal(err)
+	}
+	value, proof, err := snap.ProveMembership(ibc.CommitmentPath("transfer", "channel-0", 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,12 +219,20 @@ func TestMembershipVerificationThroughClient(t *testing.T) {
 	if err := c.VerifyMembership(h, ibc.CommitmentPath("transfer", "channel-0", 1), value, proof); err != nil {
 		t.Fatal(err)
 	}
-	// Absent path verifies as absent.
-	absent, err := store.ProveNonMembership(ibc.CommitmentPath("transfer", "channel-0", 2))
+	// Absent path verifies as absent — including one that exists at the
+	// head but not in the frozen version.
+	absent, err := snap.ProveNonMembership(ibc.CommitmentPath("transfer", "channel-0", 2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyNonMembership(h, ibc.CommitmentPath("transfer", "channel-0", 2), absent); err != nil {
+		t.Fatal(err)
+	}
+	absent, err = snap.ProveNonMembership(ibc.CommitmentPath("transfer", "channel-0", 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyNonMembership(h, ibc.CommitmentPath("transfer", "channel-0", 9), absent); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown height fails.

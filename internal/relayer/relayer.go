@@ -11,6 +11,7 @@
 package relayer
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -163,6 +164,7 @@ type Relayer struct {
 	mQueueDepth    *telemetry.Gauge
 	mClientUpdates *telemetry.Counter
 	mTimeouts      *telemetry.Counter
+	mSnapRetries   *telemetry.Counter
 }
 
 type cpWork struct {
@@ -222,6 +224,7 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 	r.mQueueDepth = reg.Gauge("relayer.queue_depth")
 	r.mClientUpdates = reg.Counter("relayer.client_updates")
 	r.mTimeouts = reg.Counter("relayer.timeouts_submitted")
+	r.mSnapRetries = reg.Counter("relayer.snapshot_pruned_retries")
 	return r
 }
 
@@ -362,11 +365,11 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 		for _, p := range entry.Packets {
 			p := p
 			path := ibc.CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
-			_, proof, err := st.ProveMembershipAt(height, path)
+			proof, provedAt, err := r.proveGuestMembership(st, height, path)
 			if err != nil {
 				continue
 			}
-			ack, err := r.cp.Handler().RecvPacket(p, proof, ibc.Height(height))
+			ack, err := r.cp.Handler().RecvPacket(p, proof, ibc.Height(provedAt))
 			if err != nil {
 				continue
 			}
@@ -382,6 +385,37 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 			})
 		}
 	})
+}
+
+// proveGuestMembership proves path against the guest block at height,
+// recovering from a pruned snapshot by re-proving at the newest finalised
+// block whose version is still retained (ErrSnapshotPruned means "retry
+// against a newer root", unlike ErrUnknownHeight). When it falls forward it
+// also pushes that block to the counterparty's guest client, so the caller
+// can submit the proof at the returned height immediately.
+func (r *Relayer) proveGuestMembership(st *guest.State, height uint64, path string) (proof []byte, provedAt uint64, err error) {
+	_, proof, err = st.ProveMembershipAt(height, path)
+	if err == nil {
+		return proof, height, nil
+	}
+	if !errors.Is(err, guest.ErrSnapshotPruned) {
+		return nil, 0, err
+	}
+	latest := st.LatestFinalised()
+	if latest == nil || latest.Block.Height <= height {
+		return nil, 0, err
+	}
+	r.mSnapRetries.Inc()
+	newHeight := latest.Block.Height
+	_, proof, err = st.ProveMembershipAt(newHeight, path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := r.cp.Handler().UpdateClient(r.cfg.GuestOnCPClientID, latest.SignedBlock().Marshal()); err != nil {
+		// The height may already be known; a stale update is fine.
+		_ = err
+	}
+	return proof, newHeight, nil
 }
 
 // --- counterparty -> guest direction ---
@@ -555,7 +589,7 @@ func (r *Relayer) RelayGuestAcksToCP(entry *guest.BlockEntry) {
 	var remaining []cpAckBack
 	for _, ab := range r.cpDelivered {
 		path := ibc.AckPath(ab.packet.DestPort, ab.packet.DestChannel, ab.packet.Sequence)
-		_, proof, err := st.ProveMembershipAt(height, path)
+		proof, provedAt, err := r.proveGuestMembership(st, height, path)
 		if err != nil {
 			remaining = append(remaining, ab)
 			continue
@@ -567,7 +601,7 @@ func (r *Relayer) RelayGuestAcksToCP(entry *guest.BlockEntry) {
 				// Height may already be known (stale update is fine).
 				_ = err
 			}
-			if err := r.cp.Handler().AcknowledgePacket(ab.packet, ab.ack, proof, ibc.Height(height)); err != nil {
+			if err := r.cp.Handler().AcknowledgePacket(ab.packet, ab.ack, proof, ibc.Height(provedAt)); err != nil {
 				return
 			}
 		})

@@ -51,6 +51,14 @@ type node struct {
 	children [2]ref
 	child    ref
 
+	// rev is the trie write generation that created this physical node
+	// (allocation or copy-on-write copy). A node is mutable only while
+	// its generation is the trie's current one; Snapshot bumps the
+	// generation, freezing everything reachable from the snapshotted root.
+	// Mutations that land on a frozen node path-copy it first, so retained
+	// versions are structurally shared and never change.
+	rev uint64
+
 	// sealed marks a leaf as sealed (§III-A): its value can never be read
 	// or modified again, but the leaf's structure (path + value hash) is
 	// retained as a stub so that future keys can still branch off next to

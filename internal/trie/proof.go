@@ -79,8 +79,16 @@ const (
 // on the key's presence. It fails with ErrSealed if the descent crosses a
 // sealed reference: sealed data can neither be proven present nor absent.
 func (t *Trie) Prove(key [KeySize]byte) (*Proof, error) {
+	return proveRef(&t.root, key)
+}
+
+// proveRef builds the proof from an arbitrary root reference. It is the
+// shared read-only walker behind Trie.Prove and View.Prove, so proofs for a
+// retained version are byte-identical to the ones the head produced when
+// that version was current.
+func proveRef(root *ref, key [KeySize]byte) (*Proof, error) {
 	remaining := keyToPath(key)
-	cur := &t.root
+	cur := root
 	proof := &Proof{}
 
 	for {

@@ -89,6 +89,9 @@ func UnmarshalTrie(data []byte) (*Trie, error) {
 		maxNodes:    int(r.U64()),
 		totalAllocs: int(r.U64()),
 		totalFrees:  int(r.U64()),
+		// Decoded nodes carry generation 0, so the first mutation after a
+		// round-trip path-copies them — exactly the copy-on-write invariant.
+		rev: 1,
 	}
 	root, counts, err := decodeRef(r, 0)
 	if err != nil {

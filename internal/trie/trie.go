@@ -20,24 +20,51 @@ var (
 	ErrFull = errors.New("trie: storage arena full")
 	// ErrZeroValue is returned when storing the reserved all-zero value.
 	ErrZeroValue = errors.New("trie: cannot store zero value hash")
+	// ErrUnknownVersion is returned when reading a version that was never
+	// snapshotted or has been released.
+	ErrUnknownVersion = errors.New("trie: unknown version")
 )
+
+// Version identifies a frozen snapshot of the trie taken by Snapshot.
+// Versions are strictly increasing; 0 is never a valid version.
+type Version uint64
 
 // Trie is a sealable Merkle-Patricia binary trie over fixed 32-byte keys and
 // 32-byte value hashes. The zero value is NOT ready to use; call New.
 //
-// Trie is not safe for concurrent use; the Guest Contract serialises access
-// the same way the Solana runtime serialises writes to an account.
+// Trie is a copy-on-write versioned store: Snapshot freezes the current
+// contents as an O(1) version handle, and later mutations path-copy any
+// node shared with a retained version instead of editing it in place.
+// Nodes reachable from a retained version are therefore immutable.
+//
+// Mutations are not safe for concurrent use — the Guest Contract serialises
+// writes the same way the Solana runtime serialises writes to an account —
+// but Views of already-snapshotted versions may be read concurrently with
+// head mutations, because the writer only ever touches nodes created after
+// the snapshot was taken.
 type Trie struct {
 	root ref
 
-	nodeCount   int // live (unsealed, allocated) nodes
+	nodeCount   int // live (unsealed, allocated) nodes in the head version
 	leafCount   int // live (unsealed) leaves, maintained so Len is O(1)
 	sealedCount int // refs currently marked sealed
 	maxNodes    int // 0 = unlimited
 
-	// Cumulative counters used by the storage experiments.
+	// Cumulative counters used by the storage experiments. They describe
+	// the logical head version only: copy-on-write copies are neither
+	// allocations nor frees in the storage-deposit model, because the
+	// modelled 10 MiB account holds exactly the head — retained versions
+	// are the off-chain RPC layer's history, not on-chain storage.
 	totalAllocs int
 	totalFrees  int
+
+	// rev is the current write generation (see node.rev); versions maps
+	// retained snapshot handles to their frozen roots. fresh counts the
+	// physical nodes created (allocated or path-copied) in the current
+	// generation, for the shared-node telemetry ratio.
+	rev      uint64
+	versions map[Version]ref
+	fresh    int
 
 	// hs is the reusable hashing state for the rehash spine. It is never
 	// shared between tries (Clone leaves it zero) so single-writer tries
@@ -62,7 +89,7 @@ func WithCapacityBytes(maxBytes int) Option {
 
 // New returns an empty trie.
 func New(opts ...Option) *Trie {
-	t := &Trie{}
+	t := &Trie{rev: 1}
 	for _, o := range opts {
 		o(t)
 	}
@@ -96,12 +123,23 @@ func (t *Trie) TotalAllocs() int { return t.totalAllocs }
 // deletion).
 func (t *Trie) TotalFrees() int { return t.totalFrees }
 
+// writeRev returns the current write generation, repairing a zero (legacy
+// zero-constructed) trie so generation 0 never marks a node as current.
+func (t *Trie) writeRev() uint64 {
+	if t.rev == 0 {
+		t.rev = 1
+	}
+	return t.rev
+}
+
 func (t *Trie) alloc(n *node) (*node, error) {
 	if t.maxNodes > 0 && t.nodeCount >= t.maxNodes {
 		return nil, ErrFull
 	}
+	n.rev = t.writeRev()
 	t.nodeCount++
 	t.totalAllocs++
+	t.fresh++
 	return n, nil
 }
 
@@ -111,6 +149,24 @@ func (t *Trie) free(n *node) {
 	}
 	t.nodeCount--
 	t.totalFrees++
+}
+
+// ensureOwned returns cur's node, path-copying it first when it belongs to
+// an older write generation and may therefore be shared with a retained
+// version. The copy is content- and hash-identical, so taking ownership of
+// a whole descent path is safe even when the operation later fails.
+// Copies do not move the storage-deposit counters: the head holds the same
+// logical node either way.
+func (t *Trie) ensureOwned(cur *ref) *node {
+	n := cur.node
+	if n == nil || n.rev == t.writeRev() {
+		return n
+	}
+	cp := *n
+	cp.rev = t.rev
+	cur.node = &cp
+	t.fresh++
+	return cur.node
 }
 
 // rehash recomputes commitments from the deepest changed ref up to the
@@ -151,7 +207,7 @@ func (t *Trie) Set(key [KeySize]byte, value cryptoutil.Hash) error {
 			t.rehash(stack)
 			return nil
 		}
-		n := cur.node
+		n := t.ensureOwned(cur)
 		switch n.kind {
 		case kindLeaf:
 			c := commonPrefixLen(n.path, remaining)
@@ -289,8 +345,15 @@ func (t *Trie) splitExt(cur *ref, old *node, remaining path, value cryptoutil.Ha
 // is provably absent and ErrSealed if the lookup would need to traverse a
 // sealed reference.
 func (t *Trie) Get(key [KeySize]byte) (cryptoutil.Hash, error) {
+	return lookupRef(&t.root, key)
+}
+
+// lookupRef resolves key starting from an arbitrary root reference. It is
+// purely read-only, which is what lets Views of retained versions share it
+// with the live head.
+func lookupRef(root *ref, key [KeySize]byte) (cryptoutil.Hash, error) {
 	remaining := keyToPath(key)
-	cur := &t.root
+	cur := root
 	for {
 		if cur.sealed {
 			return cryptoutil.ZeroHash, ErrSealed
@@ -358,7 +421,7 @@ func (t *Trie) Seal(key [KeySize]byte) error {
 		if cur.node == nil {
 			return ErrNotFound
 		}
-		n := cur.node
+		n := t.ensureOwned(cur)
 		switch n.kind {
 		case kindLeaf:
 			if !n.path.equal(remaining) {
@@ -445,7 +508,7 @@ func (t *Trie) Delete(key [KeySize]byte) error {
 		if cur.node == nil {
 			return ErrNotFound
 		}
-		n := cur.node
+		n := t.ensureOwned(cur)
 		switch n.kind {
 		case kindLeaf:
 			if !n.path.equal(remaining) {
@@ -499,15 +562,18 @@ func (t *Trie) deleteLeaf(cur *ref, stack []*ref) error {
 		return fmt.Errorf("trie: internal: extension above leaf")
 	}
 
-	// Parent is a branch: identify the sibling.
+	// Parent is a branch: identify the sibling. The sibling's node gets
+	// restructured by mergeDown, so take ownership of it too — it is not on
+	// the descent path and may still be shared with a retained version.
 	var sideBit byte
 	if &pn.children[1] == cur {
 		sideBit = 1
 	}
-	sib := pn.children[1-sideBit]
-	if sib.sealed {
+	if pn.children[1-sideBit].sealed {
 		return ErrSealed
 	}
+	t.ensureOwned(&pn.children[1-sideBit])
+	sib := pn.children[1-sideBit]
 
 	// Replace the branch with "sibling prefixed by its branch bit". Build
 	// the replacement before freeing anything so an allocation failure
@@ -564,7 +630,7 @@ func (t *Trie) mergeDown(bit byte, sib ref) (ref, error) {
 // itself an extension or a leaf, concatenating paths.
 func (t *Trie) mergeExtChild(gp *ref) error {
 	ext := gp.node
-	child := ext.child.node
+	child := t.ensureOwned(&ext.child)
 	if child == nil {
 		return nil
 	}
@@ -580,11 +646,73 @@ func (t *Trie) mergeExtChild(gp *ref) error {
 	return nil
 }
 
-// Clone returns a deep copy of the trie. Off-chain actors use clones as
-// historical snapshots at block boundaries (the simulation analogue of
-// querying account state at a past slot through an RPC node) so they can
-// generate proofs against a finalised block's root even after the live
-// trie has moved on.
+// Snapshot freezes the current contents as a new version and returns its
+// handle. The call is O(1): no nodes or values are copied — the version
+// records the current root reference, and the write generation is bumped so
+// that every future mutation path-copies the nodes it touches instead of
+// editing anything reachable from the frozen root.
+func (t *Trie) Snapshot() Version {
+	if t.versions == nil {
+		t.versions = make(map[Version]ref)
+	}
+	v := Version(t.writeRev())
+	t.versions[v] = t.root
+	t.rev++
+	t.fresh = 0
+	return v
+}
+
+// At returns a read-only view of a retained version. Views stay valid (and
+// safe to read concurrently with head mutations) until the version is
+// released.
+func (t *Trie) At(v Version) (*View, error) {
+	r, ok := t.versions[v]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
+	}
+	return &View{version: v, root: r}, nil
+}
+
+// VersionRoot returns the root commitment frozen by version v.
+func (t *Trie) VersionRoot(v Version) (cryptoutil.Hash, error) {
+	r, ok := t.versions[v]
+	if !ok {
+		return cryptoutil.ZeroHash, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
+	}
+	return r.hash, nil
+}
+
+// Release drops a retained version. Nodes reachable only from released
+// versions become garbage: the head and the remaining versions share
+// everything still live, so nothing else keeps the pruned nodes alive.
+// Releasing an unknown version is a no-op.
+func (t *Trie) Release(v Version) {
+	delete(t.versions, v)
+}
+
+// RetainedVersions returns how many snapshot versions are currently held.
+func (t *Trie) RetainedVersions() int { return len(t.versions) }
+
+// SharedNodeRatio reports the fraction of the head version's nodes that are
+// structurally shared with the last snapshot (i.e. not written since). 1
+// means the head is entirely shared; 0 means every node was rewritten.
+func (t *Trie) SharedNodeRatio() float64 {
+	if t.nodeCount <= 0 {
+		return 1
+	}
+	r := 1 - float64(t.fresh)/float64(t.nodeCount)
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Clone returns a deep copy of the trie.
+//
+// Deprecated: Clone is the pre-versioning snapshot mechanism and costs
+// O(state size) time and memory. Use Snapshot and At, which freeze the
+// same contents in O(1) with structural sharing. Clone is retained so
+// external callers and historical tests keep working.
 func (t *Trie) Clone() *Trie {
 	out := &Trie{
 		nodeCount:   t.nodeCount,
@@ -593,6 +721,7 @@ func (t *Trie) Clone() *Trie {
 		maxNodes:    t.maxNodes,
 		totalAllocs: t.totalAllocs,
 		totalFrees:  t.totalFrees,
+		rev:         1,
 	}
 	out.root = cloneRef(t.root)
 	return out
@@ -623,6 +752,10 @@ func cloneRef(r ref) ref {
 // Keys returns all live keys in the trie, in depth-first order. Intended
 // for tests and debugging.
 func (t *Trie) Keys() [][KeySize]byte {
+	return keysFrom(&t.root)
+}
+
+func keysFrom(root *ref) [][KeySize]byte {
 	var out [][KeySize]byte
 	var walk func(r *ref, prefix path)
 	walk = func(r *ref, prefix path) {
@@ -644,6 +777,6 @@ func (t *Trie) Keys() [][KeySize]byte {
 			walk(&n.children[1], append(prefix.clone(), 1))
 		}
 	}
-	walk(&t.root, nil)
+	walk(root, nil)
 	return out
 }
