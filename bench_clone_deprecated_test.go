@@ -1,0 +1,36 @@
+package repro
+
+// The deprecated deep-copy snapshot baseline, quarantined here so the
+// `make lint` grep gate can reject Clone() calls anywhere else. Run next to
+// BenchmarkSnapshotPerBlock to see the O(1)-vs-O(n) gap: the deep copy
+// grows linearly with the number of live pairs.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ibc"
+)
+
+func BenchmarkSnapshotPerBlockClone(b *testing.B) {
+	for _, size := range []int{1_000, 10_000, 50_000} {
+		store := ibc.NewStore()
+		paths := make([]string, size)
+		for i := 0; i < size; i++ {
+			paths[i] = fmt.Sprintf("bench/pair/%d", i)
+			if err := store.Set(paths[i], []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("clone/pairs=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				snap := store.Clone()
+				if _, _, err := snap.ProveMembership(paths[i%size]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

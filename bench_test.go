@@ -303,10 +303,10 @@ func BenchmarkTrieSealSequential(b *testing.B) {
 }
 
 // BenchmarkSnapshotPerBlock measures the per-block snapshot cost at growing
-// store sizes: the versioned path (Commit, an O(1) root-pointer capture) stays
-// flat while the deprecated deep-copy path (Clone) grows linearly with the
-// number of live pairs. Each iteration also proves one key from the captured
-// snapshot so both paths pay the same proof cost.
+// store sizes: the versioned path (Commit, an O(1) root-pointer capture)
+// stays flat with the number of live pairs. Each iteration also proves one
+// key from the captured snapshot. The deprecated deep-copy baseline lives in
+// bench_clone_deprecated_test.go.
 func BenchmarkSnapshotPerBlock(b *testing.B) {
 	for _, size := range []int{1_000, 10_000, 50_000} {
 		store := ibc.NewStore()
@@ -330,16 +330,6 @@ func BenchmarkSnapshotPerBlock(b *testing.B) {
 					b.Fatal(err)
 				}
 				store.Release(v)
-			}
-		})
-		b.Run(fmt.Sprintf("clone/pairs=%d", size), func(b *testing.B) {
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				snap := store.Clone()
-				if _, _, err := snap.ProveMembership(paths[i%size]); err != nil {
-					b.Fatal(err)
-				}
 			}
 		})
 	}

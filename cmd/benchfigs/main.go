@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/experiments"
@@ -28,8 +29,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulation finished in %v: %d outbound, %d inbound packets\n\n",
-		time.Since(start).Round(time.Second), dep.OutboundSent, dep.InboundSent)
+	// Wall-clock timing goes to stderr so stdout stays bit-reproducible
+	// (it is diffed against bench_figs_28d.txt).
+	fmt.Fprintf(os.Stderr, "simulation finished in %v\n", time.Since(start).Round(time.Second))
+	fmt.Printf("simulation finished: %d outbound, %d inbound packets\n\n",
+		dep.OutboundSent, dep.InboundSent)
 
 	fmt.Println(experiments.BuildFig2(dep).Render())
 	fmt.Println(experiments.BuildFig3(dep).Render())

@@ -7,12 +7,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fees"
 	"repro/internal/host"
+	"repro/internal/netsim"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -23,6 +26,13 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	profileName := flag.String("profile", "solana", "host profile: solana, near-like, tron-like (§VI-D)")
 	metrics := flag.Bool("metrics", false, "print the full telemetry snapshot (metrics, event counts, packet traces)")
+	netDrop := flag.Float64("net-drop", 0, "per-message drop probability on every link (0 disables)")
+	netDuplicate := flag.Float64("net-duplicate", 0, "per-message duplication probability on every link")
+	netReorder := flag.Float64("net-reorder", 0, "per-message reorder probability on every link")
+	netLatency := flag.String("net-latency", "", "uniform link latency range MIN-MAX (e.g. 10ms-80ms)")
+	netSeed := flag.Int64("net-seed", 0, "network fault seed (0 derives one from -seed)")
+	netPartition := flag.String("net-partition", "", "partition window [A|B:]START+DURATION (e.g. relayer|cp:36h+2h)")
+	netCrash := flag.String("net-crash", "", "crash window NODE:START+DURATION (e.g. v0:648h+9h55m)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
@@ -30,6 +40,44 @@ func main() {
 	cfg.OutPerDay = *outPerDay
 	cfg.InPerDay = *inPerDay
 	cfg.Seed = *seed
+
+	netCfg := netsim.Config{
+		Seed: *netSeed,
+		Default: netsim.LinkConfig{
+			Drop:      *netDrop,
+			Duplicate: *netDuplicate,
+			Reorder:   *netReorder,
+		},
+	}
+	if *netLatency != "" {
+		lo, hi, ok := strings.Cut(*netLatency, "-")
+		if !ok {
+			log.Fatalf("-net-latency %q: want MIN-MAX (e.g. 10ms-80ms)", *netLatency)
+		}
+		min, err := time.ParseDuration(lo)
+		if err != nil {
+			log.Fatalf("-net-latency min %q: %v", lo, err)
+		}
+		max, err := time.ParseDuration(hi)
+		if err != nil {
+			log.Fatalf("-net-latency max %q: %v", hi, err)
+		}
+		netCfg.Default.Latency = sim.Uniform{Min: min, Max: max}
+	}
+	if *netPartition != "" {
+		w, err := netsim.ParsePartition(*netPartition)
+		if err != nil {
+			log.Fatal(err)
+		}
+		netCfg.Partitions = append(netCfg.Partitions, w)
+	}
+	if *netCrash != "" {
+		w, err := netsim.ParseCrash(*netCrash)
+		if err != nil {
+			log.Fatal(err)
+		}
+		netCfg.Crashes = append(netCfg.Crashes, w)
+	}
 
 	var profile host.Profile
 	switch *profileName {
@@ -44,7 +92,7 @@ func main() {
 	}
 
 	start := time.Now()
-	dep, err := experiments.RunWithNetwork(cfg, core.Config{HostProfile: profile, Seed: *seed})
+	dep, err := experiments.RunWithNetwork(cfg, core.Config{HostProfile: profile, Seed: *seed, Net: netCfg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,6 +137,16 @@ func main() {
 		st.StorageNodeCount(), st.StorageBytes(), st.Store.Trie().SealedCount())
 	fmt.Printf("state deposit:       $%.0f (paper: ~$14.6k)\n", fees.USD(dep.Net.Deposit))
 	fmt.Printf("relayer fees:        $%.2f total\n", fees.USD(dep.Net.Relayer.TotalFees))
+	snap := dep.Net.SnapshotTelemetry()
+	if dropped := snap.Counter("netsim.dropped"); dropped > 0 {
+		fmt.Printf("network faults:      %d/%d messages dropped (%d crash, %d partition), %d duplicated, %d reordered\n",
+			dropped, snap.Counter("netsim.sent"),
+			snap.Counter("netsim.dropped_crash"), snap.Counter("netsim.dropped_partition"),
+			snap.Counter("netsim.duplicated"), snap.Counter("netsim.reordered"))
+		fmt.Printf("  reliable calls:    %d retries, %d dead letters\n",
+			snap.Counter("relayer.net_retries")+snap.Counter("validator.net_retries"),
+			snap.Counter("relayer.net_dead_letters")+snap.Counter("validator.net_dead_letters"))
+	}
 
 	if *metrics {
 		fmt.Printf("\n--- telemetry snapshot ---\n%s", dep.Net.SnapshotTelemetry().Render())

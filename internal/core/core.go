@@ -22,6 +22,7 @@ import (
 	"repro/internal/guestblock"
 	"repro/internal/host"
 	"repro/internal/ibc"
+	"repro/internal/netsim"
 	"repro/internal/relayer"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -53,6 +54,12 @@ type Config struct {
 	// HostProfile sets the host runtime constraints (Solana default;
 	// §VI-D portability).
 	HostProfile host.Profile
+	// Net describes the simulated network between actors. The zero value
+	// is lossless and zero-latency: all traffic still flows through
+	// netsim endpoints, but delivery is synchronous and draw-free, so
+	// default runs reproduce bit-identically. Net.Seed defaults to a
+	// stream derived from Seed.
+	Net netsim.Config
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -75,6 +82,10 @@ type Network struct {
 	Gossip    *fisherman.Gossip
 	Fishermen []*fisherman.Fisherman
 
+	// Net is the simulated network carrying all actor traffic; chaos
+	// scenarios configure its links and fault windows via Config.Net.
+	Net *netsim.Network
+
 	// Tel collects metrics, events, and packet traces from every layer of
 	// the deployment; see SnapshotTelemetry.
 	Tel *telemetry.Telemetry
@@ -88,6 +99,12 @@ type Network struct {
 	crank         *guest.TxBuilder
 	slotScheduled bool
 	hostCursor    host.Slot
+
+	// Chain RPC front-ends on the simulated network, plus the ack record
+	// that makes packet redelivery idempotent (see transport.go).
+	hostEP       *netsim.Endpoint
+	cpEP         *netsim.Endpoint
+	recordedAcks map[string][]byte
 
 	// Guest-block cadence instruments fed from dispatch.
 	mBlockInterval *telemetry.Histogram
@@ -125,6 +142,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 		if len(cfg.Stakes) == 0 {
 			cfg.Stakes = DeploymentStakes()
 		}
+		// The §V-C incident ships with the default fleet: validator #1's
+		// ~10 h outage is a scripted crash window, not a latency tail.
+		cfg.Net.Crashes = append(cfg.Net.Crashes, DeploymentOutage())
 	}
 	if len(cfg.Stakes) == 0 {
 		cfg.Stakes = DefaultStakes(len(cfg.Behaviours))
@@ -140,6 +160,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	if cfg.RelayerConfig.TxGap == nil {
 		cfg.RelayerConfig = relayer.DefaultConfig()
+		// The relayer's pacing stream hangs off the scenario seed rather
+		// than DefaultConfig's fixed one, so changing Config.Seed varies
+		// every actor's randomness coherently.
+		cfg.RelayerConfig.Seed = sim.DeriveSeed(cfg.Seed, "relayer")
 	}
 
 	if cfg.HostProfile.Name == "" {
@@ -238,6 +262,17 @@ func NewNetwork(cfg Config) (*Network, error) {
 		}
 	}
 
+	// Simulated network between all actors. Bootstrap ran over direct
+	// calls (operator setup predates the daemons); from here on every
+	// actor's traffic goes through netsim endpoints.
+	netCfg := cfg.Net
+	if netCfg.Seed == 0 {
+		netCfg.Seed = sim.DeriveSeed(cfg.Seed, "netsim")
+	}
+	n.Net = netsim.New(n.Sched, netCfg, netsim.WithTelemetry(n.Tel.Metrics))
+	n.Net.ScheduleFaults(cfg.Start)
+	n.wireTransport()
+
 	rcfg := cfg.RelayerConfig
 	rcfg.GuestClientID = res.GuestClientID
 	rcfg.GuestOnCPClientID = res.GuestOnCPClientID
@@ -245,7 +280,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 	rcfg.GuestChannel = res.GuestChannel
 	rcfg.CPPort = cfg.CPPort
 	rcfg.CPChannel = res.CPChannel
-	n.Relayer = relayer.New(rcfg, n.Host, contract, cp, n.Sched, relayer.WithTelemetry(n.Tel))
+	n.Relayer = relayer.New(rcfg, n.Host, contract, cp, n.Sched,
+		relayer.WithTelemetry(n.Tel), relayer.WithTransport(n.Net))
 	n.Host.Fund(n.Relayer.Key().Public(), 10_000*host.LamportsPerSOL)
 
 	// Validator daemons: activate (and stake, for late joiners) at their
@@ -253,7 +289,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 	for i, b := range cfg.Behaviours {
 		v := validator.New(n.ValidatorKeys[i], b, n.Host, contract, n.Sched,
 			validator.WithSeed(cfg.Seed+int64(i)*101),
-			validator.WithTelemetry(n.Tel.Metrics))
+			validator.WithTelemetry(n.Tel.Metrics),
+			validator.WithTransport(n.Net, i))
 		n.Validators = append(n.Validators, v)
 		i := i
 		if b.JoinAt <= 0 {
@@ -272,7 +309,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 	// Fisherman infrastructure.
 	n.Gossip = &fisherman.Gossip{}
-	f := fisherman.New("0", n.Host, contract, n.Gossip, fisherman.WithTelemetry(n.Tel.Metrics))
+	f := fisherman.New("0", n.Host, contract, n.Gossip,
+		fisherman.WithTelemetry(n.Tel.Metrics), fisherman.WithTransport(n.Net, 0))
 	n.Host.Fund(f.Key().Public(), 100*host.LamportsPerSOL)
 	n.Fishermen = []*fisherman.Fisherman{f}
 
@@ -292,10 +330,11 @@ func (n *Network) wireScheduling() {
 	// submitted, the next slot boundary gets a production event.
 	n.Host.SetSubmitHook(n.ensureSlotScheduled)
 
-	// Counterparty blocks tick at the BFT interval.
+	// Counterparty blocks tick at the BFT interval; the new-height
+	// notification reaches the relayer over the wire.
 	n.Sched.Every(n.CP.BlockInterval(), func() bool {
 		h := n.CP.ProduceBlock()
-		n.Relayer.OnCPBlock(h.Height)
+		n.cpEP.Send(netsim.RelayerNode, netsim.KindCPBlock, netsim.MsgCPBlock{Height: h.Height})
 		return true
 	})
 
@@ -363,10 +402,13 @@ func (n *Network) dispatch(block *host.Block) {
 			n.mBlockFinalise.Observe(e.Entry.FinalisedAt.Sub(e.Entry.CreatedAt).Seconds())
 		}
 	}
-	for _, v := range n.Validators {
-		v.OnHostBlock(block)
+	// New-block notifications go out over the wire. A dropped notification
+	// loses nothing: daemons cursor-pull every retained block on the next
+	// delivery.
+	for i := range n.Validators {
+		n.hostEP.Send(netsim.ValidatorNode(i), netsim.KindHostBlock, netsim.MsgHostBlock{Block: block})
 	}
-	n.Relayer.OnHostBlock(block)
+	n.hostEP.Send(netsim.RelayerNode, netsim.KindHostBlock, netsim.MsgHostBlock{Block: block})
 	n.hostCursor = block.Slot
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/lightclient/guestlc"
+	"repro/internal/lightclient/tendermint"
+	"repro/internal/netsim"
+	"repro/internal/telemetry"
+)
+
+// wireTransport registers the two chain RPC front-ends on the simulated
+// network and makes their call handlers idempotent, so ReliableCall's
+// at-least-once delivery composes into exactly-once application effects
+// (DESIGN.md §10):
+//
+//   - host submit: the chain's replay protection rejects a re-sent
+//     accepted transaction, so the duplicate is acknowledged as success;
+//   - cp update-client: a header the client already knows is a stale
+//     update — the consensus state is in place, so success;
+//   - cp recv-packet: the sealed receipt rejects a second delivery; the
+//     ack recorded from the WriteAck event is returned again;
+//   - cp ack-packet: re-acknowledging a cleared commitment is success.
+func (n *Network) wireTransport() {
+	n.hostEP = n.Net.Node(netsim.HostNode, nil, n.hostCall)
+	n.cpEP = n.Net.Node(netsim.CPNode, nil, n.cpCall)
+	n.recordedAcks = make(map[string][]byte)
+	// The bus runs callbacks under its lock: record only, never re-enter.
+	n.CP.Handler().Events().Subscribe(func(ev telemetry.Event) {
+		if wa, ok := ev.(ibc.EventWriteAck); ok {
+			n.recordedAcks[recvKey(wa.Packet)] = wa.Ack
+		}
+	})
+}
+
+// recvKey identifies a packet on the receiving (cp) side.
+func recvKey(p *ibc.Packet) string {
+	return fmt.Sprintf("%s/%s/%d", p.DestPort, p.DestChannel, p.Sequence)
+}
+
+// hostCall serves wire calls addressed to the host chain's front-end.
+func (n *Network) hostCall(_ netsim.NodeID, kind string, payload any) (any, error) {
+	if m, ok := payload.(netsim.MsgSubmitTx); ok {
+		err := n.Host.Submit(m.Tx)
+		if errors.Is(err, host.ErrDuplicateTransaction) {
+			// The earlier copy landed; this retry only re-requests the ack.
+			err = nil
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("core: host: unknown call %q", kind)
+}
+
+// cpCall serves wire calls addressed to the counterparty's front-end.
+func (n *Network) cpCall(_ netsim.NodeID, kind string, payload any) (any, error) {
+	switch m := payload.(type) {
+	case netsim.MsgUpdateClient:
+		err := n.CP.Handler().UpdateClient(m.ClientID, m.Header)
+		if errors.Is(err, guestlc.ErrStaleBlock) || errors.Is(err, tendermint.ErrStaleHeader) {
+			// The client already holds this height's consensus state.
+			err = nil
+		}
+		return nil, err
+	case netsim.MsgRecvPacket:
+		ack, err := n.CP.Handler().RecvPacket(m.Packet, m.Proof, m.ProofHeight)
+		if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+			if prev, ok := n.recordedAcks[recvKey(m.Packet)]; ok {
+				return netsim.RespRecvPacket{Ack: prev, ProvableAt: n.CP.Height() + 1}, nil
+			}
+		}
+		if err != nil {
+			return nil, err
+		}
+		return netsim.RespRecvPacket{Ack: ack, ProvableAt: n.CP.Height() + 1}, nil
+	case netsim.MsgAckPacket:
+		err := n.CP.Handler().AcknowledgePacket(m.Packet, m.Ack, m.Proof, m.ProofHeight)
+		if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+			err = nil
+		}
+		return nil, err
+	}
+	return nil, fmt.Errorf("core: cp: unknown call %q", kind)
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/guestblock"
 	"repro/internal/host"
+	"repro/internal/netsim"
 	"repro/internal/telemetry"
 )
 
@@ -60,6 +61,15 @@ type Fisherman struct {
 	mObservations *telemetry.Counter
 	mEvidence     *telemetry.Counter
 
+	// Simulated transport (nil without WithTransport: direct calls).
+	net          *netsim.Network
+	netIndex     int
+	ep           *netsim.Endpoint
+	retry        netsim.RetryPolicy
+	mNetRetries  *telemetry.Counter
+	mNetDead     *telemetry.Counter
+	mNetAttempts *telemetry.Histogram
+
 	// Submitted counts evidence transactions sent.
 	Submitted int
 }
@@ -76,6 +86,13 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // tests isolate cache statistics.
 func WithBatchVerifier(v *cryptoutil.BatchVerifier) Option {
 	return func(f *Fisherman) { f.verifier = v }
+}
+
+// WithTransport routes evidence submission through the simulated network
+// as reliable calls that retry until the host acknowledges. index
+// selects the fisherman's netsim address.
+func WithTransport(net *netsim.Network, index int) Option {
+	return func(f *Fisherman) { f.net = net; f.netIndex = index }
 }
 
 // New creates a fisherman; fund its account for fees. Fishermen are
@@ -98,6 +115,13 @@ func New(name string, chain *host.Chain, contract *guest.Contract, gossip *Gossi
 	}
 	f.mObservations = f.telemetry.Counter("fisherman.observations")
 	f.mEvidence = f.telemetry.Counter("fisherman.evidence_submitted")
+	if f.net != nil {
+		f.ep = f.net.Node(netsim.FishermanNode(f.netIndex), nil, nil)
+		f.retry = netsim.DefaultRetryPolicy()
+		f.mNetRetries = f.telemetry.Counter("fisherman.net_retries")
+		f.mNetDead = f.telemetry.Counter("fisherman.net_dead_letters")
+		f.mNetAttempts = f.telemetry.Histogram("fisherman.net_attempts")
+	}
 	return f
 }
 
@@ -188,10 +212,22 @@ func (f *Fisherman) remember(o Observation) {
 
 func (f *Fisherman) submit(ev *guest.Evidence) error {
 	tx := f.builder.MisbehaviourTx(ev)
-	if err := f.chain.Submit(tx); err != nil {
-		return err
+	if f.ep == nil {
+		if err := f.chain.Submit(tx); err != nil {
+			return err
+		}
+		f.Submitted++
+		f.mEvidence.Inc()
+		return nil
 	}
-	f.Submitted++
-	f.mEvidence.Inc()
+	obs := netsim.RetryObserver{Retries: f.mNetRetries, DeadLetters: f.mNetDead, Attempts: f.mNetAttempts}
+	f.ep.ReliableCall(netsim.HostNode, netsim.KindSubmitTx, netsim.MsgSubmitTx{Tx: tx},
+		f.retry, obs, func(_ any, err error) {
+			if err != nil {
+				return
+			}
+			f.Submitted++
+			f.mEvidence.Inc()
+		})
 	return nil
 }

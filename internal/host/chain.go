@@ -139,6 +139,14 @@ type Chain struct {
 	// simulation runner uses it to schedule on-demand block production.
 	onSubmit func()
 
+	// Replay protection: recently accepted transactions by identity, so a
+	// retried submission (reply lost, tx landed) is rejected instead of
+	// executed twice. A real chain dedups on the tx hash; the simulated
+	// Transaction has no hash, so pointer identity plays that role.
+	seenTxs    map[*Transaction]struct{}
+	seenTxRing []*Transaction
+	seenTxPos  int
+
 	blocks []*Block
 	// keepBlocks bounds retained history (0 = keep everything).
 	keepBlocks int
@@ -325,6 +333,11 @@ func (c *Chain) Submit(tx *Transaction) error {
 		return err
 	}
 	c.mu.Lock()
+	if _, dup := c.seenTxs[tx]; dup {
+		c.mu.Unlock()
+		return ErrDuplicateTransaction
+	}
+	c.rememberTxLocked(tx)
 	c.seq++
 	c.mempool = append(c.mempool, pendingTx{tx: tx, submitted: c.slot, seq: c.seq})
 	c.txsSubmitted.Inc()
@@ -335,6 +348,24 @@ func (c *Chain) Submit(tx *Transaction) error {
 		hook()
 	}
 	return nil
+}
+
+// seenTxWindow bounds the replay-protection memory (like a recent-
+// blockhash window); old entries age out ring-buffer style.
+const seenTxWindow = 4096
+
+// rememberTxLocked records an accepted transaction for replay detection.
+func (c *Chain) rememberTxLocked(tx *Transaction) {
+	if c.seenTxs == nil {
+		c.seenTxs = make(map[*Transaction]struct{}, seenTxWindow)
+		c.seenTxRing = make([]*Transaction, seenTxWindow)
+	}
+	if old := c.seenTxRing[c.seenTxPos]; old != nil {
+		delete(c.seenTxs, old)
+	}
+	c.seenTxRing[c.seenTxPos] = tx
+	c.seenTxPos = (c.seenTxPos + 1) % seenTxWindow
+	c.seenTxs[tx] = struct{}{}
 }
 
 // PendingCount returns the mempool size.

@@ -32,4 +32,8 @@ var (
 	ErrNotRentExempt = errors.New("host: deposit below rent-exempt minimum")
 	// ErrMissingSigner is returned when a required signer did not sign.
 	ErrMissingSigner = errors.New("host: missing required signer")
+	// ErrDuplicateTransaction is returned when a transaction is submitted
+	// again after the chain already accepted it — the replay protection
+	// that lets network-level retries compose with at-most-once execution.
+	ErrDuplicateTransaction = errors.New("host: duplicate transaction")
 )

@@ -1,0 +1,47 @@
+package host
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSubmitRejectsReplayedTransaction(t *testing.T) {
+	c, _, prog, payer := newTestChain(t)
+	tx := call(prog, payer, 1)
+	if err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(tx); !errors.Is(err, ErrDuplicateTransaction) {
+		t.Fatalf("resubmit = %v, want ErrDuplicateTransaction", err)
+	}
+	// Still a duplicate after the original executed.
+	c.ProduceBlock()
+	if err := c.Submit(tx); !errors.Is(err, ErrDuplicateTransaction) {
+		t.Fatalf("resubmit after execution = %v, want ErrDuplicateTransaction", err)
+	}
+	// A fresh transaction with identical contents is not a replay.
+	if err := c.Submit(call(prog, payer, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayWindowAgesOut(t *testing.T) {
+	c, _, prog, payer := newTestChain(t)
+	first := call(prog, payer, 1)
+	if err := c.Submit(first); err != nil {
+		t.Fatal(err)
+	}
+	c.ProduceBlock()
+	for i := 0; i < seenTxWindow; i++ {
+		if err := c.Submit(call(prog, payer, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if i%512 == 0 {
+			c.ProduceBlock()
+		}
+	}
+	// The window rolled over: the oldest entry is forgotten.
+	if err := c.Submit(first); err != nil {
+		t.Fatalf("aged-out tx rejected: %v", err)
+	}
+}

@@ -12,6 +12,7 @@
 package host
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/cryptoutil"
@@ -87,19 +88,33 @@ type Clock interface {
 }
 
 // ManualClock is a Clock advanced explicitly; the zero value starts at the
-// Unix epoch.
+// Unix epoch. Reads and writes are synchronised so worker goroutines may
+// observe the clock while the simulation loop advances it.
 type ManualClock struct {
-	t time.Time
+	mu sync.RWMutex
+	t  time.Time
 }
 
 // NewManualClock returns a clock starting at start.
 func NewManualClock(start time.Time) *ManualClock { return &ManualClock{t: start} }
 
 // Now returns the current manual time.
-func (c *ManualClock) Now() time.Time { return c.t }
+func (c *ManualClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.t
+}
 
 // Advance moves the clock forward by d.
-func (c *ManualClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+func (c *ManualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
 
 // Set jumps the clock to t.
-func (c *ManualClock) Set(t time.Time) { c.t = t }
+func (c *ManualClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}

@@ -139,14 +139,19 @@ func TestStoreProofHelpers(t *testing.T) {
 	}
 }
 
-func TestStoreCloneIndependence(t *testing.T) {
+func TestStoreSnapshotIndependence(t *testing.T) {
 	s := NewStore()
 	for i := 0; i < 20; i++ {
 		if err := s.Set(fmt.Sprintf("k/%d", i), []byte{byte(i + 1)}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	snap := s.Clone()
+	ver := s.Commit()
+	defer s.Release(ver)
+	snap, err := s.At(ver)
+	if err != nil {
+		t.Fatal(err)
+	}
 	root := snap.Root()
 	// Mutate the original: the snapshot must be unaffected.
 	if err := s.Set("k/0", []byte("changed")); err != nil {

@@ -1,0 +1,106 @@
+package netsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Flag-spec parsers for cmd/guestsim's -net-* scenario flags.
+
+// ParseWindow parses "START+DURATION" (e.g. "36h+2h") into a fault
+// window's offsets.
+func ParseWindow(s string) (from, dur time.Duration, err error) {
+	lhs, rhs, ok := strings.Cut(s, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("netsim: window %q: want START+DURATION (e.g. 36h+2h)", s)
+	}
+	if from, err = time.ParseDuration(lhs); err != nil {
+		return 0, 0, fmt.Errorf("netsim: window start %q: %w", lhs, err)
+	}
+	if dur, err = time.ParseDuration(rhs); err != nil {
+		return 0, 0, fmt.Errorf("netsim: window duration %q: %w", rhs, err)
+	}
+	return from, dur, nil
+}
+
+// ParseNode parses a node spec: the well-known names ("host", "cp",
+// "relayer"), "validator-N" / "vN", or "fisherman-N" / "fN".
+func ParseNode(s string) (NodeID, error) {
+	switch s {
+	case "host":
+		return HostNode, nil
+	case "cp":
+		return CPNode, nil
+	case "relayer":
+		return RelayerNode, nil
+	}
+	for prefix, mk := range map[string]func(int) NodeID{
+		"validator-": ValidatorNode, "v": ValidatorNode,
+		"fisherman-": FishermanNode, "f": FishermanNode,
+	} {
+		if rest, ok := strings.CutPrefix(s, prefix); ok {
+			if i, err := strconv.Atoi(rest); err == nil && i >= 0 {
+				return mk(i), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("netsim: unknown node %q", s)
+}
+
+// ParseCrash parses "NODE:START+DURATION" (e.g. "v0:648h+9h55m").
+func ParseCrash(s string) (CrashWindow, error) {
+	nodeSpec, windowSpec, ok := strings.Cut(s, ":")
+	if !ok {
+		return CrashWindow{}, fmt.Errorf("netsim: crash %q: want NODE:START+DURATION", s)
+	}
+	id, err := ParseNode(nodeSpec)
+	if err != nil {
+		return CrashWindow{}, err
+	}
+	from, dur, err := ParseWindow(windowSpec)
+	if err != nil {
+		return CrashWindow{}, err
+	}
+	return CrashWindow{Node: id, From: from, Duration: dur}, nil
+}
+
+// ParsePartition parses "A|B:START+DURATION" where A and B are
+// comma-separated node lists (e.g. "relayer|cp:36h+2h"); a bare window
+// defaults to partitioning the relayer from the counterparty.
+func ParsePartition(s string) (PartitionWindow, error) {
+	groupSpec := "relayer|cp"
+	windowSpec := s
+	if lhs, rhs, ok := strings.Cut(s, ":"); ok {
+		groupSpec, windowSpec = lhs, rhs
+	}
+	aSpec, bSpec, ok := strings.Cut(groupSpec, "|")
+	if !ok {
+		return PartitionWindow{}, fmt.Errorf("netsim: partition groups %q: want A|B", groupSpec)
+	}
+	parseGroup := func(spec string) ([]NodeID, error) {
+		var out []NodeID
+		for _, part := range strings.Split(spec, ",") {
+			id, err := ParseNode(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, id)
+		}
+		return out, nil
+	}
+	a, err := parseGroup(aSpec)
+	if err != nil {
+		return PartitionWindow{}, err
+	}
+	b, err := parseGroup(bSpec)
+	if err != nil {
+		return PartitionWindow{}, err
+	}
+	from, dur, err := ParseWindow(windowSpec)
+	if err != nil {
+		return PartitionWindow{}, err
+	}
+	return PartitionWindow{A: a, B: b, From: from, Duration: dur}, nil
+}

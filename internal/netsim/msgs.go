@@ -1,0 +1,67 @@
+package netsim
+
+import (
+	"repro/internal/host"
+	"repro/internal/ibc"
+)
+
+// Wire message kinds. Notifications (one-way) carry chain heads; calls
+// carry submissions and IBC handler operations.
+const (
+	// KindHostBlock notifies daemons of a new host block (host -> all).
+	KindHostBlock = "host.block"
+	// KindCPBlock notifies the relayer of a new counterparty block.
+	KindCPBlock = "cp.block"
+	// KindSubmitTx submits a host transaction (daemon -> host, call).
+	KindSubmitTx = "host.submit"
+	// KindUpdateClient runs UpdateClient on the counterparty (call).
+	KindUpdateClient = "cp.update-client"
+	// KindRecvPacket runs RecvPacket on the counterparty (call).
+	KindRecvPacket = "cp.recv-packet"
+	// KindAckPacket runs AcknowledgePacket on the counterparty (call).
+	KindAckPacket = "cp.ack-packet"
+)
+
+// MsgHostBlock is the KindHostBlock payload.
+type MsgHostBlock struct {
+	Block *host.Block
+}
+
+// MsgCPBlock is the KindCPBlock payload.
+type MsgCPBlock struct {
+	Height uint64
+}
+
+// MsgSubmitTx is the KindSubmitTx payload.
+type MsgSubmitTx struct {
+	Tx *host.Transaction
+}
+
+// MsgUpdateClient is the KindUpdateClient payload.
+type MsgUpdateClient struct {
+	ClientID ibc.ClientID
+	Header   []byte
+}
+
+// MsgRecvPacket is the KindRecvPacket payload.
+type MsgRecvPacket struct {
+	Packet      *ibc.Packet
+	Proof       []byte
+	ProofHeight ibc.Height
+}
+
+// RespRecvPacket is the KindRecvPacket response.
+type RespRecvPacket struct {
+	// Ack is the acknowledgement the receiving chain wrote.
+	Ack []byte
+	// ProvableAt is the first receiver height whose root commits the ack.
+	ProvableAt uint64
+}
+
+// MsgAckPacket is the KindAckPacket payload.
+type MsgAckPacket struct {
+	Packet      *ibc.Packet
+	Ack         []byte
+	Proof       []byte
+	ProofHeight ibc.Height
+}

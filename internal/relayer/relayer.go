@@ -23,6 +23,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/ibc"
 	"repro/internal/lightclient/tendermint"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -139,6 +140,19 @@ type Relayer struct {
 	// timeoutInFlight dedups timeout submissions per packet.
 	timeoutInFlight map[string]bool
 
+	// Transport (nil = direct in-process calls, the pre-netsim behaviour
+	// unit tests rely on). With a transport, host submissions and
+	// counterparty handler calls become reliable netsim calls and block
+	// notifications arrive as wire messages with cursor catch-up.
+	net        *netsim.Network
+	ep         *netsim.Endpoint
+	retry      netsim.RetryPolicy
+	hostCursor host.Slot
+	// cpQueue serialises counterparty operations: reliable retries must
+	// not let a RecvPacket overtake the UpdateClient it depends on.
+	cpQueue []*cpOp
+	cpBusy  bool
+
 	// Stats. The record slices are the pre-telemetry measurement path and
 	// stay authoritative for determinism checks; the telemetry histograms
 	// observe the exact same values.
@@ -165,6 +179,16 @@ type Relayer struct {
 	mClientUpdates *telemetry.Counter
 	mTimeouts      *telemetry.Counter
 	mSnapRetries   *telemetry.Counter
+	mNetRetries    *telemetry.Counter
+	mNetDead       *telemetry.Counter
+	mNetAttempts   *telemetry.Histogram
+}
+
+// cpOp is one queued counterparty operation.
+type cpOp struct {
+	kind    string
+	payload any
+	onDone  func(resp any, err error)
 }
 
 type cpWork struct {
@@ -190,6 +214,15 @@ type Option func(*Relayer)
 // lifecycle tracer into t.
 func WithTelemetry(t *telemetry.Telemetry) Option {
 	return func(r *Relayer) { r.tel = t }
+}
+
+// WithTransport routes the relayer's traffic through the simulated
+// network: it registers the relayer node, turns host submissions and
+// counterparty handler operations into reliable (retry-with-backoff)
+// calls, and switches host-block processing to cursor-based pulls so a
+// dropped notification only delays work instead of losing it.
+func WithTransport(net *netsim.Network) Option {
+	return func(r *Relayer) { r.net = net }
 }
 
 // New creates a relayer; its host account must be funded for fees.
@@ -225,7 +258,125 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 	r.mClientUpdates = reg.Counter("relayer.client_updates")
 	r.mTimeouts = reg.Counter("relayer.timeouts_submitted")
 	r.mSnapRetries = reg.Counter("relayer.snapshot_pruned_retries")
+	if r.net != nil {
+		r.ep = r.net.Node(netsim.RelayerNode, r.onNetMessage, nil)
+		// Start the block cursor at the current slot: bootstrap blocks
+		// predate the daemon loop and were already handled.
+		r.hostCursor = hostChain.Slot()
+		r.retry = netsim.DefaultRetryPolicy()
+		r.mNetRetries = reg.Counter("relayer.net_retries")
+		r.mNetDead = reg.Counter("relayer.net_dead_letters")
+		r.mNetAttempts = reg.Histogram("relayer.net_attempts")
+	}
 	return r
+}
+
+// netObs bundles the relayer's retry accounting.
+func (r *Relayer) netObs() netsim.RetryObserver {
+	return netsim.RetryObserver{Retries: r.mNetRetries, DeadLetters: r.mNetDead, Attempts: r.mNetAttempts}
+}
+
+// onNetMessage consumes wire notifications addressed to the relayer.
+func (r *Relayer) onNetMessage(_ netsim.NodeID, kind string, payload any) {
+	switch kind {
+	case netsim.KindHostBlock:
+		// Cursor pull: the notification is just a wake-up. Every retained
+		// block is consumed exactly once even when notifications drop.
+		for _, b := range r.hostChain.BlocksSince(r.hostCursor) {
+			r.hostCursor = b.Slot
+			r.OnHostBlock(b)
+		}
+	case netsim.KindCPBlock:
+		if m, ok := payload.(netsim.MsgCPBlock); ok {
+			r.OnCPBlock(m.Height)
+		}
+	}
+}
+
+// submitHost submits one host transaction — directly without a
+// transport, or as a reliable call that retries until the host
+// acknowledges (the chain's replay protection makes retries idempotent).
+// done fires exactly once with the submission outcome.
+func (r *Relayer) submitHost(tx *host.Transaction, done func(error)) {
+	if r.ep == nil {
+		done(r.hostChain.Submit(tx))
+		return
+	}
+	r.ep.ReliableCall(netsim.HostNode, netsim.KindSubmitTx, netsim.MsgSubmitTx{Tx: tx},
+		r.retry, r.netObs(), func(_ any, err error) { done(err) })
+}
+
+// --- serial counterparty operation queue ---
+
+// cpEnqueue appends one counterparty operation to the FIFO and starts the
+// pump if idle. On the lossless fast path the whole queue drains
+// synchronously before this returns.
+func (r *Relayer) cpEnqueue(kind string, payload any, onDone func(resp any, err error)) {
+	r.cpQueue = append(r.cpQueue, &cpOp{kind: kind, payload: payload, onDone: onDone})
+	if !r.cpBusy {
+		r.cpBusy = true
+		r.cpPump()
+	}
+}
+
+// cpPump issues the head operation and advances on its completion.
+func (r *Relayer) cpPump() {
+	if len(r.cpQueue) == 0 {
+		r.cpBusy = false
+		return
+	}
+	op := r.cpQueue[0]
+	r.ep.ReliableCall(netsim.CPNode, op.kind, op.payload, r.retry, r.netObs(), func(resp any, err error) {
+		r.cpQueue = r.cpQueue[1:]
+		op.onDone(resp, err)
+		r.cpPump()
+	})
+}
+
+// cpUpdateClient pushes a guest header to the counterparty's client.
+func (r *Relayer) cpUpdateClient(header []byte, onDone func(error)) {
+	if r.ep == nil {
+		onDone(r.cp.Handler().UpdateClient(r.cfg.GuestOnCPClientID, header))
+		return
+	}
+	r.cpEnqueue(netsim.KindUpdateClient,
+		netsim.MsgUpdateClient{ClientID: r.cfg.GuestOnCPClientID, Header: header},
+		func(_ any, err error) { onDone(err) })
+}
+
+// cpRecvPacket delivers a guest-sent packet on the counterparty; onDone
+// receives the written ack and the first cp height whose root commits it.
+func (r *Relayer) cpRecvPacket(p *ibc.Packet, proof []byte, provedAt uint64, onDone func(ack []byte, provableAt uint64, err error)) {
+	if r.ep == nil {
+		ack, err := r.cp.Handler().RecvPacket(p, proof, ibc.Height(provedAt))
+		onDone(ack, r.cp.Height()+1, err)
+		return
+	}
+	r.cpEnqueue(netsim.KindRecvPacket,
+		netsim.MsgRecvPacket{Packet: p, Proof: proof, ProofHeight: ibc.Height(provedAt)},
+		func(resp any, err error) {
+			if err != nil {
+				onDone(nil, 0, err)
+				return
+			}
+			rr, ok := resp.(netsim.RespRecvPacket)
+			if !ok {
+				onDone(nil, 0, fmt.Errorf("relayer: unexpected recv response %T", resp))
+				return
+			}
+			onDone(rr.Ack, rr.ProvableAt, nil)
+		})
+}
+
+// cpAckPacket relays an ack for a cp-sent packet back to the counterparty.
+func (r *Relayer) cpAckPacket(p *ibc.Packet, ack, proof []byte, provedAt uint64, onDone func(error)) {
+	if r.ep == nil {
+		onDone(r.cp.Handler().AcknowledgePacket(p, ack, proof, ibc.Height(provedAt)))
+		return
+	}
+	r.cpEnqueue(netsim.KindAckPacket,
+		netsim.MsgAckPacket{Packet: p, Ack: ack, Proof: proof, ProofHeight: ibc.Height(provedAt)},
+		func(_ any, err error) { onDone(err) })
 }
 
 // Key returns the relayer's fee-paying key.
@@ -282,15 +433,18 @@ func (r *Relayer) pump() {
 	tx := j.txs[0]
 	j.txs = j.txs[1:]
 	r.TotalFees += tx.Fee()
-	if err := r.hostChain.Submit(tx); err != nil {
-		// Oversized or malformed transactions are a relayer bug; drop the
-		// job rather than wedge the queue.
-		r.queue = r.queue[1:]
-		r.mQueueDepth.Set(int64(len(r.queue)))
-		r.sched.After(0, r.pump)
-		return
-	}
-	r.sched.After(r.cfg.TxGap.Sample(r.rng), r.pump)
+	r.submitHost(tx, func(err error) {
+		if err != nil {
+			// Oversized or malformed transactions are a relayer bug (and a
+			// dead-lettered submission surfaces here too); drop the job
+			// rather than wedge the queue.
+			r.queue = r.queue[1:]
+			r.mQueueDepth.Set(int64(len(r.queue)))
+			r.sched.After(0, r.pump)
+			return
+		}
+		r.sched.After(r.cfg.TxGap.Sample(r.rng), r.pump)
+	})
 }
 
 // --- event polling (driven once per host slot by the runner) ---
@@ -359,31 +513,34 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 	}
 
 	r.sched.After(r.cfg.CPLatency.Sample(r.rng), func() {
-		if err := r.cp.Handler().UpdateClient(r.cfg.GuestOnCPClientID, sb.Marshal()); err != nil {
-			return
-		}
-		for _, p := range entry.Packets {
-			p := p
-			path := ibc.CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
-			proof, provedAt, err := r.proveGuestMembership(st, height, path)
+		r.cpUpdateClient(sb.Marshal(), func(err error) {
 			if err != nil {
-				continue
+				return
 			}
-			ack, err := r.cp.Handler().RecvPacket(p, proof, ibc.Height(provedAt))
-			if err != nil {
-				continue
+			for _, p := range entry.Packets {
+				p := p
+				path := ibc.CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
+				proof, provedAt, err := r.proveGuestMembership(st, height, path)
+				if err != nil {
+					continue
+				}
+				r.cpRecvPacket(p, proof, provedAt, func(ack []byte, provableAt uint64, err error) {
+					if err != nil {
+						return
+					}
+					if tr, ok := r.Traces[traceKey(p)]; ok {
+						tr.DeliveredAt = r.sched.Now()
+					}
+					r.tracer.Mark(traceKey(p), telemetry.StageRecv, r.sched.Now())
+					// The ack becomes provable at the next cp block.
+					r.pendingGuestAcks = append(r.pendingGuestAcks, ackWork{
+						packet: p,
+						ack:    ack,
+						height: provableAt,
+					})
+				})
 			}
-			if tr, ok := r.Traces[traceKey(p)]; ok {
-				tr.DeliveredAt = r.sched.Now()
-			}
-			r.tracer.Mark(traceKey(p), telemetry.StageRecv, r.sched.Now())
-			// The ack becomes provable at the next cp block.
-			r.pendingGuestAcks = append(r.pendingGuestAcks, ackWork{
-				packet: p,
-				ack:    ack,
-				height: r.cp.Height() + 1,
-			})
-		}
+		})
 	})
 }
 
@@ -411,10 +568,9 @@ func (r *Relayer) proveGuestMembership(st *guest.State, height uint64, path stri
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := r.cp.Handler().UpdateClient(r.cfg.GuestOnCPClientID, latest.SignedBlock().Marshal()); err != nil {
-		// The height may already be known; a stale update is fine.
-		_ = err
-	}
+	// The cp-op queue is FIFO, so this update lands before any recv/ack
+	// the caller enqueues with the returned height.
+	r.cpUpdateClient(latest.SignedBlock().Marshal(), func(error) {})
 	return proof, newHeight, nil
 }
 
@@ -504,41 +660,46 @@ func (r *Relayer) maybeUpdateGuestClient() {
 }
 
 // flushGuestWork delivers backlog items provable at or below height.
+// Items whose proof cannot be produced yet stay queued for the next flush
+// instead of being dropped.
 func (r *Relayer) flushGuestWork(height uint64) {
 	var laterPackets []cpWork
 	for _, w := range r.cpPacketBacklog {
 		if w.packet == nil {
 			continue // height-only marker from the timeout scanner
 		}
-		if w.height > height {
+		if w.height > height || !r.deliverToGuest(w, height) {
 			laterPackets = append(laterPackets, w)
 			continue
 		}
-		r.deliverToGuest(w)
 	}
 	r.cpPacketBacklog = laterPackets
 
 	var laterAcks []ackWork
 	for _, w := range r.pendingGuestAcks {
-		if w.height > height {
+		if w.height > height || !r.ackToGuest(w, height) {
 			laterAcks = append(laterAcks, w)
 			continue
 		}
-		r.ackToGuest(w, height)
 	}
 	r.pendingGuestAcks = laterAcks
 }
 
-// deliverToGuest runs the 4-5 transaction ReceivePacket flow.
-func (r *Relayer) deliverToGuest(w cpWork) {
+// deliverToGuest runs the 4-5 transaction ReceivePacket flow, proving the
+// commitment at provable — the height the guest client was just updated
+// to. The packet's own commit height may carry no consensus state on the
+// guest client when delivery was delayed past an update (network faults,
+// partitions); the commitment persists in cp state, so a proof at the
+// newer, known height verifies.
+func (r *Relayer) deliverToGuest(w cpWork, provable uint64) bool {
 	path := ibc.CommitmentPath(w.packet.SourcePort, w.packet.SourceChannel, w.packet.Sequence)
-	_, proof, err := r.cp.ProveMembershipAt(w.height, path)
+	_, proof, err := r.cp.ProveMembershipAt(provable, path)
 	if err != nil {
-		return
+		return false
 	}
 	txs := r.builder.RecvPacketTxs(&guest.RecvPayload{
 		Packet:      w.packet,
-		ProofHeight: ibc.Height(w.height),
+		ProofHeight: ibc.Height(provable),
 		Proof:       proof,
 	})
 	var cost host.Lamports
@@ -550,14 +711,16 @@ func (r *Relayer) deliverToGuest(w cpWork) {
 		r.mRecvTxs.Observe(float64(len(txs)))
 		r.mRecvCost.Observe(fees.Cents(cost))
 	})
+	return true
 }
 
-// ackToGuest relays a counterparty ack for a guest-sent packet.
-func (r *Relayer) ackToGuest(w ackWork, provableAt uint64) {
+// ackToGuest relays a counterparty ack for a guest-sent packet. It
+// reports whether the ack flow was submitted (false keeps it pending).
+func (r *Relayer) ackToGuest(w ackWork, provableAt uint64) bool {
 	path := ibc.AckPath(w.packet.DestPort, w.packet.DestChannel, w.packet.Sequence)
 	_, proof, err := r.cp.ProveMembershipAt(provableAt, path)
 	if err != nil {
-		return
+		return false
 	}
 	txs := r.builder.AckPacketTxs(&guest.AckPayload{
 		Packet:      w.packet,
@@ -572,6 +735,7 @@ func (r *Relayer) ackToGuest(w ackWork, provableAt uint64) {
 		}
 		r.tracer.Mark(traceKey(pkt), telemetry.StageAck, finished)
 	})
+	return true
 }
 
 // RelayGuestAcksToCP forwards acks (for cp-sent packets delivered on the
@@ -596,14 +760,10 @@ func (r *Relayer) RelayGuestAcksToCP(entry *guest.BlockEntry) {
 		}
 		ab := ab
 		r.sched.After(r.cfg.CPLatency.Sample(r.rng), func() {
-			// The cp's guest client must know this block first.
-			if err := r.cp.Handler().UpdateClient(r.cfg.GuestOnCPClientID, entry.SignedBlock().Marshal()); err != nil {
-				// Height may already be known (stale update is fine).
-				_ = err
-			}
-			if err := r.cp.Handler().AcknowledgePacket(ab.packet, ab.ack, proof, ibc.Height(provedAt)); err != nil {
-				return
-			}
+			// The cp's guest client must know this block first; FIFO on
+			// the cp-op queue keeps the update ahead of the ack.
+			r.cpUpdateClient(entry.SignedBlock().Marshal(), func(error) {})
+			r.cpAckPacket(ab.packet, ab.ack, proof, provedAt, func(error) {})
 		})
 	}
 	r.cpDelivered = remaining

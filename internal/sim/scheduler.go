@@ -7,6 +7,7 @@ package sim
 
 import (
 	"container/heap"
+	"sync"
 	"time"
 
 	"repro/internal/host"
@@ -42,7 +43,11 @@ func (q *eventQueue) Pop() any {
 }
 
 // Scheduler owns a manual clock and executes actions in timestamp order.
+// Enqueueing (At/After/Every) is safe from concurrent goroutines — e.g.
+// workers spawned by an action — but actions themselves always run on the
+// single RunUntil loop, outside the queue lock.
 type Scheduler struct {
+	mu    sync.Mutex
 	clock *host.ManualClock
 	queue eventQueue
 	seq   int
@@ -64,6 +69,8 @@ func (s *Scheduler) At(t time.Time, fn Action) {
 	if t.Before(s.clock.Now()) {
 		t = s.clock.Now()
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.seq++
 	heap.Push(&s.queue, &event{at: t, seq: s.seq, fn: fn})
 }
@@ -87,13 +94,17 @@ func (s *Scheduler) Every(interval time.Duration, fn func() bool) {
 // RunUntil executes queued actions, advancing the clock, until the queue
 // is empty or the next action lies beyond end. The clock finishes at end.
 func (s *Scheduler) RunUntil(end time.Time) {
-	for len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.at.After(end) {
+	for {
+		s.mu.Lock()
+		if len(s.queue) == 0 || s.queue[0].at.After(end) {
+			s.mu.Unlock()
 			break
 		}
-		heap.Pop(&s.queue)
+		next := heap.Pop(&s.queue).(*event)
+		s.mu.Unlock()
 		s.clock.Set(next.at)
+		// The lock is released before the action runs: actions routinely
+		// re-enter At/After to schedule follow-up work.
 		next.fn()
 	}
 	if s.clock.Now().Before(end) {
@@ -107,4 +118,8 @@ func (s *Scheduler) RunFor(d time.Duration) {
 }
 
 // Pending returns the number of queued actions.
-func (s *Scheduler) Pending() int { return len(s.queue) }
+func (s *Scheduler) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}

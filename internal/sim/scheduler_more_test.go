@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSchedulerTieBreakAcrossSources checks the seq tiebreak across mixed
+// At/After call sites: everything landing on the same instant runs in
+// enqueue order, including an action enqueued for "now" by a running
+// action, which must run after everything enqueued before it.
+func TestSchedulerTieBreakAcrossSources(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	at := s.Now().Add(time.Second)
+	var got []string
+	s.At(at, func() {
+		got = append(got, "first")
+		// Same-instant follow-up: enqueued last, so it runs last.
+		s.At(at, func() { got = append(got, "nested") })
+	})
+	s.After(time.Second, func() { got = append(got, "second") })
+	s.At(at, func() { got = append(got, "third") })
+	s.RunFor(2 * time.Second)
+	want := []string{"first", "second", "third", "nested"}
+	if len(got) != len(want) {
+		t.Fatalf("ran %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestUniformDegenerateRange: Max <= Min collapses to a constant Min
+// rather than panicking in Int63n.
+func TestUniformDegenerateRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, u := range []Uniform{
+		{Min: time.Second, Max: time.Second},
+		{Min: 3 * time.Second, Max: time.Second},
+		{Min: 0, Max: 0},
+	} {
+		for i := 0; i < 10; i++ {
+			if d := u.Sample(rng); d != u.Min {
+				t.Fatalf("Uniform{%v,%v}.Sample = %v, want Min", u.Min, u.Max, d)
+			}
+		}
+	}
+}
+
+// TestLogNormalCapTruncation: the cap clamps even when the shift alone
+// exceeds it, and a zero cap means uncapped.
+func TestLogNormalCapTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	capped := LogNormal{Mu: 0, Sigma: 0.1, Shift: 10 * time.Second, Cap: 2 * time.Second}
+	for i := 0; i < 100; i++ {
+		if d := capped.Sample(rng); d != 2*time.Second {
+			t.Fatalf("shifted sample %v above cap", d)
+		}
+	}
+	uncapped := LogNormal{Mu: 10, Sigma: 0.1}
+	if d := uncapped.Sample(rng); d < time.Hour {
+		t.Fatalf("uncapped exp(10)s sample %v unexpectedly small", d)
+	}
+}
+
+// TestSchedulerConcurrentEnqueue hammers At/After/Pending from many
+// goroutines while the run loop drains; run under -race this checks the
+// queue and clock locking.
+func TestSchedulerConcurrentEnqueue(t *testing.T) {
+	s := NewScheduler(time.Unix(0, 0))
+	const workers, each = 8, 200
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				delay := time.Duration(w*each+i) * time.Millisecond
+				s.After(delay, func() { ran.Add(1) })
+				_ = s.Pending()
+				_ = s.Now()
+			}
+		}()
+	}
+	// Drain while the enqueuers are still running.
+	for int(ran.Load()) < workers*each {
+		s.RunFor(100 * time.Millisecond)
+	}
+	wg.Wait()
+	s.RunFor(time.Hour)
+	if got := int(ran.Load()); got != workers*each {
+		t.Fatalf("ran %d actions, want %d", got, workers*each)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", s.Pending())
+	}
+}

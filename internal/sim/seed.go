@@ -1,0 +1,20 @@
+package sim
+
+// DeriveSeed derives a subsystem-specific seed from the scenario's base
+// seed and a stream label. Every consumer of randomness (relayer pacing,
+// per-validator latency, netsim faults) gets a decorrelated deterministic
+// stream of the one top-level seed, so whole runs stay reproducible.
+func DeriveSeed(base int64, label string) int64 {
+	// FNV-1a over the label, then a splitmix64 finaliser over the mix.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(label); i++ {
+		h ^= uint64(label[i])
+		h *= 1099511628211
+	}
+	z := h ^ uint64(base)
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}

@@ -78,8 +78,14 @@ func TestLenMatchesKeysUnderChurn(t *testing.T) {
 	if back.Len() != tr.Len() {
 		t.Fatalf("round-trip Len() = %d, want %d", back.Len(), tr.Len())
 	}
-	// And so does Clone.
-	if got := tr.Clone().Len(); got != tr.Len() {
-		t.Fatalf("clone Len() = %d, want %d", got, tr.Len())
+	// And so does a versioned snapshot (counted via its key enumeration).
+	v := tr.Snapshot()
+	view, err := tr.At(v)
+	if err != nil {
+		t.Fatal(err)
 	}
+	if got := len(view.Keys()); got != tr.Len() {
+		t.Fatalf("snapshot key count = %d, want %d", got, tr.Len())
+	}
+	tr.Release(v)
 }

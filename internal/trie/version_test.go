@@ -429,29 +429,3 @@ func TestSnapshotAfterSerializeRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCloneStillIndependent(t *testing.T) {
-	// The deprecated shim must still produce a fully independent deep copy.
-	tr := New()
-	if err := tr.Set(key("a"), val("1")); err != nil {
-		t.Fatal(err)
-	}
-	cp := tr.Clone()
-	if err := tr.Set(key("a"), val("2")); err != nil {
-		t.Fatal(err)
-	}
-	if got, err := cp.Get(key("a")); err != nil || got != val("1") {
-		t.Fatalf("clone read = %v, %v; want original", got, err)
-	}
-	// And the clone can snapshot independently too.
-	v := cp.Snapshot()
-	if err := cp.Set(key("a"), val("3")); err != nil {
-		t.Fatal(err)
-	}
-	view, err := cp.At(v)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, _ := view.Get(key("a")); got != val("1") {
-		t.Fatalf("clone view read = %v, want original", got)
-	}
-}

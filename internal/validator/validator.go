@@ -15,6 +15,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/guestblock"
 	"repro/internal/host"
+	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -71,6 +72,17 @@ type Validator struct {
 	// Instruments (nil-safe no-ops without WithTelemetry).
 	mSignatures  *telemetry.Counter
 	mSignLatency *telemetry.Histogram
+
+	// Simulated transport (nil without WithTransport: direct calls).
+	net        *netsim.Network
+	netIndex   int
+	ep         *netsim.Endpoint
+	hostCursor host.Slot
+	retry      netsim.RetryPolicy
+	// Shared across validators, like the sign instruments.
+	mNetRetries  *telemetry.Counter
+	mNetDead     *telemetry.Counter
+	mNetAttempts *telemetry.Histogram
 }
 
 // Option configures a validator daemon.
@@ -85,6 +97,15 @@ func WithSeed(seed int64) Option {
 // histogram (shared across validators under "validator.") in reg.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(v *Validator) { v.telemetry = reg }
+}
+
+// WithTransport routes the daemon's traffic through the simulated
+// network: host blocks arrive as wire notifications (cursor-pulled so a
+// dropped notification loses nothing) and sign transactions go out as
+// reliable calls that retry until the host acknowledges. index selects
+// the daemon's netsim address.
+func WithTransport(net *netsim.Network, index int) Option {
+	return func(v *Validator) { v.net = net; v.netIndex = index }
 }
 
 // New creates a validator daemon. The validator's host account must be
@@ -109,7 +130,28 @@ func New(key *cryptoutil.PrivKey, b Behaviour, chain *host.Chain, contract *gues
 	v.rng = rand.New(rand.NewSource(v.seed))
 	v.mSignatures = v.telemetry.Counter("validator.signatures")
 	v.mSignLatency = v.telemetry.Histogram("validator.sign_latency_s")
+	if v.net != nil {
+		v.ep = v.net.Node(netsim.ValidatorNode(v.netIndex), v.onNetMessage, nil)
+		v.hostCursor = chain.Slot()
+		v.retry = netsim.DefaultRetryPolicy()
+		v.mNetRetries = v.telemetry.Counter("validator.net_retries")
+		v.mNetDead = v.telemetry.Counter("validator.net_dead_letters")
+		v.mNetAttempts = v.telemetry.Histogram("validator.net_attempts")
+	}
 	return v
+}
+
+// onNetMessage consumes wire notifications addressed to this daemon.
+func (v *Validator) onNetMessage(_ netsim.NodeID, kind string, _ any) {
+	if kind != netsim.KindHostBlock {
+		return
+	}
+	// The notification is only a wake-up; the cursor pull consumes every
+	// retained block exactly once even when notifications drop.
+	for _, b := range v.chain.BlocksSince(v.hostCursor) {
+		v.hostCursor = b.Slot
+		v.OnHostBlock(b)
+	}
 }
 
 // Activate starts the daemon (scheduled at Behaviour.JoinAt).
@@ -178,25 +220,40 @@ func (v *Validator) submitSign(block *guestblock.Block, created time.Time) {
 		return
 	}
 	tx := v.builder.SignTx(v.Key, block)
-	if err := v.chain.Submit(tx); err != nil {
+	v.submitTx(tx, func(err error) {
+		if err != nil {
+			return
+		}
+		// Landing happens at the next slot boundary; record latency as
+		// submission delay plus the half-slot expectation, quantised by
+		// the host's slots like the paper's dataset.
+		slot := v.chain.Profile().SlotDuration
+		land := v.sched.Now().Add(slot / 2)
+		latency := land.Sub(created).Truncate(slot)
+		if latency <= 0 {
+			latency = slot
+		}
+		v.Records = append(v.Records, SignRecord{
+			Height:  block.Height,
+			Latency: latency,
+			Cost:    tx.Fee(),
+		})
+		v.mSignatures.Inc()
+		v.mSignLatency.Observe(latency.Seconds())
+	})
+}
+
+// submitTx submits one host transaction — directly without a transport,
+// or as a reliable call that retries until the host acknowledges. done
+// fires exactly once with the submission outcome.
+func (v *Validator) submitTx(tx *host.Transaction, done func(error)) {
+	if v.ep == nil {
+		done(v.chain.Submit(tx))
 		return
 	}
-	// Landing happens at the next slot boundary; record latency as
-	// submission delay plus the half-slot expectation, quantised by the
-	// host's slots like the paper's dataset.
-	slot := v.chain.Profile().SlotDuration
-	land := v.sched.Now().Add(slot / 2)
-	latency := land.Sub(created).Truncate(slot)
-	if latency <= 0 {
-		latency = slot
-	}
-	v.Records = append(v.Records, SignRecord{
-		Height:  block.Height,
-		Latency: latency,
-		Cost:    tx.Fee(),
-	})
-	v.mSignatures.Inc()
-	v.mSignLatency.Observe(latency.Seconds())
+	obs := netsim.RetryObserver{Retries: v.mNetRetries, DeadLetters: v.mNetDead, Attempts: v.mNetAttempts}
+	v.ep.ReliableCall(netsim.HostNode, netsim.KindSubmitTx, netsim.MsgSubmitTx{Tx: tx},
+		v.retry, obs, func(_ any, err error) { done(err) })
 }
 
 // SignCount returns the number of submitted signatures.
