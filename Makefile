@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-deprecated test race bench cover ci
+.PHONY: all build vet lint lint-deprecated test race bench cover verify-figs ci
 
 all: test
 
@@ -35,10 +35,12 @@ lint-deprecated:
 	fi
 
 # Tier-1 gate: everything must compile, vet clean, pass the test suite, and
-# the telemetry package (shared mutable state everywhere) must be race-clean.
+# the concurrency-heavy packages must be race-clean — telemetry (shared
+# mutable state everywhere) plus relayer and core now that the relayer
+# runs per-channel shards on the scheduler. Full -race stays in `make ci`.
 test: build vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/telemetry/...
+	$(GO) test -race ./internal/telemetry/... ./internal/relayer/... ./internal/core/...
 
 race:
 	$(GO) test -race ./...
@@ -52,6 +54,18 @@ cover:
 	$(GO) test -coverprofile=cover.out -covermode=atomic ./...
 	$(GO) tool cover -func=cover.out | tail -n 1
 
+# Regenerate the reference figures and fail on any drift: the default
+# single-channel topology must reproduce bench_figs_28d.txt byte for byte.
+verify-figs:
+	$(GO) run ./cmd/benchfigs 2>/dev/null > bench_figs_28d.txt.new
+	@if ! diff -u bench_figs_28d.txt bench_figs_28d.txt.new; then \
+		echo "figure drift: bench_figs_28d.txt no longer reproduces"; \
+		rm -f bench_figs_28d.txt.new; exit 1; \
+	fi
+	@rm -f bench_figs_28d.txt.new
+	@echo "bench_figs_28d.txt reproduces byte-identically"
+
 # The pre-merge gate: vet + lint (including the deprecated-API grep), the
-# whole suite under the race detector, and the coverage summary.
-ci: vet lint race cover
+# whole suite under the race detector, the coverage summary, and the
+# figure-drift check.
+ci: vet lint race cover verify-figs

@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fees"
 	"repro/internal/host"
+	"repro/internal/ibc"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -24,6 +25,8 @@ func main() {
 	outPerDay := flag.Float64("out", 26, "guest->counterparty packets per day")
 	inPerDay := flag.Float64("in", 14, "counterparty->guest packets per day")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	channels := flag.Int("channels", 1, "channels multiplexed over the connection (channel i rides port transfer-<i>)")
+	orderedFrac := flag.Float64("ordered-frac", 0, "fraction of channels opened Ordered (rest Unordered)")
 	profileName := flag.String("profile", "solana", "host profile: solana, near-like, tron-like (§VI-D)")
 	metrics := flag.Bool("metrics", false, "print the full telemetry snapshot (metrics, event counts, packet traces)")
 	netDrop := flag.Float64("net-drop", 0, "per-message drop probability on every link (0 disables)")
@@ -40,6 +43,8 @@ func main() {
 	cfg.OutPerDay = *outPerDay
 	cfg.InPerDay = *inPerDay
 	cfg.Seed = *seed
+	cfg.Channels = *channels
+	cfg.OrderedFraction = *orderedFrac
 
 	netCfg := netsim.Config{
 		Seed: *netSeed,
@@ -138,6 +143,19 @@ func main() {
 	fmt.Printf("state deposit:       $%.0f (paper: ~$14.6k)\n", fees.USD(dep.Net.Deposit))
 	fmt.Printf("relayer fees:        $%.2f total\n", fees.USD(dep.Net.Relayer.TotalFees))
 	snap := dep.Net.SnapshotTelemetry()
+	if len(dep.Net.Channels) > 1 {
+		fmt.Printf("channels:            %d over one connection (client updates stay shared)\n", len(dep.Net.Channels))
+		for i, rt := range dep.Net.Channels {
+			ns := "relayer.ch." + string(rt.GuestChannel) + "."
+			ord := "unordered"
+			if rt.Spec.Ordering == ibc.Ordered {
+				ord = "ordered"
+			}
+			fmt.Printf("  ch %d %s/%s (%s): %d delivered to cp, %d recv on guest, %d acks relayed\n",
+				i, rt.Spec.GuestPort, rt.GuestChannel, ord,
+				snap.Counter(ns+"delivered_to_cp"), snap.Counter(ns+"recv_submitted"), snap.Counter(ns+"acks_to_guest"))
+		}
+	}
 	if dropped := snap.Counter("netsim.dropped"); dropped > 0 {
 		fmt.Printf("network faults:      %d/%d messages dropped (%d crash, %d partition), %d duplicated, %d reordered\n",
 			dropped, snap.Counter("netsim.sent"),

@@ -49,6 +49,13 @@ type Config struct {
 	CPPort    ibc.PortID
 	// Ordering is the channel ordering (Unordered default).
 	Ordering ibc.Ordering
+	// Channels describes the full channel topology. When empty it
+	// defaults to the single channel described by GuestPort/CPPort/
+	// Ordering above, which keeps every seed experiment and the
+	// committed reference figures bit-identical. All channels multiplex
+	// over the one connection/client pair; the relayer serves each from
+	// its own work-queue shard while client updates stay shared.
+	Channels []ChannelSpec
 	// RelayerConfig tunes pacing; DefaultConfig if zero.
 	RelayerConfig relayer.Config
 	// HostProfile sets the host runtime constraints (Solana default;
@@ -64,6 +71,27 @@ type Config struct {
 	Seed int64
 }
 
+// ChannelSpec declares one channel of the topology: the application
+// ports on each side, the ordering, and the ICS-20 version string.
+// Zero fields inherit the Config-level defaults.
+type ChannelSpec struct {
+	GuestPort ibc.PortID
+	CPPort    ibc.PortID
+	Ordering  ibc.Ordering
+	Version   string
+}
+
+// ChannelRuntime is one opened channel: its spec, the transfer apps
+// bound on each side (channels sharing a port share an app), and the
+// channel IDs the handshake assigned.
+type ChannelRuntime struct {
+	Spec         ChannelSpec
+	GuestApp     *transfer.App
+	CPApp        *transfer.App
+	GuestChannel ibc.ChannelID
+	CPChannel    ibc.ChannelID
+}
+
 // Network is a fully wired deployment.
 type Network struct {
 	Sched    *sim.Scheduler
@@ -76,8 +104,11 @@ type Network struct {
 	Validators    []*validator.Validator
 	ValidatorKeys []*cryptoutil.PrivKey
 
+	// GuestApp / CPApp are channel 0's transfer applications (the
+	// legacy single-channel accessors); Channels holds every route.
 	GuestApp *transfer.App
 	CPApp    *transfer.App
+	Channels []*ChannelRuntime
 
 	Gossip    *fisherman.Gossip
 	Fishermen []*fisherman.Fisherman
@@ -221,31 +252,81 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	n.CP = cp
 
-	// Applications on both sides.
-	n.GuestApp = transfer.New(cfg.GuestPort)
-	if err := contract.BindPort(n.Host, cfg.GuestPort, n.GuestApp); err != nil {
-		return nil, err
+	// Channel topology: explicit specs, or the legacy single channel.
+	specs := make([]ChannelSpec, 0, len(cfg.Channels))
+	for _, sp := range cfg.Channels {
+		if sp.GuestPort == "" {
+			sp.GuestPort = cfg.GuestPort
+		}
+		if sp.CPPort == "" {
+			sp.CPPort = cfg.CPPort
+		}
+		if sp.Ordering == 0 {
+			sp.Ordering = cfg.Ordering
+		}
+		specs = append(specs, sp)
 	}
-	n.CPApp = transfer.New(cfg.CPPort)
-	if err := cp.Handler().BindPort(cfg.CPPort, n.CPApp); err != nil {
-		return nil, err
+	if len(specs) == 0 {
+		specs = []ChannelSpec{{GuestPort: cfg.GuestPort, CPPort: cfg.CPPort, Ordering: cfg.Ordering}}
 	}
 
-	// IBC bootstrap: clients, connection, channel.
-	boot := &relayer.Bootstrap{
-		HostChain:     n.Host,
-		Contract:      contract,
-		CP:            cp,
-		ValidatorKeys: n.ValidatorKeys,
-		GuestPort:     cfg.GuestPort,
-		CPPort:        cfg.CPPort,
-		Ordering:      cfg.Ordering,
+	// Applications on both sides: one transfer app per distinct port
+	// (channels sharing a port share the app and dispatch through the
+	// ibc router's single binding).
+	guestApps := make(map[ibc.PortID]*transfer.App)
+	cpApps := make(map[ibc.PortID]*transfer.App)
+	for _, sp := range specs {
+		if _, ok := guestApps[sp.GuestPort]; !ok {
+			app := transfer.New(sp.GuestPort)
+			if err := contract.BindPort(n.Host, sp.GuestPort, app); err != nil {
+				return nil, err
+			}
+			guestApps[sp.GuestPort] = app
+		}
+		if _, ok := cpApps[sp.CPPort]; !ok {
+			app := transfer.New(sp.CPPort)
+			if err := cp.Handler().BindPort(sp.CPPort, app); err != nil {
+				return nil, err
+			}
+			cpApps[sp.CPPort] = app
+		}
 	}
-	res, err := boot.Run()
-	if err != nil {
-		return nil, fmt.Errorf("core: bootstrap: %w", err)
+	n.GuestApp = guestApps[specs[0].GuestPort]
+	n.CPApp = cpApps[specs[0].CPPort]
+
+	// IBC bootstrap: clients + connection once, then a channel
+	// handshake per spec — channel 0 creates the connection, the rest
+	// reuse it (IBC multiplexes any number of channels over one
+	// connection, which is what makes update amortisation possible).
+	var reuse *relayer.Result
+	for i, sp := range specs {
+		boot := &relayer.Bootstrap{
+			HostChain:     n.Host,
+			Contract:      contract,
+			CP:            cp,
+			ValidatorKeys: n.ValidatorKeys,
+			GuestPort:     sp.GuestPort,
+			CPPort:        sp.CPPort,
+			Ordering:      sp.Ordering,
+			Version:       sp.Version,
+			Reuse:         reuse,
+		}
+		res, err := boot.Run()
+		if err != nil {
+			return nil, fmt.Errorf("core: bootstrap channel %d: %w", i, err)
+		}
+		if i == 0 {
+			n.Boot = res
+			reuse = res
+		}
+		n.Channels = append(n.Channels, &ChannelRuntime{
+			Spec:         sp,
+			GuestApp:     guestApps[sp.GuestPort],
+			CPApp:        cpApps[sp.CPPort],
+			GuestChannel: res.GuestChannel,
+			CPChannel:    res.CPChannel,
+		})
 	}
-	n.Boot = res
 
 	// Seed the guest-block cadence histograms with the blocks minted during
 	// bootstrap, which predate the dispatch loop.
@@ -274,12 +355,20 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.wireTransport()
 
 	rcfg := cfg.RelayerConfig
-	rcfg.GuestClientID = res.GuestClientID
-	rcfg.GuestOnCPClientID = res.GuestOnCPClientID
-	rcfg.GuestPort = cfg.GuestPort
-	rcfg.GuestChannel = res.GuestChannel
-	rcfg.CPPort = cfg.CPPort
-	rcfg.CPChannel = res.CPChannel
+	rcfg.GuestClientID = n.Boot.GuestClientID
+	rcfg.GuestOnCPClientID = n.Boot.GuestOnCPClientID
+	rcfg.GuestPort = specs[0].GuestPort
+	rcfg.GuestChannel = n.Boot.GuestChannel
+	rcfg.CPPort = specs[0].CPPort
+	rcfg.CPChannel = n.Boot.CPChannel
+	for _, ch := range n.Channels {
+		rcfg.Channels = append(rcfg.Channels, relayer.ChannelRoute{
+			GuestPort:    ch.Spec.GuestPort,
+			GuestChannel: ch.GuestChannel,
+			CPPort:       ch.Spec.CPPort,
+			CPChannel:    ch.CPChannel,
+		})
+	}
 	n.Relayer = relayer.New(rcfg, n.Host, contract, cp, n.Sched,
 		relayer.WithTelemetry(n.Tel), relayer.WithTransport(n.Net))
 	n.Host.Fund(n.Relayer.Key().Public(), 10_000*host.LamportsPerSOL)
@@ -450,9 +539,19 @@ func (n *Network) NewUser(name string, lamports host.Lamports, denom string, tok
 }
 
 // SendTransferFromGuest escrows tokens and submits a SendPacket
-// transaction under the given fee policy; it returns the submitted
-// transaction for fee accounting.
+// transaction under the given fee policy on channel 0; it returns the
+// submitted transaction for fee accounting.
 func (n *Network) SendTransferFromGuest(u *User, receiver string, denom string, amount uint64, memo string, policy fees.Policy, timeout time.Duration) (*host.Transaction, error) {
+	return n.SendTransferFromGuestOn(0, u, receiver, denom, amount, memo, policy, timeout)
+}
+
+// SendTransferFromGuestOn is SendTransferFromGuest on channel index ch
+// of the topology.
+func (n *Network) SendTransferFromGuestOn(ch int, u *User, receiver string, denom string, amount uint64, memo string, policy fees.Policy, timeout time.Duration) (*host.Transaction, error) {
+	if ch < 0 || ch >= len(n.Channels) {
+		return nil, fmt.Errorf("core: no channel %d (topology has %d)", ch, len(n.Channels))
+	}
+	rt := n.Channels[ch]
 	data := &transfer.PacketData{
 		Denom:    denom,
 		Amount:   amount,
@@ -460,7 +559,7 @@ func (n *Network) SendTransferFromGuest(u *User, receiver string, denom string, 
 		Receiver: receiver,
 		Memo:     memo,
 	}
-	if err := n.GuestApp.PrepareSend(n.Boot.GuestChannel, data); err != nil {
+	if err := rt.GuestApp.PrepareSend(rt.GuestChannel, data); err != nil {
 		return nil, err
 	}
 	builder := guest.NewTxBuilder(n.Contract, u.Key.Public())
@@ -472,8 +571,8 @@ func (n *Network) SendTransferFromGuest(u *User, receiver string, denom string, 
 	}
 	tx := builder.SendPacketTx(&guest.SendPacketArgs{
 		Sender:           u.Key.Public(),
-		Port:             n.cfg.GuestPort,
-		Channel:          n.Boot.GuestChannel,
+		Port:             rt.Spec.GuestPort,
+		Channel:          rt.GuestChannel,
 		Data:             data.Marshal(),
 		TimeoutTimestamp: ts,
 	})
@@ -483,8 +582,18 @@ func (n *Network) SendTransferFromGuest(u *User, receiver string, denom string, 
 	return tx, nil
 }
 
-// SendTransferFromCP sends tokens from the counterparty towards the guest.
+// SendTransferFromCP sends tokens from the counterparty towards the
+// guest on channel 0.
 func (n *Network) SendTransferFromCP(sender, receiver, denom string, amount uint64, memo string, timeout time.Duration) (*ibc.Packet, error) {
+	return n.SendTransferFromCPOn(0, sender, receiver, denom, amount, memo, timeout)
+}
+
+// SendTransferFromCPOn is SendTransferFromCP on channel index ch.
+func (n *Network) SendTransferFromCPOn(ch int, sender, receiver, denom string, amount uint64, memo string, timeout time.Duration) (*ibc.Packet, error) {
+	if ch < 0 || ch >= len(n.Channels) {
+		return nil, fmt.Errorf("core: no channel %d (topology has %d)", ch, len(n.Channels))
+	}
+	rt := n.Channels[ch]
 	data := &transfer.PacketData{
 		Denom:    denom,
 		Amount:   amount,
@@ -492,14 +601,14 @@ func (n *Network) SendTransferFromCP(sender, receiver, denom string, amount uint
 		Receiver: receiver,
 		Memo:     memo,
 	}
-	if err := n.CPApp.PrepareSend(n.Boot.CPChannel, data); err != nil {
+	if err := rt.CPApp.PrepareSend(rt.CPChannel, data); err != nil {
 		return nil, err
 	}
 	var ts time.Time
 	if timeout > 0 {
 		ts = n.Sched.Now().Add(timeout)
 	}
-	return n.CP.SendPacket(n.cfg.CPPort, n.Boot.CPChannel, data.Marshal(), 0, ts)
+	return n.CP.SendPacket(rt.Spec.CPPort, rt.CPChannel, data.Marshal(), 0, ts)
 }
 
 // GuestState returns the live contract state (read-only off-chain view).

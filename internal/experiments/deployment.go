@@ -41,6 +41,13 @@ type Config struct {
 	InMemo  sim.Dist
 	// Seed drives the workload and all network randomness.
 	Seed int64
+	// Channels sizes the channel topology (0 or 1 keeps the reference
+	// single-channel deployment; the workload round-robins sends across
+	// channels when more are opened).
+	Channels int
+	// OrderedFraction is the fraction of channels opened Ordered when
+	// Channels > 1.
+	OrderedFraction float64
 }
 
 // DefaultConfig mirrors the evaluation conditions.
@@ -117,6 +124,9 @@ func RunWithNetwork(cfg Config, netCfg core.Config) (*Deployment, error) {
 	if netCfg.Seed == 0 {
 		netCfg.Seed = cfg.Seed
 	}
+	if cfg.Channels > 1 && len(netCfg.Channels) == 0 {
+		netCfg.Channels = ChannelTopology(cfg.Channels, cfg.OrderedFraction)
+	}
 	net, err := core.NewNetwork(netCfg)
 	if err != nil {
 		return nil, err
@@ -126,6 +136,13 @@ func RunWithNetwork(cfg Config, netCfg core.Config) (*Deployment, error) {
 
 	alice := net.NewUser("wl-sender", 100_000*host.LamportsPerSOL, "GUEST", 1<<40)
 	net.CPApp.Mint("wl-cp-sender", "PICA", 1<<40)
+	// Extra channels get the same supply on their own apps so the
+	// round-robin workload can send on every route.
+	for i := 1; i < len(net.Channels); i++ {
+		net.Channels[i].GuestApp.Mint(alice.Key.Public().String(), "GUEST", 1<<40)
+		net.Channels[i].CPApp.Mint("wl-cp-sender", "PICA", 1<<40)
+	}
+	nCh := len(net.Channels)
 
 	memo := func(dist sim.Dist) string {
 		n := int(dist.Sample(rng))
@@ -145,7 +162,8 @@ func RunWithNetwork(cfg Config, netCfg core.Config) (*Deployment, error) {
 			if rng.Float64() < cfg.PriorityFraction {
 				policy = fees.PriorityPolicy
 			}
-			tx, err := net.SendTransferFromGuest(alice, "cp-receiver", "GUEST", 1+uint64(rng.Intn(1000)), memo(cfg.OutMemo), policy, 0)
+			ch := d.OutboundSent % nCh
+			tx, err := net.SendTransferFromGuestOn(ch, alice, "cp-receiver", "GUEST", 1+uint64(rng.Intn(1000)), memo(cfg.OutMemo), policy, 0)
 			if err == nil {
 				d.OutboundSent++
 				d.sendMeta = append(d.sendMeta, sendMeta{policy: policy.Name, fee: tx.Fee()})
@@ -160,7 +178,8 @@ func RunWithNetwork(cfg Config, netCfg core.Config) (*Deployment, error) {
 	var scheduleIn func()
 	scheduleIn = func() {
 		net.Sched.After(inGap.Sample(rng), func() {
-			_, err := net.SendTransferFromCP("wl-cp-sender", "guest-receiver", "PICA", 1+uint64(rng.Intn(1000)), memo(cfg.InMemo), 0)
+			ch := d.InboundSent % nCh
+			_, err := net.SendTransferFromCPOn(ch, "wl-cp-sender", "guest-receiver", "PICA", 1+uint64(rng.Intn(1000)), memo(cfg.InMemo), 0)
 			if err == nil {
 				d.InboundSent++
 			}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fees"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/validator"
+)
+
+// MultiChannelConfig parameterises the multi-channel throughput scenario:
+// N channels multiplexed over the one guest↔counterparty connection, M
+// guest-side transfers per channel, under configurable netsim chaos.
+type MultiChannelConfig struct {
+	// Channels is the number of channels (each on its own port/app).
+	Channels int
+	// PacketsPerChannel is the outbound transfer count per channel.
+	PacketsPerChannel int
+	// OrderedFraction is the fraction of channels opened Ordered (the
+	// rest are Unordered, the deployment default).
+	OrderedFraction float64
+	// Duration of the simulated window the sends are spread across.
+	Duration time.Duration
+	// Seed drives the workload and every actor's derived streams.
+	Seed int64
+	// Net injects faults between the actors (zero = lossless).
+	Net netsim.Config
+}
+
+// DefaultMultiChannelConfig returns the scenario the figure tables quote:
+// 4 channels × 24 packets over 12 simulated hours.
+func DefaultMultiChannelConfig() MultiChannelConfig {
+	return MultiChannelConfig{
+		Channels:          4,
+		PacketsPerChannel: 24,
+		OrderedFraction:   0.25,
+		Duration:          12 * time.Hour,
+		Seed:              1,
+	}
+}
+
+// ChannelReport is the per-channel outcome of a multi-channel run.
+type ChannelReport struct {
+	GuestPort    string
+	GuestChannel string
+	CPChannel    string
+	Ordered      bool
+	// Sent / SentTokens are the submitted transfers and their token sum.
+	Sent       int
+	SentTokens uint64
+	// Escrowed is the guest-side escrow for the channel; Vouchers is the
+	// token sum minted to the receiver on the counterparty. Exactly-once
+	// delivery means both equal SentTokens: a lost packet leaves
+	// Vouchers short, a duplicated delivery would overshoot it.
+	Escrowed uint64
+	Vouchers uint64
+	// DeliveredCP / AckedGuest are the relayer's per-channel counters
+	// (relayer.ch.<id>.delivered_to_cp / acks_to_guest).
+	DeliveredCP uint64
+	AckedGuest  uint64
+	// Conserved reports SentTokens == Escrowed == Vouchers.
+	Conserved bool
+}
+
+// MultiChannelResult aggregates one run.
+type MultiChannelResult struct {
+	Channels []ChannelReport
+	// ClientUpdates counts chunked UpdateClient flows on the guest — the
+	// paper's dominant cost (Figs. 4-5). The shared update scheduler
+	// keeps it flat in the channel count: one update flushes every
+	// channel's provable work.
+	ClientUpdates uint64
+	// UpdateTxs is the total host transactions those updates took.
+	UpdateTxs int
+	// TotalPackets sums Sent over channels.
+	TotalPackets int
+	// UpdatesPerPacket is the amortisation figure: ClientUpdates /
+	// TotalPackets, which falls as channels are added.
+	UpdatesPerPacket float64
+	// NetRetries counts reliable-call re-issues the chaos forced.
+	NetRetries uint64
+	// Fingerprint digests the run for determinism checks: two runs with
+	// the same config must produce identical fingerprints.
+	Fingerprint string
+}
+
+// ChaosLink is the 5% drop + 5% duplicate link the acceptance scenario
+// injects on every link.
+func ChaosLink() netsim.Config {
+	return netsim.Config{
+		Default: netsim.LinkConfig{
+			Latency:   sim.Uniform{Min: 20 * time.Millisecond, Max: 120 * time.Millisecond},
+			Drop:      0.05,
+			Duplicate: 0.05,
+		},
+	}
+}
+
+// ChannelTopology builds n channel specs: channel 0 on the reference
+// "transfer" port, channel i on "transfer-<i>" (its own app instance on
+// both sides), with the first ⌈orderedFrac·n⌉ channels Ordered.
+func ChannelTopology(n int, orderedFrac float64) []core.ChannelSpec {
+	ordered := int(orderedFrac*float64(n) + 0.5)
+	specs := make([]core.ChannelSpec, n)
+	for i := range specs {
+		port := ibc.PortID("transfer")
+		if i > 0 {
+			port = ibc.PortID(fmt.Sprintf("transfer-%d", i))
+		}
+		ord := ibc.Unordered
+		if i < ordered {
+			ord = ibc.Ordered
+		}
+		specs[i] = core.ChannelSpec{GuestPort: port, CPPort: port, Ordering: ord}
+	}
+	return specs
+}
+
+// RunMultiChannel executes the scenario: it builds an N-channel topology
+// (channel i on port "transfer" / "transfer-<i>", the first
+// ⌈OrderedFraction·N⌉ channels Ordered), spreads M transfers per channel
+// across the window, and verifies per-channel exactly-once token
+// conservation plus the client-update amortisation.
+func RunMultiChannel(cfg MultiChannelConfig) (*MultiChannelResult, error) {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.PacketsPerChannel <= 0 {
+		cfg.PacketsPerChannel = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 12 * time.Hour
+	}
+	specs := ChannelTopology(cfg.Channels, cfg.OrderedFraction)
+
+	net, err := core.NewNetwork(core.Config{
+		Seed:     cfg.Seed,
+		Channels: specs,
+		Net:      cfg.Net,
+		// The default fleet ships the §V-C outage window; the throughput
+		// scenario wants a healthy quorum, so use a quiet fleet.
+		Behaviours: HealthyBehaviours(8),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, "experiments/multichannel")))
+	type plannedSend struct {
+		ch     int
+		at     time.Duration
+		amount uint64
+	}
+	var plan []plannedSend
+	users := make([]*core.User, cfg.Channels)
+	sentTokens := make([]uint64, cfg.Channels)
+	sent := make([]int, cfg.Channels)
+	for i := 0; i < cfg.Channels; i++ {
+		u := net.NewUser(fmt.Sprintf("mc-sender-%d", i), 10_000*host.LamportsPerSOL, "TOK", 1<<40)
+		// NewUser mints on channel 0's app; fund this channel's app too.
+		net.Channels[i].GuestApp.Mint(u.Key.Public().String(), "TOK", 1<<40)
+		users[i] = u
+	}
+	// The workload is M bursts spread over the window: burst j hits every
+	// channel at the same instant — the concurrent-traffic shape whose
+	// update cost the shared scheduler amortises (all N channels' packets
+	// ride the same guest block and the same counterparty heights).
+	for j := 0; j < cfg.PacketsPerChannel; j++ {
+		base := cfg.Duration * time.Duration(j+1) / time.Duration(cfg.PacketsPerChannel+2)
+		jitter := time.Duration(rng.Int63n(int64(time.Minute)))
+		for i := 0; i < cfg.Channels; i++ {
+			plan = append(plan, plannedSend{ch: i, at: base + jitter, amount: 1 + uint64(rng.Intn(100))})
+		}
+	}
+	for _, p := range plan {
+		p := p
+		net.Sched.After(p.at, func() {
+			if _, err := net.SendTransferFromGuestOn(p.ch, users[p.ch], "mc-receiver", "TOK", p.amount, "", fees.BundlePolicy, 0); err == nil {
+				sent[p.ch]++
+				sentTokens[p.ch] += p.amount
+			}
+		})
+	}
+
+	// Run the window plus drain time for retries and ack round-trips.
+	net.Run(cfg.Duration + 2*time.Hour)
+
+	snap := net.SnapshotTelemetry()
+	res := &MultiChannelResult{
+		ClientUpdates: snap.Counter("relayer.client_updates"),
+		NetRetries:    snap.Counter("relayer.net_retries"),
+	}
+	for _, u := range net.Relayer.Updates {
+		res.UpdateTxs += u.Txs
+	}
+	var fp strings.Builder
+	for i, rt := range net.Channels {
+		rep := ChannelReport{
+			GuestPort:    string(rt.Spec.GuestPort),
+			GuestChannel: string(rt.GuestChannel),
+			CPChannel:    string(rt.CPChannel),
+			Ordered:      rt.Spec.Ordering == ibc.Ordered,
+			Sent:         sent[i],
+			SentTokens:   sentTokens[i],
+			Escrowed:     rt.GuestApp.EscrowedAmount(rt.GuestChannel, "TOK"),
+			DeliveredCP:  snap.Counter("relayer.ch." + string(rt.GuestChannel) + ".delivered_to_cp"),
+			AckedGuest:   snap.Counter("relayer.ch." + string(rt.GuestChannel) + ".acks_to_guest"),
+		}
+		voucher := fmt.Sprintf("%s/%s/TOK", rt.Spec.CPPort, rt.CPChannel)
+		rep.Vouchers = rt.CPApp.Balance("mc-receiver", voucher)
+		rep.Conserved = rep.SentTokens == rep.Escrowed && rep.SentTokens == rep.Vouchers
+		res.Channels = append(res.Channels, rep)
+		res.TotalPackets += rep.Sent
+		fmt.Fprintf(&fp, "ch%d:%s sent=%d tokens=%d escrow=%d vouchers=%d recv=%d ack=%d|",
+			i, rep.GuestChannel, rep.Sent, rep.SentTokens, rep.Escrowed, rep.Vouchers, rep.DeliveredCP, rep.AckedGuest)
+	}
+	if res.TotalPackets > 0 {
+		res.UpdatesPerPacket = float64(res.ClientUpdates) / float64(res.TotalPackets)
+	}
+	fmt.Fprintf(&fp, "updates=%d updTxs=%d fees=%d", res.ClientUpdates, res.UpdateTxs, net.Relayer.TotalFees)
+	res.Fingerprint = fp.String()
+	return res, nil
+}
+
+// HealthyBehaviours returns n always-on validators with mild latency — a
+// quorum that never stalls, for scenarios that measure the packet plane
+// rather than the §V fleet incidents.
+func HealthyBehaviours(n int) []validator.Behaviour {
+	out := make([]validator.Behaviour, n)
+	for i := range out {
+		out[i] = validator.Behaviour{
+			Active:  true,
+			Latency: sim.Uniform{Min: 1 * time.Second, Max: 3 * time.Second},
+			Policy:  fees.Policy{Name: "fixed"},
+		}
+	}
+	return out
+}

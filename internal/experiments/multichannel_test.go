@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestMultiChannelExactlyOnceUnderChaos is the acceptance scenario: 4
+// channels (one ordered) × 24 packets under 5% drop + 5% duplicate on
+// every link. Every channel must conserve tokens exactly once — escrow
+// on the guest equals vouchers minted on the counterparty equals the
+// tokens sent — and every packet must be delivered and acked.
+func TestMultiChannelExactlyOnceUnderChaos(t *testing.T) {
+	cfg := DefaultMultiChannelConfig()
+	cfg.Net = ChaosLink()
+	res, err := RunMultiChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Channels) != cfg.Channels {
+		t.Fatalf("got %d channel reports, want %d", len(res.Channels), cfg.Channels)
+	}
+	sawOrdered := false
+	for i, ch := range res.Channels {
+		if ch.Sent != cfg.PacketsPerChannel {
+			t.Errorf("channel %d: sent %d packets, want %d", i, ch.Sent, cfg.PacketsPerChannel)
+		}
+		if !ch.Conserved {
+			t.Errorf("channel %d (%s): tokens not conserved: sent=%d escrow=%d vouchers=%d",
+				i, ch.GuestChannel, ch.SentTokens, ch.Escrowed, ch.Vouchers)
+		}
+		if ch.DeliveredCP != uint64(ch.Sent) {
+			t.Errorf("channel %d: delivered %d of %d packets", i, ch.DeliveredCP, ch.Sent)
+		}
+		if ch.AckedGuest != uint64(ch.Sent) {
+			t.Errorf("channel %d: acked %d of %d packets", i, ch.AckedGuest, ch.Sent)
+		}
+		sawOrdered = sawOrdered || ch.Ordered
+	}
+	if !sawOrdered {
+		t.Error("expected at least one ordered channel in the default topology")
+	}
+	if res.NetRetries == 0 {
+		t.Error("chaos run should force reliable-call retries")
+	}
+}
+
+// TestMultiChannelDeterminism runs the chaos scenario twice with the
+// same seed and requires identical fingerprints.
+func TestMultiChannelDeterminism(t *testing.T) {
+	cfg := DefaultMultiChannelConfig()
+	cfg.Net = ChaosLink()
+	a, err := RunMultiChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMultiChannel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("seeded runs diverged:\n  run1: %s\n  run2: %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestMultiChannelUpdateAmortisation pins the tentpole claim: the
+// client-update count is flat in the channel count because one update
+// flushes every channel's provable work. Quadrupling the channels (and
+// the packet volume with them) must not grow updates by more than a
+// small slack, and updates/packet must fall accordingly.
+func TestMultiChannelUpdateAmortisation(t *testing.T) {
+	base := DefaultMultiChannelConfig()
+	base.Channels = 1
+	base.OrderedFraction = 0
+	one, err := RunMultiChannel(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide := DefaultMultiChannelConfig()
+	wide.Channels = 4
+	wide.OrderedFraction = 0
+	four, err := RunMultiChannel(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.ClientUpdates == 0 || four.ClientUpdates == 0 {
+		t.Fatalf("expected updates in both runs: one=%d four=%d", one.ClientUpdates, four.ClientUpdates)
+	}
+	// Flat in N: 4x the channels may cost at most ~25% more updates
+	// (slack for extra cp blocks carrying backlog at window edges).
+	limit := one.ClientUpdates + one.ClientUpdates/4 + 1
+	if four.ClientUpdates > limit {
+		t.Errorf("updates not amortised: 1 channel -> %d updates, 4 channels -> %d (limit %d)",
+			one.ClientUpdates, four.ClientUpdates, limit)
+	}
+	if four.UpdatesPerPacket >= one.UpdatesPerPacket {
+		t.Errorf("updates/packet should fall with channels: 1ch=%.3f 4ch=%.3f",
+			one.UpdatesPerPacket, four.UpdatesPerPacket)
+	}
+	t.Logf("amortisation: 1ch updates=%d (%.3f/pkt), 4ch updates=%d (%.3f/pkt)",
+		one.ClientUpdates, one.UpdatesPerPacket, four.ClientUpdates, four.UpdatesPerPacket)
+}

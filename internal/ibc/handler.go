@@ -29,7 +29,7 @@ type Handler struct {
 	self  SelfInfo
 
 	clients  map[ClientID]Client
-	router   map[PortID]Module
+	router   *Router
 	nextConn int
 	nextChan int
 
@@ -86,7 +86,7 @@ func NewHandler(store *Store, self SelfInfo, opts ...HandlerOption) *Handler {
 		store:     store,
 		self:      self,
 		clients:   make(map[ClientID]Client),
-		router:    make(map[PortID]Module),
+		router:    NewRouter(),
 		bus:       telemetry.NewBus(),
 		metricsNS: "ibc",
 	}
@@ -116,19 +116,15 @@ func (h *Handler) emit(ev telemetry.Event) { h.bus.Publish(ev) }
 
 // BindPort registers an application module on a port.
 func (h *Handler) BindPort(port PortID, m Module) error {
-	if _, ok := h.router[port]; ok {
-		return fmt.Errorf("%w: %q", ErrPortAlreadyBound, port)
-	}
-	h.router[port] = m
-	return nil
+	return h.router.Bind(port, m)
 }
 
+// Router exposes the handler's port router (read-mostly: new apps are
+// bound through BindPort, topology code inspects bound ports through it).
+func (h *Handler) Router() *Router { return h.router }
+
 func (h *Handler) module(port PortID) (Module, error) {
-	m, ok := h.router[port]
-	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrPortNotBound, port)
-	}
-	return m, nil
+	return h.router.Route(port)
 }
 
 // --- Clients (ICS-02) ---

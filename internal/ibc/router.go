@@ -1,0 +1,64 @@
+package ibc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Router dispatches packets and channel callbacks to the application
+// module bound on each port (ICS-05/ICS-26). It used to be an anonymous
+// map inside Handler; with several apps multiplexed over one connection
+// (transfer, additional transfer instances, governance, ...) the routing
+// surface deserves its own layer: binding is explicit and fail-fast, and
+// lookups return the typed ErrPortNotBound every caller branches on.
+//
+// Per-channel packet state (sequences, commitments, receipts, acks) is
+// keyed by (port, channel) in the store, so modules sharing a Router —
+// and even channels sharing a port — stay fully isolated.
+type Router struct {
+	modules map[PortID]Module
+}
+
+// NewRouter returns an empty router.
+func NewRouter() *Router {
+	return &Router{modules: make(map[PortID]Module)}
+}
+
+// Bind registers a module on a port. Binding an already-bound port is a
+// deployment bug and fails with ErrPortAlreadyBound.
+func (r *Router) Bind(port PortID, m Module) error {
+	if m == nil {
+		return fmt.Errorf("%w: nil module for %q", ErrPortNotBound, port)
+	}
+	if _, ok := r.modules[port]; ok {
+		return fmt.Errorf("%w: %q", ErrPortAlreadyBound, port)
+	}
+	r.modules[port] = m
+	return nil
+}
+
+// Route returns the module bound on port.
+func (r *Router) Route(port PortID) (Module, error) {
+	m, ok := r.modules[port]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrPortNotBound, port)
+	}
+	return m, nil
+}
+
+// HasRoute reports whether port is bound.
+func (r *Router) HasRoute(port PortID) bool {
+	_, ok := r.modules[port]
+	return ok
+}
+
+// Ports lists the bound ports in lexical order (deterministic for
+// telemetry and tests).
+func (r *Router) Ports() []PortID {
+	out := make([]PortID, 0, len(r.modules))
+	for p := range r.modules {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

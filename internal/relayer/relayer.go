@@ -8,6 +8,12 @@
 // size-limited host transactions, paced like a real RPC submitter — this
 // is what produces the ~36.5-transaction client updates and their 25-60 s
 // latency (Figs. 4-5) and the 4-5 transaction ReceivePacket flow (§V-A).
+//
+// The relayer serves any number of channels multiplexed over the one
+// connection: per-channel work queues live in shards (shard.go), paced
+// independently, while client updates are issued once per (chain, height)
+// by a shared scheduler (updates.go) and flush every shard's provable
+// work — the amortisation that keeps update cost flat as channels grow.
 package relayer
 
 import (
@@ -18,7 +24,6 @@ import (
 
 	"repro/internal/counterparty"
 	"repro/internal/cryptoutil"
-	"repro/internal/fees"
 	"repro/internal/guest"
 	"repro/internal/host"
 	"repro/internal/ibc"
@@ -42,11 +47,29 @@ type Config struct {
 	// chain; GuestOnCPClientID is the guest client on the counterparty.
 	GuestClientID     ibc.ClientID
 	GuestOnCPClientID ibc.ClientID
-	// Ports/channels served (filled by Bootstrap).
+	// Channels lists every (port, channel) route the relayer serves.
+	// When empty, the legacy single-channel fields below define one.
+	Channels []ChannelRoute
+	// Legacy single-channel fields (filled by Bootstrap); still honoured
+	// when Channels is empty.
 	GuestPort    ibc.PortID
 	GuestChannel ibc.ChannelID
 	CPPort       ibc.PortID
 	CPChannel    ibc.ChannelID
+}
+
+// routes resolves the channel topology: explicit Channels when given,
+// otherwise the one route described by the legacy fields.
+func (c Config) routes() []ChannelRoute {
+	if len(c.Channels) > 0 {
+		return c.Channels
+	}
+	return []ChannelRoute{{
+		GuestPort:    c.GuestPort,
+		GuestChannel: c.GuestChannel,
+		CPPort:       c.CPPort,
+		CPChannel:    c.CPChannel,
+	}}
 }
 
 // DefaultConfig returns deployment-like pacing.
@@ -96,17 +119,8 @@ type PacketTrace struct {
 	AckedAt     time.Time
 }
 
-// job is a paced sequence of host transactions with a completion callback.
-type job struct {
-	label string
-	txs   []*host.Transaction
-	// started is when the first transaction was submitted (the paper's
-	// Fig. 4 measures first-tx to last-tx execution).
-	started time.Time
-	onDone  func(started, finished time.Time)
-}
-
-// Relayer connects one guest chain and one counterparty.
+// Relayer connects one guest chain and one counterparty, serving every
+// channel in Config.Channels (or the legacy single route).
 type Relayer struct {
 	cfg Config
 
@@ -121,24 +135,20 @@ type Relayer struct {
 
 	cpCursor int
 
-	// queue is the FIFO of host tx jobs; busy marks the pacer running.
-	queue []*job
-	busy  bool
+	// root is the pacer shared by the client-update scheduler and shard
+	// 0; queuedJobs aggregates job-queue depth across all pacers.
+	root       *pacer
+	queuedJobs int64
 
-	// cpPacketBacklog maps cp heights to packets awaiting delivery into
-	// the guest once the client reaches that height.
-	cpPacketBacklog []cpWork
-	// clientUpdateInFlight dedups update jobs.
-	clientUpdateInFlight bool
-	// pendingGuestAcks are acks written on the cp for guest-sent packets,
-	// deliverable to the guest once the client sees the cp height.
-	pendingGuestAcks []ackWork
-	// cpDelivered tracks cp->guest packets delivered on the guest whose
-	// acks still need relaying back to the cp.
-	cpDelivered []cpAckBack
+	// shards hold the per-channel work queues; byGuest/byCP index them
+	// by each side's (port, channel).
+	shards  []*shard
+	byGuest map[chanKey]*shard
+	byCP    map[chanKey]*shard
 
-	// timeoutInFlight dedups timeout submissions per packet.
-	timeoutInFlight map[string]bool
+	// updates is the shared client-update scheduler (one UpdateClient
+	// per (chain, height), flushing every shard).
+	updates updateScheduler
 
 	// Transport (nil = direct in-process calls, the pre-netsim behaviour
 	// unit tests rely on). With a transport, host submissions and
@@ -161,9 +171,6 @@ type Relayer struct {
 	Traces      map[string]*PacketTrace
 	TotalFees   host.Lamports
 	TimeoutsRun int
-
-	// updStart tracks in-flight update measurement.
-	updateSeq int
 
 	// Telemetry (all nil-safe no-ops unless WithTelemetry was given).
 	tel            *telemetry.Telemetry
@@ -239,6 +246,8 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 		builder:   guest.NewTxBuilderForProfile(contract, key.Public(), hostChain.Profile()),
 		Traces:    make(map[string]*PacketTrace),
 	}
+	r.root = &pacer{r: r, rng: r.rng}
+	r.updates = updateScheduler{r: r}
 	for _, o := range opts {
 		o(r)
 	}
@@ -258,6 +267,14 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 	r.mClientUpdates = reg.Counter("relayer.client_updates")
 	r.mTimeouts = reg.Counter("relayer.timeouts_submitted")
 	r.mSnapRetries = reg.Counter("relayer.snapshot_pruned_retries")
+	r.byGuest = make(map[chanKey]*shard)
+	r.byCP = make(map[chanKey]*shard)
+	for i, route := range cfg.routes() {
+		s := newShard(r, reg, route, i)
+		r.shards = append(r.shards, s)
+		r.byGuest[chanKey{route.GuestPort, route.GuestChannel}] = s
+		r.byCP[chanKey{route.CPPort, route.CPChannel}] = s
+	}
 	if r.net != nil {
 		r.ep = r.net.Node(netsim.RelayerNode, r.onNetMessage, nil)
 		// Start the block cursor at the current slot: bootstrap blocks
@@ -269,6 +286,23 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 		r.mNetAttempts = reg.Histogram("relayer.net_attempts")
 	}
 	return r
+}
+
+// shardForGuest resolves the shard serving a guest-side (port, channel);
+// unknown routes fall back to shard 0 so stray packets are still served.
+func (r *Relayer) shardForGuest(port ibc.PortID, channel ibc.ChannelID) *shard {
+	if s, ok := r.byGuest[chanKey{port, channel}]; ok {
+		return s
+	}
+	return r.shards[0]
+}
+
+// shardForCP resolves the shard serving a counterparty-side (port, channel).
+func (r *Relayer) shardForCP(port ibc.PortID, channel ibc.ChannelID) *shard {
+	if s, ok := r.byCP[chanKey{port, channel}]; ok {
+		return s
+	}
+	return r.shards[0]
 }
 
 // netObs bundles the relayer's retry accounting.
@@ -386,70 +420,10 @@ func traceKey(p *ibc.Packet) string {
 	return fmt.Sprintf("%s/%s/%d", p.SourcePort, p.SourceChannel, p.Sequence)
 }
 
-// --- host tx pacing ---
-
-// enqueue schedules a paced submission of txs; onDone fires one slot after
-// the last submission (when the commit landed) with the first and last
-// transaction landing times.
-func (r *Relayer) enqueue(label string, txs []*host.Transaction, onDone func(started, finished time.Time)) {
-	r.queue = append(r.queue, &job{label: label, txs: txs, onDone: onDone})
-	r.mQueueDepth.Set(int64(len(r.queue)))
-	if !r.busy {
-		r.busy = true
-		r.sched.After(0, r.pump)
-	}
-}
-
-// pump submits the next transaction of the current job.
-func (r *Relayer) pump() {
-	if len(r.queue) == 0 {
-		r.busy = false
-		return
-	}
-	j := r.queue[0]
-	if len(j.txs) == 0 {
-		// Job finished submitting; fire completion after landing.
-		r.queue = r.queue[1:]
-		r.mQueueDepth.Set(int64(len(r.queue)))
-		done := j.onDone
-		started := j.started
-		slot := r.hostChain.Profile().SlotDuration
-		r.sched.After(slot+slot/2, func() {
-			finished := r.sched.Now()
-			if !started.IsZero() {
-				r.mJobLatency.Observe(finished.Sub(started).Seconds())
-			}
-			if done != nil {
-				done(started, finished)
-			}
-		})
-		r.sched.After(0, r.pump)
-		return
-	}
-	if j.started.IsZero() {
-		// First transaction lands at the next slot boundary.
-		j.started = r.sched.Now().Add(r.hostChain.Profile().SlotDuration / 2)
-	}
-	tx := j.txs[0]
-	j.txs = j.txs[1:]
-	r.TotalFees += tx.Fee()
-	r.submitHost(tx, func(err error) {
-		if err != nil {
-			// Oversized or malformed transactions are a relayer bug (and a
-			// dead-lettered submission surfaces here too); drop the job
-			// rather than wedge the queue.
-			r.queue = r.queue[1:]
-			r.mQueueDepth.Set(int64(len(r.queue)))
-			r.sched.After(0, r.pump)
-			return
-		}
-		r.sched.After(r.cfg.TxGap.Sample(r.rng), r.pump)
-	})
-}
-
 // --- event polling (driven once per host slot by the runner) ---
 
-// OnHostBlock processes new host blocks' events.
+// OnHostBlock processes new host blocks' events: one scan feeds every
+// shard's work queues.
 func (r *Relayer) OnHostBlock(b *host.Block) {
 	for _, ev := range b.Events {
 		switch e := ev.Payload.(type) {
@@ -458,8 +432,11 @@ func (r *Relayer) OnHostBlock(b *host.Block) {
 			r.RelayGuestAcksToCP(e.Entry)
 		case guest.EventPacketDelivered:
 			// A cp->guest packet was delivered on the guest; its ack needs
-			// to ride a finalised guest block back to the cp.
-			r.cpDelivered = append(r.cpDelivered, cpAckBack{packet: e.Packet, ack: e.Ack})
+			// to ride a finalised guest block back to the cp. Dest is the
+			// guest side of the route.
+			p := e.Packet
+			s := r.shardForGuest(p.DestPort, p.DestChannel)
+			s.ackBacklog = append(s.ackBacklog, cpAckBack{packet: p, ack: e.Ack})
 		case ibc.EventSendPacket:
 			p := e.Packet
 			r.Traces[traceKey(p)] = &PacketTrace{Packet: p, SentAt: ev.Time}
@@ -471,7 +448,8 @@ func (r *Relayer) OnHostBlock(b *host.Block) {
 	}
 }
 
-// OnCPBlock processes a new counterparty block.
+// OnCPBlock processes a new counterparty block: one event scan routes
+// each committed packet to its shard's inbound queue.
 func (r *Relayer) OnCPBlock(_ uint64) {
 	events, cursor := r.cp.EventsSince(r.cpCursor)
 	r.cpCursor = cursor
@@ -481,19 +459,22 @@ func (r *Relayer) OnCPBlock(_ uint64) {
 			continue
 		}
 		for _, p := range pc.Packets {
-			r.cpPacketBacklog = append(r.cpPacketBacklog, cpWork{packet: p, height: ev.Height})
+			s := r.shardForCP(p.SourcePort, p.SourceChannel)
+			s.inbound = append(s.inbound, cpWork{packet: p, height: ev.Height})
 		}
 	}
 	// Acks for guest-sent packets become provable once the cp commits
 	// them; drain what the current height covers.
-	r.maybeUpdateGuestClient()
+	r.updates.maybeUpdate()
 }
 
 // --- guest -> counterparty direction ---
 
 // onGuestFinalised handles a finalised guest block: forward it to the
 // counterparty light client if it carries packets or rotates the epoch
-// (Alg. 2), then deliver its packets with proofs.
+// (Alg. 2), then deliver its packets with proofs. One header update
+// covers every channel's packets in the block — guest→cp updates are
+// amortised per (chain, height) exactly like the guest-side scheduler.
 func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 	for _, p := range entry.Packets {
 		if tr, ok := r.Traces[traceKey(p)]; ok {
@@ -519,6 +500,7 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 			}
 			for _, p := range entry.Packets {
 				p := p
+				s := r.shardForGuest(p.SourcePort, p.SourceChannel)
 				path := ibc.CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
 				proof, provedAt, err := r.proveGuestMembership(st, height, path)
 				if err != nil {
@@ -532,8 +514,9 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 						tr.DeliveredAt = r.sched.Now()
 					}
 					r.tracer.Mark(traceKey(p), telemetry.StageRecv, r.sched.Now())
+					s.cDelivered.Inc()
 					// The ack becomes provable at the next cp block.
-					r.pendingGuestAcks = append(r.pendingGuestAcks, ackWork{
+					s.pendingAcks = append(s.pendingAcks, ackWork{
 						packet: p,
 						ack:    ack,
 						height: provableAt,
@@ -585,188 +568,27 @@ func (r *Relayer) guestClient() (ibc.Client, error) {
 	return st.Handler.Client(r.cfg.GuestClientID)
 }
 
-// maybeUpdateGuestClient starts a chunked client update when backlog work
-// needs a newer cp height on the guest.
-func (r *Relayer) maybeUpdateGuestClient() {
-	if r.clientUpdateInFlight {
-		return
-	}
-	client, err := r.guestClient()
-	if err != nil {
-		return
-	}
-	known := uint64(client.LatestHeight())
-
-	needed := uint64(0)
-	for _, w := range r.cpPacketBacklog {
-		if w.height > known && w.height > needed {
-			needed = w.height
-		}
-	}
-	for _, w := range r.pendingGuestAcks {
-		if w.height > known && w.height > needed {
-			needed = w.height
-		}
-	}
-	if needed == 0 {
-		// Everything provable at the known height already; flush.
-		r.flushGuestWork(known)
-		return
-	}
-	// Update to the latest cp height (covers all backlog).
-	target := r.cp.Height()
-	update, err := r.cp.UpdateAt(target)
-	if err != nil {
-		return
-	}
-	headerBytes := update.Marshal()
-	sigs := make([]guest.SigBatch, 0, len(update.Commit))
-	headerHash := update.Header.Hash()
-	for _, cs := range update.Commit {
-		payload := counterpartyVotePayload(headerHash, cs.Timestamp)
-		sigs = append(sigs, guest.SigBatch{Pub: cs.PubKey, Payload: payload, Sig: cs.Signature})
-	}
-	txs := r.builder.UpdateClientTxs(r.cfg.GuestClientID, headerBytes, sigs)
-
-	var cost host.Lamports
-	for _, tx := range txs {
-		cost += tx.Fee()
-	}
-	seq := r.updateSeq
-	r.updateSeq++
-	r.clientUpdateInFlight = true
-	r.enqueue(fmt.Sprintf("client-update-%d", seq), txs, func(started, finished time.Time) {
-		r.clientUpdateInFlight = false
-		rec := UpdateRecord{
-			Height:  ibc.Height(target),
-			Txs:     len(txs),
-			Bytes:   len(headerBytes),
-			Sigs:    len(sigs),
-			Cost:    cost,
-			Latency: finished.Sub(started),
-		}
-		r.Updates = append(r.Updates, rec)
-		// Observe the exact values the record path captured, so figures
-		// compiled from telemetry snapshots match the legacy series.
-		r.mClientUpdates.Inc()
-		r.mUpdLatency.Observe(rec.Latency.Seconds())
-		r.mUpdTxs.Observe(float64(rec.Txs))
-		r.mUpdCost.Observe(fees.Cents(rec.Cost))
-		r.mUpdSigs.Observe(float64(rec.Sigs))
-		r.flushGuestWork(target)
-		// More backlog may have arrived meanwhile.
-		r.maybeUpdateGuestClient()
-	})
-}
-
-// flushGuestWork delivers backlog items provable at or below height.
-// Items whose proof cannot be produced yet stay queued for the next flush
-// instead of being dropped.
-func (r *Relayer) flushGuestWork(height uint64) {
-	var laterPackets []cpWork
-	for _, w := range r.cpPacketBacklog {
-		if w.packet == nil {
-			continue // height-only marker from the timeout scanner
-		}
-		if w.height > height || !r.deliverToGuest(w, height) {
-			laterPackets = append(laterPackets, w)
-			continue
-		}
-	}
-	r.cpPacketBacklog = laterPackets
-
-	var laterAcks []ackWork
-	for _, w := range r.pendingGuestAcks {
-		if w.height > height || !r.ackToGuest(w, height) {
-			laterAcks = append(laterAcks, w)
-			continue
-		}
-	}
-	r.pendingGuestAcks = laterAcks
-}
-
-// deliverToGuest runs the 4-5 transaction ReceivePacket flow, proving the
-// commitment at provable — the height the guest client was just updated
-// to. The packet's own commit height may carry no consensus state on the
-// guest client when delivery was delayed past an update (network faults,
-// partitions); the commitment persists in cp state, so a proof at the
-// newer, known height verifies.
-func (r *Relayer) deliverToGuest(w cpWork, provable uint64) bool {
-	path := ibc.CommitmentPath(w.packet.SourcePort, w.packet.SourceChannel, w.packet.Sequence)
-	_, proof, err := r.cp.ProveMembershipAt(provable, path)
-	if err != nil {
-		return false
-	}
-	txs := r.builder.RecvPacketTxs(&guest.RecvPayload{
-		Packet:      w.packet,
-		ProofHeight: ibc.Height(provable),
-		Proof:       proof,
-	})
-	var cost host.Lamports
-	for _, tx := range txs {
-		cost += tx.Fee()
-	}
-	r.enqueue("recv", txs, func(_, _ time.Time) {
-		r.Recvs = append(r.Recvs, RecvRecord{Txs: len(txs), Cost: cost})
-		r.mRecvTxs.Observe(float64(len(txs)))
-		r.mRecvCost.Observe(fees.Cents(cost))
-	})
-	return true
-}
-
-// ackToGuest relays a counterparty ack for a guest-sent packet. It
-// reports whether the ack flow was submitted (false keeps it pending).
-func (r *Relayer) ackToGuest(w ackWork, provableAt uint64) bool {
-	path := ibc.AckPath(w.packet.DestPort, w.packet.DestChannel, w.packet.Sequence)
-	_, proof, err := r.cp.ProveMembershipAt(provableAt, path)
-	if err != nil {
-		return false
-	}
-	txs := r.builder.AckPacketTxs(&guest.AckPayload{
-		Packet:      w.packet,
-		Ack:         w.ack,
-		ProofHeight: ibc.Height(provableAt),
-		Proof:       proof,
-	})
-	pkt := w.packet
-	r.enqueue("ack", txs, func(_, finished time.Time) {
-		if tr, ok := r.Traces[traceKey(pkt)]; ok {
-			tr.AckedAt = finished
-		}
-		r.tracer.Mark(traceKey(pkt), telemetry.StageAck, finished)
-	})
-	return true
-}
-
 // RelayGuestAcksToCP forwards acks (for cp-sent packets delivered on the
 // guest) back to the counterparty once a finalised guest block commits
 // them. Called by the runner on FinalisedBlock.
 func (r *Relayer) RelayGuestAcksToCP(entry *guest.BlockEntry) {
-	if len(r.cpDelivered) == 0 {
+	pending := false
+	for _, s := range r.shards {
+		if len(s.ackBacklog) > 0 {
+			pending = true
+			break
+		}
+	}
+	if !pending {
 		return
 	}
 	st, err := r.contract.State(r.hostChain)
 	if err != nil {
 		return
 	}
-	height := entry.Block.Height
-	var remaining []cpAckBack
-	for _, ab := range r.cpDelivered {
-		path := ibc.AckPath(ab.packet.DestPort, ab.packet.DestChannel, ab.packet.Sequence)
-		proof, provedAt, err := r.proveGuestMembership(st, height, path)
-		if err != nil {
-			remaining = append(remaining, ab)
-			continue
-		}
-		ab := ab
-		r.sched.After(r.cfg.CPLatency.Sample(r.rng), func() {
-			// The cp's guest client must know this block first; FIFO on
-			// the cp-op queue keeps the update ahead of the ack.
-			r.cpUpdateClient(entry.SignedBlock().Marshal(), func(error) {})
-			r.cpAckPacket(ab.packet, ab.ack, proof, provedAt, func(error) {})
-		})
+	for _, s := range r.shards {
+		s.relayAcksToCP(st, entry)
 	}
-	r.cpDelivered = remaining
 }
 
 // CheckTimeouts scans traced guest-sent packets for expiry and submits
@@ -792,7 +614,8 @@ func (r *Relayer) CheckTimeouts() {
 		if p.TimeoutHeight == 0 && p.TimeoutTimestamp.IsZero() {
 			continue // no timeout set
 		}
-		if r.timeoutInFlight[key] {
+		s := r.shardForGuest(p.SourcePort, p.SourceChannel)
+		if s.timeoutInFlight[key] {
 			continue
 		}
 		// The timeout must have elapsed as observable through the
@@ -809,8 +632,8 @@ func (r *Relayer) CheckTimeouts() {
 			// client forward so a later scan can prove it.
 			cpHeight := r.cp.Height()
 			if header, err := r.cp.HeaderAt(cpHeight); err == nil && p.TimedOut(ibc.Height(cpHeight), header.Time) {
-				r.cpPacketBacklog = append(r.cpPacketBacklog, cpWork{height: cpHeight, packet: nil})
-				r.maybeUpdateGuestClient()
+				r.updates.requestHeight(cpHeight)
+				r.updates.maybeUpdate()
 			}
 			continue
 		}
@@ -824,14 +647,15 @@ func (r *Relayer) CheckTimeouts() {
 			ProofHeight: known,
 			Proof:       proof,
 		})
-		if r.timeoutInFlight == nil {
-			r.timeoutInFlight = make(map[string]bool)
+		if s.timeoutInFlight == nil {
+			s.timeoutInFlight = make(map[string]bool)
 		}
-		r.timeoutInFlight[key] = true
+		s.timeoutInFlight[key] = true
 		r.TimeoutsRun++
 		r.mTimeouts.Inc()
+		s.cTimeouts.Inc()
 		tkey := key
-		r.enqueue("timeout", txs, func(_, finished time.Time) {
+		s.pc.enqueue("timeout", txs, func(_, finished time.Time) {
 			r.tracer.Mark(tkey, telemetry.StageTimeout, finished)
 		})
 	}

@@ -1,0 +1,213 @@
+package relayer
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/fees"
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// ChannelRoute names one (port, channel) pair on each side of the
+// connection. Bootstrap fills one per opened channel.
+type ChannelRoute struct {
+	GuestPort    ibc.PortID
+	GuestChannel ibc.ChannelID
+	CPPort       ibc.PortID
+	CPChannel    ibc.ChannelID
+}
+
+// chanKey indexes shards by one side's (port, channel).
+type chanKey struct {
+	port    ibc.PortID
+	channel ibc.ChannelID
+}
+
+// shard is the per-channel slice of the relayer: the work queues that
+// were global state in the monolithic loop — inbound cp→guest packets,
+// acks pending delivery to the guest, guest acks owed back to the cp,
+// and in-flight timeouts — keyed by the shard's (port, channel) route.
+// Every shard is fed from the same single scan of each finalised guest
+// (and counterparty) block, and flushes its provable work against the
+// shared client-update scheduler, so the UpdateClient count stays flat
+// in the number of channels.
+type shard struct {
+	r     *Relayer
+	route ChannelRoute
+	pc    *pacer
+	// rng paces this shard's counterparty-side latency draws. Shard 0
+	// shares the relayer's root RNG (single-channel byte-identity);
+	// later shards get sim.DeriveSeed streams off the scenario seed.
+	rng *rand.Rand
+
+	// inbound maps cp heights to cp-sent packets awaiting delivery into
+	// the guest once the client reaches that height.
+	inbound []cpWork
+	// pendingAcks are acks written on the cp for guest-sent packets,
+	// deliverable to the guest once the client sees the cp height.
+	pendingAcks []ackWork
+	// ackBacklog tracks cp→guest packets delivered on the guest whose
+	// acks still need relaying back to the cp.
+	ackBacklog []cpAckBack
+
+	// timeoutInFlight dedups timeout submissions per packet.
+	timeoutInFlight map[string]bool
+
+	// Per-channel telemetry (relayer.ch.<guest-channel>.*).
+	cDelivered *telemetry.Counter // guest-sent packets received on the cp
+	cRecvs     *telemetry.Counter // cp-sent packets delivered on the guest
+	cAcksGuest *telemetry.Counter // cp acks relayed to the guest
+	cAcksCP    *telemetry.Counter // guest acks relayed to the cp
+	cTimeouts  *telemetry.Counter // timeout proofs submitted
+}
+
+// newShard builds the shard for route. Index 0 rides the relayer's root
+// pacer and RNG; every later shard derives its own deterministic streams
+// from the scenario seed and the channel ID.
+func newShard(r *Relayer, reg *telemetry.Registry, route ChannelRoute, index int) *shard {
+	s := &shard{r: r, route: route}
+	if index == 0 {
+		s.pc = r.root
+		s.rng = r.rng
+	} else {
+		seed := sim.DeriveSeed(r.cfg.Seed, "relayer/ch/"+string(route.GuestChannel))
+		s.rng = rand.New(rand.NewSource(seed))
+		s.pc = &pacer{r: r, rng: rand.New(rand.NewSource(sim.DeriveSeed(seed, "pacing")))}
+	}
+	ns := "relayer.ch." + string(route.GuestChannel) + "."
+	s.cDelivered = reg.Counter(ns + "delivered_to_cp")
+	s.cRecvs = reg.Counter(ns + "recv_submitted")
+	s.cAcksGuest = reg.Counter(ns + "acks_to_guest")
+	s.cAcksCP = reg.Counter(ns + "acks_to_cp")
+	s.cTimeouts = reg.Counter(ns + "timeouts")
+	return s
+}
+
+// backlogMax folds this shard's provable-work heights into needed: the
+// highest cp height above known that any queued item requires.
+func (s *shard) backlogMax(known, needed uint64) uint64 {
+	for _, w := range s.inbound {
+		if w.height > known && w.height > needed {
+			needed = w.height
+		}
+	}
+	for _, w := range s.pendingAcks {
+		if w.height > known && w.height > needed {
+			needed = w.height
+		}
+	}
+	return needed
+}
+
+// flush delivers this shard's backlog items provable at or below height.
+// Items whose proof cannot be produced yet stay queued for the next
+// flush instead of being dropped.
+func (s *shard) flush(height uint64) {
+	var laterPackets []cpWork
+	for _, w := range s.inbound {
+		if w.height > height || !s.deliverToGuest(w, height) {
+			laterPackets = append(laterPackets, w)
+			continue
+		}
+	}
+	s.inbound = laterPackets
+
+	var laterAcks []ackWork
+	for _, w := range s.pendingAcks {
+		if w.height > height || !s.ackToGuest(w, height) {
+			laterAcks = append(laterAcks, w)
+			continue
+		}
+	}
+	s.pendingAcks = laterAcks
+}
+
+// deliverToGuest runs the 4-5 transaction ReceivePacket flow, proving the
+// commitment at provable — the height the guest client was just updated
+// to. The packet's own commit height may carry no consensus state on the
+// guest client when delivery was delayed past an update (network faults,
+// partitions); the commitment persists in cp state, so a proof at the
+// newer, known height verifies.
+func (s *shard) deliverToGuest(w cpWork, provable uint64) bool {
+	r := s.r
+	path := ibc.CommitmentPath(w.packet.SourcePort, w.packet.SourceChannel, w.packet.Sequence)
+	_, proof, err := r.cp.ProveMembershipAt(provable, path)
+	if err != nil {
+		return false
+	}
+	txs := r.builder.RecvPacketTxs(&guest.RecvPayload{
+		Packet:      w.packet,
+		ProofHeight: ibc.Height(provable),
+		Proof:       proof,
+	})
+	var cost host.Lamports
+	for _, tx := range txs {
+		cost += tx.Fee()
+	}
+	s.pc.enqueue("recv", txs, func(_, _ time.Time) {
+		r.Recvs = append(r.Recvs, RecvRecord{Txs: len(txs), Cost: cost})
+		r.mRecvTxs.Observe(float64(len(txs)))
+		r.mRecvCost.Observe(fees.Cents(cost))
+		s.cRecvs.Inc()
+	})
+	return true
+}
+
+// ackToGuest relays a counterparty ack for a guest-sent packet. It
+// reports whether the ack flow was submitted (false keeps it pending).
+func (s *shard) ackToGuest(w ackWork, provableAt uint64) bool {
+	r := s.r
+	path := ibc.AckPath(w.packet.DestPort, w.packet.DestChannel, w.packet.Sequence)
+	_, proof, err := r.cp.ProveMembershipAt(provableAt, path)
+	if err != nil {
+		return false
+	}
+	txs := r.builder.AckPacketTxs(&guest.AckPayload{
+		Packet:      w.packet,
+		Ack:         w.ack,
+		ProofHeight: ibc.Height(provableAt),
+		Proof:       proof,
+	})
+	pkt := w.packet
+	s.pc.enqueue("ack", txs, func(_, finished time.Time) {
+		if tr, ok := r.Traces[traceKey(pkt)]; ok {
+			tr.AckedAt = finished
+		}
+		r.tracer.Mark(traceKey(pkt), telemetry.StageAck, finished)
+		s.cAcksGuest.Inc()
+	})
+	return true
+}
+
+// relayAcksToCP forwards this shard's guest-side acks (for cp-sent
+// packets delivered on the guest) back to the counterparty, proving them
+// against the finalised guest block entry.
+func (s *shard) relayAcksToCP(st *guest.State, entry *guest.BlockEntry) {
+	r := s.r
+	height := entry.Block.Height
+	var remaining []cpAckBack
+	for _, ab := range s.ackBacklog {
+		path := ibc.AckPath(ab.packet.DestPort, ab.packet.DestChannel, ab.packet.Sequence)
+		proof, provedAt, err := r.proveGuestMembership(st, height, path)
+		if err != nil {
+			remaining = append(remaining, ab)
+			continue
+		}
+		ab := ab
+		r.sched.After(r.cfg.CPLatency.Sample(s.rng), func() {
+			// The cp's guest client must know this block first; FIFO on
+			// the cp-op queue keeps the update ahead of the ack.
+			r.cpUpdateClient(entry.SignedBlock().Marshal(), func(error) {})
+			r.cpAckPacket(ab.packet, ab.ack, proof, provedAt, func(err error) {
+				if err == nil {
+					s.cAcksCP.Inc()
+				}
+			})
+		})
+	}
+	s.ackBacklog = remaining
+}
