@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-deprecated test race bench cover verify-figs ci
+.PHONY: all build vet lint lint-deprecated test race bench bench-json cover verify-figs ci
 
 all: test
 
@@ -47,6 +47,14 @@ race:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# Regenerate the machine-checkable benchmark trajectory: a pinned open-loop
+# load run (p50/p99 packet latency, sustained pkt/s) plus allocs/op of the
+# hottest micro-benchmarks with their recorded pre-optimisation baselines.
+# The self-check fails the target when the output is schema-invalid.
+bench-json:
+	$(GO) run ./cmd/benchjson -out BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -check BENCH_pr6.json
 
 # Coverage across every package, with the combined profile left in
 # cover.out for `go tool cover -html=cover.out`.

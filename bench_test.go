@@ -335,6 +335,42 @@ func BenchmarkSnapshotPerBlock(b *testing.B) {
 	}
 }
 
+// --- Wire codec: every packet and instruction crosses this path ---
+
+func benchPacket() *ibc.Packet {
+	return &ibc.Packet{
+		Sequence:      123_456,
+		SourcePort:    "transfer",
+		SourceChannel: "channel-0",
+		DestPort:      "transfer",
+		DestChannel:   "channel-1",
+		Data:          []byte(`{"denom":"load","amount":"42","sender":"a","receiver":"load-recv-7","memo":"1:xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}`),
+		TimeoutHeight: 10_000,
+	}
+}
+
+func BenchmarkPacketEncode(b *testing.B) {
+	p := benchPacket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ibc.MarshalPacket(p)) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func BenchmarkPacketDecode(b *testing.B) {
+	buf := ibc.MarshalPacket(benchPacket())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ibc.UnmarshalPacket(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Quorum verification: the crypto hot path (Alg. 1/2, §V Fig. 4-5) ---
 
 // quorumFixture builds an n-validator epoch and a block finalised by every

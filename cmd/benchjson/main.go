@@ -1,0 +1,256 @@
+// Command benchjson emits the machine-checkable benchmark trajectory
+// (BENCH_pr6.json): packet-latency percentiles and sustained throughput
+// from a pinned open-loop load run, plus ns/op and allocs/op of the
+// hottest micro-benchmarks alongside their recorded pre-optimisation
+// baselines. With -check it validates an existing file instead of
+// generating one, exiting non-zero when the file is missing, empty, or
+// schema-invalid — that mode is the CI bench-smoke gate.
+//
+// The load configuration is pinned (not flag-tunable) so successive JSON
+// files differ only when the code's behaviour does.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/experiments"
+	"repro/internal/ibc"
+	"repro/internal/trie"
+)
+
+// Schema identifies the document layout; bump on breaking changes.
+const Schema = "bench/pr6/v1"
+
+// LoadSection reports the pinned open-loop run.
+type LoadSection struct {
+	Seed        int64   `json:"seed"`
+	Channels    int     `json:"channels"`
+	RatePerSec  float64 `json:"rate_per_s"`
+	DurationSec float64 `json:"duration_s"`
+	DrainSec    float64 `json:"drain_s"`
+
+	Offered   uint64 `json:"offered"`
+	Admitted  uint64 `json:"admitted"`
+	Rejected  uint64 `json:"rejected"`
+	Shed      uint64 `json:"shed"`
+	Delivered uint64 `json:"delivered"`
+
+	P50Ms           float64 `json:"p50_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	SustainedPPS    float64 `json:"sustained_pps"`
+	EscrowConserved bool    `json:"escrow_conserved"`
+	FullyDelivered  bool    `json:"fully_delivered"`
+}
+
+// HotBench is one micro-benchmark measurement. The baseline fields carry
+// the pre-optimisation numbers recorded when the benchmark was introduced,
+// so the file documents the trajectory, not just the current point.
+type HotBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+
+	BaselineNsPerOp     float64 `json:"baseline_ns_per_op"`
+	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
+}
+
+// Doc is the whole BENCH_pr6.json document.
+type Doc struct {
+	Schema        string      `json:"schema"`
+	Load          LoadSection `json:"load"`
+	HotBenchmarks []HotBench  `json:"hot_benchmarks"`
+}
+
+func main() {
+	check := flag.String("check", "", "validate an existing BENCH json and exit (no generation)")
+	out := flag.String("out", "BENCH_pr6.json", "output path")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkFile(*check); err != nil {
+			log.Fatalf("%s: %v", *check, err)
+		}
+		fmt.Printf("%s: schema %s valid\n", *check, Schema)
+		return
+	}
+
+	doc, err := generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s: p50=%.0fms p99=%.0fms sustained=%.3fpkt/s, %d hot benchmarks\n",
+		*out, doc.Load.P50Ms, doc.Load.P99Ms, doc.Load.SustainedPPS, len(doc.HotBenchmarks))
+}
+
+func generate() (*Doc, error) {
+	// Pinned short open-loop run: deterministic, a few seconds of wall
+	// time, long enough that the percentiles are over dozens of packets.
+	cfg := experiments.DefaultLoadConfig()
+	cfg.Rate = 0.5
+	cfg.Duration = 3 * time.Minute
+	cfg.Drain = 30 * time.Minute
+	res, err := experiments.RunLoad(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	doc := &Doc{
+		Schema: Schema,
+		Load: LoadSection{
+			Seed:            cfg.Seed,
+			Channels:        cfg.Channels,
+			RatePerSec:      cfg.Rate,
+			DurationSec:     cfg.Duration.Seconds(),
+			DrainSec:        cfg.Drain.Seconds(),
+			Offered:         res.Offered,
+			Admitted:        res.Admitted,
+			Rejected:        res.Rejected,
+			Shed:            res.Shed,
+			Delivered:       res.Delivered,
+			P50Ms:           float64(res.P50) / float64(time.Millisecond),
+			P99Ms:           float64(res.P99) / float64(time.Millisecond),
+			SustainedPPS:    res.SustainedPPS,
+			EscrowConserved: res.EscrowConserved,
+			FullyDelivered:  res.FullyDelivered,
+		},
+	}
+
+	// The top hot paths under load (profile-ranked): trie writes (every
+	// commitment store), packet wire encode/decode (every packet crosses
+	// it several times). Baselines are the measured pre-optimisation
+	// numbers from the same machine class, recorded when these benchmarks
+	// were added.
+	for _, hb := range []struct {
+		name            string
+		run             func(b *testing.B)
+		baseNs          float64
+		baseAllocsPerOp int64
+	}{
+		{"TrieSet", benchTrieSet, 14803, 10},
+		{"PacketEncode", benchPacketEncode, 435.5, 6},
+		{"PacketDecode", benchPacketDecode, 372.4, 10},
+	} {
+		r := testing.Benchmark(hb.run)
+		doc.HotBenchmarks = append(doc.HotBenchmarks, HotBench{
+			Name:                hb.name,
+			NsPerOp:             float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:          r.AllocedBytesPerOp(),
+			AllocsPerOp:         r.AllocsPerOp(),
+			BaselineNsPerOp:     hb.baseNs,
+			BaselineAllocsPerOp: hb.baseAllocsPerOp,
+		})
+	}
+	return doc, nil
+}
+
+func benchTrieSet(b *testing.B) {
+	value := cryptoutil.HashBytes([]byte("v"))
+	keys := make([][trie.KeySize]byte, b.N)
+	for i := range keys {
+		keys[i] = [trie.KeySize]byte(cryptoutil.HashUint64('b', uint64(i)))
+	}
+	tr := trie.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Set(keys[i], value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPacket() *ibc.Packet {
+	return &ibc.Packet{
+		Sequence:      123_456,
+		SourcePort:    "transfer",
+		SourceChannel: "channel-0",
+		DestPort:      "transfer",
+		DestChannel:   "channel-1",
+		Data:          []byte(`{"denom":"load","amount":"42","sender":"a","receiver":"load-recv-7","memo":"1:xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}`),
+		TimeoutHeight: 10_000,
+	}
+}
+
+func benchPacketEncode(b *testing.B) {
+	p := benchPacket()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(ibc.MarshalPacket(p)) == 0 {
+			b.Fatal("empty encoding")
+		}
+	}
+}
+
+func benchPacketDecode(b *testing.B) {
+	buf := ibc.MarshalPacket(benchPacket())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ibc.UnmarshalPacket(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// checkFile validates an existing document: right schema, a real load
+// section, and at least three hot benchmarks with sane measurements.
+func checkFile(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(buf) == 0 {
+		return fmt.Errorf("empty file")
+	}
+	var doc Doc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	return Validate(&doc)
+}
+
+// Validate checks the document invariants the bench-smoke CI job gates on.
+func Validate(doc *Doc) error {
+	if doc.Schema != Schema {
+		return fmt.Errorf("schema %q, want %q", doc.Schema, Schema)
+	}
+	l := doc.Load
+	if l.Offered == 0 || l.Delivered == 0 {
+		return fmt.Errorf("load section empty: offered=%d delivered=%d", l.Offered, l.Delivered)
+	}
+	if l.P50Ms <= 0 || l.P99Ms < l.P50Ms {
+		return fmt.Errorf("implausible latency percentiles: p50=%vms p99=%vms", l.P50Ms, l.P99Ms)
+	}
+	if l.SustainedPPS <= 0 {
+		return fmt.Errorf("sustained throughput missing")
+	}
+	if !l.EscrowConserved {
+		return fmt.Errorf("escrow conservation violated in recorded run")
+	}
+	if len(doc.HotBenchmarks) < 3 {
+		return fmt.Errorf("%d hot benchmarks, want >= 3", len(doc.HotBenchmarks))
+	}
+	for _, hb := range doc.HotBenchmarks {
+		if hb.Name == "" || hb.NsPerOp <= 0 || hb.AllocsPerOp < 0 {
+			return fmt.Errorf("bad hot benchmark entry: %+v", hb)
+		}
+	}
+	return nil
+}

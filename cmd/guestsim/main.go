@@ -36,7 +36,17 @@ func main() {
 	netSeed := flag.Int64("net-seed", 0, "network fault seed (0 derives one from -seed)")
 	netPartition := flag.String("net-partition", "", "partition window [A|B:]START+DURATION (e.g. relayer|cp:36h+2h)")
 	netCrash := flag.String("net-crash", "", "crash window NODE:START+DURATION (e.g. v0:648h+9h55m)")
+	loadRate := flag.Float64("load-rate", 0, "open-loop offered load in transfers/s of virtual time; > 0 switches to the loadgen scenario instead of the closed-loop deployment")
+	loadAccounts := flag.Uint64("load-accounts", 1_000_000, "loadgen sender population size (accounts materialise lazily)")
+	loadZipfS := flag.Float64("load-zipf-s", 1.2, "loadgen Zipf account-popularity exponent (> 1)")
+	loadDuration := flag.Duration("load-duration", 5*time.Minute, "loadgen offered-load window of virtual time")
+	loadBursty := flag.Bool("load-bursty", false, "loadgen self-similar (bursty) arrivals instead of Poisson")
 	flag.Parse()
+
+	if *loadRate > 0 {
+		runLoadScenario(*seed, *channels, *loadRate, *loadAccounts, *loadZipfS, *loadDuration, *loadBursty)
+		return
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Duration = time.Duration(*days * 24 * float64(time.Hour))
@@ -168,5 +178,50 @@ func main() {
 
 	if *metrics {
 		fmt.Printf("\n--- telemetry snapshot ---\n%s", dep.Net.SnapshotTelemetry().Render())
+	}
+}
+
+// runLoadScenario runs the open-loop loadgen workload (ISSUE 6 tentpole)
+// instead of the closed-loop 28-day deployment and prints its outcome:
+// admission counters, latency percentiles, sustained throughput, and the
+// per-channel conservation verdicts.
+func runLoadScenario(seed int64, channels int, rate float64, accounts uint64, zipfS float64, duration time.Duration, bursty bool) {
+	cfg := experiments.DefaultLoadConfig()
+	cfg.Seed = seed
+	if channels > 0 {
+		cfg.Channels = channels
+	}
+	cfg.Rate = rate
+	cfg.Accounts = accounts
+	cfg.ZipfS = zipfS
+	cfg.Duration = duration
+	cfg.Bursty = bursty
+
+	start := time.Now()
+	res, err := experiments.RunLoad(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	arrivals := "poisson"
+	if bursty {
+		arrivals = "self-similar"
+	}
+	fmt.Printf("open-loop load: %.2f tx/s (%s) over %v + %v drain, %d channels, %d accounts (zipf s=%.2f)\n",
+		rate, arrivals, cfg.Duration, cfg.Drain, cfg.Channels, accounts, zipfS)
+	fmt.Printf("simulated in %v\n\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("offered:             %d\n", res.Offered)
+	fmt.Printf("admitted:            %d (rejected %d, shed %d)\n", res.Admitted, res.Rejected, res.Shed)
+	fmt.Printf("delivered:           %d (sustained %.3f pkt/s)\n", res.Delivered, res.SustainedPPS)
+	fmt.Printf("packet latency:      p50 %v, p99 %v\n", res.P50.Round(time.Millisecond), res.P99.Round(time.Millisecond))
+	fmt.Printf("senders touched:     %d of %d\n", res.MaterialisedAccounts, accounts)
+	for i, ch := range res.Channels {
+		fmt.Printf("  ch %d %s: admitted %d (%d tokens), escrow %d, vouchers %d, delivered %d — conserved=%v fully_delivered=%v\n",
+			i, ch.GuestChannel, ch.Admitted, ch.AdmittedTokens, ch.Escrowed, ch.Vouchers, ch.DeliveredCP,
+			ch.EscrowConserved, ch.FullyDelivered)
+	}
+	if !res.EscrowConserved {
+		log.Fatal("escrow conservation violated")
 	}
 }

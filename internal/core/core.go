@@ -67,6 +67,12 @@ type Config struct {
 	// default runs reproduce bit-identically. Net.Seed defaults to a
 	// stream derived from Seed.
 	Net netsim.Config
+	// MempoolLimit bounds the host mempool admission queue; Submit
+	// returns host.ErrMempoolFull beyond it. 0 (the default) keeps the
+	// mempool unbounded, preserving every seed experiment unchanged.
+	// Open-loop load runs set it so overload sheds instead of queueing
+	// without bound.
+	MempoolLimit int
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -204,6 +210,9 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.Host = host.NewChainWithProfile(n.Sched.Clock(), cfg.HostProfile)
 	n.Host.SetBlockRetention(2048)
 	n.Host.SetTelemetry(n.Tel.Metrics)
+	if cfg.MempoolLimit > 0 {
+		n.Host.SetMempoolLimit(cfg.MempoolLimit)
+	}
 	n.mBlockInterval = n.Tel.Metrics.Histogram("guest.block.interval_s")
 	n.mBlockFinalise = n.Tel.Metrics.Histogram("guest.block.finalise_s")
 	// Quorum verification cost is real CPU work (Ed25519), so it is the one
@@ -507,10 +516,21 @@ func (n *Network) maybeCrank() {
 	if err != nil {
 		return
 	}
-	head := st.Head()
-	if !head.Finalised {
+	// Mirror the contract's pipelining gate: crank while fewer than
+	// PipelineDepth unfinalised blocks trail the finalised prefix (and
+	// never past a pending epoch-rotation block).
+	depth := st.Params.EffectivePipelineDepth()
+	unfinalised := 0
+	for i := len(st.Entries) - 1; i >= 0 && !st.Entries[i].Finalised; i-- {
+		if st.Entries[i].Block.NextEpoch != nil {
+			return
+		}
+		unfinalised++
+	}
+	if unfinalised >= depth {
 		return
 	}
+	head := st.Head()
 	rootChanged := head.Block.StateRoot != st.Store.Root()
 	aged := n.Sched.Now().Sub(head.Block.Time) >= st.Params.Delta
 	if !rootChanged && !aged {
@@ -551,32 +571,89 @@ func (n *Network) SendTransferFromGuestOn(ch int, u *User, receiver string, deno
 	if ch < 0 || ch >= len(n.Channels) {
 		return nil, fmt.Errorf("core: no channel %d (topology has %d)", ch, len(n.Channels))
 	}
-	rt := n.Channels[ch]
-	data := &transfer.PacketData{
+	return n.InjectTransfer(TransferReq{
+		Channel:  ch,
+		Sender:   u.Key.Public(),
+		Receiver: receiver,
 		Denom:    denom,
 		Amount:   amount,
-		Sender:   u.Key.Public().String(),
-		Receiver: receiver,
 		Memo:     memo,
+		Policy:   policy,
+		Timeout:  timeout,
+	})
+}
+
+// TransferReq describes one guest-side transfer for InjectTransfer.
+type TransferReq struct {
+	Channel  int
+	Sender   cryptoutil.PubKey
+	Receiver string
+	Denom    string
+	Amount   uint64
+	Memo     string
+	Policy   fees.Policy
+	// Timeout is the IBC packet timeout, relative to now (0 = none).
+	Timeout time.Duration
+	// Deadline arms mempool deadline shedding for the send transaction.
+	Deadline time.Time
+	// OnShed is invoked after a deadline shed rolled the escrow back, so
+	// open-loop sources can keep their admitted-load accounting exact.
+	OnShed func()
+}
+
+// InjectTransfer escrows and submits a guest-side transfer for an
+// arbitrary sender key — the open-loop load path, which synthesises
+// millions of sender accounts without materialising private keys (host
+// transactions declare rather than verify their signers). A non-zero
+// deadline arms mempool shedding; rejection at admission or at shedding
+// rolls the escrow back via CancelSend so per-channel conservation holds
+// for exactly the admitted packets.
+func (n *Network) InjectTransfer(req TransferReq) (*host.Transaction, error) {
+	ch := req.Channel
+	if ch < 0 || ch >= len(n.Channels) {
+		return nil, fmt.Errorf("core: no channel %d (topology has %d)", ch, len(n.Channels))
+	}
+	rt := n.Channels[ch]
+	data := &transfer.PacketData{
+		Denom:    req.Denom,
+		Amount:   req.Amount,
+		Sender:   req.Sender.String(),
+		Receiver: req.Receiver,
+		Memo:     req.Memo,
 	}
 	if err := rt.GuestApp.PrepareSend(rt.GuestChannel, data); err != nil {
 		return nil, err
 	}
-	builder := guest.NewTxBuilder(n.Contract, u.Key.Public())
-	builder.PriorityFee = policy.PriorityFee
-	builder.BundleTip = policy.BundleTip
+	builder := guest.NewTxBuilder(n.Contract, req.Sender)
+	builder.PriorityFee = req.Policy.PriorityFee
+	builder.BundleTip = req.Policy.BundleTip
 	var ts time.Time
-	if timeout > 0 {
-		ts = n.Sched.Now().Add(timeout)
+	if req.Timeout > 0 {
+		ts = n.Sched.Now().Add(req.Timeout)
 	}
 	tx := builder.SendPacketTx(&guest.SendPacketArgs{
-		Sender:           u.Key.Public(),
+		Sender:           req.Sender,
 		Port:             rt.Spec.GuestPort,
 		Channel:          rt.GuestChannel,
 		Data:             data.Marshal(),
 		TimeoutTimestamp: ts,
 	})
+	tx.Deadline = req.Deadline
+	onShed := req.OnShed
+	tx.OnShed = func(*host.Transaction) {
+		// Deadline-shed before inclusion: no commitment exists, undo
+		// the escrow.
+		_ = rt.GuestApp.CancelSend(rt.GuestChannel, data)
+		if onShed != nil {
+			onShed()
+		}
+	}
 	if err := n.Host.Submit(tx); err != nil {
+		// Rejected at admission (mempool full, duplicate): the packet
+		// never entered the chain, undo the escrow.
+		if cerr := rt.GuestApp.CancelSend(rt.GuestChannel, data); cerr != nil {
+			return nil, fmt.Errorf("%w (escrow rollback failed: %v)", err, cerr)
+		}
 		return nil, err
 	}
 	return tx, nil

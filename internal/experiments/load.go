@@ -1,0 +1,244 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/loadgen"
+	"repro/internal/telemetry"
+)
+
+// LoadConfig parameterises the open-loop load scenario: a loadgen stream
+// offered to an N-channel topology, with host admission control and guest
+// block pipelining dialled in.
+type LoadConfig struct {
+	// Seed drives the network and every loadgen stream.
+	Seed int64
+	// Channels is the topology width (each channel its own port/app).
+	Channels int
+	// Rate is the offered load in transfers per second of virtual time.
+	Rate float64
+	// Bursty selects self-similar arrivals instead of Poisson.
+	Bursty bool
+	// Accounts / ZipfS shape the sender population.
+	Accounts uint64
+	ZipfS    float64
+	// Duration is the offered-load window; Drain is the extra time the
+	// simulation runs so in-flight packets settle.
+	Duration time.Duration
+	Drain    time.Duration
+	// MempoolLimit bounds host admission (0 = unlimited).
+	MempoolLimit int
+	// Deadline arms per-transaction mempool shedding (0 = none).
+	Deadline time.Duration
+	// PipelineDepth is the guest block pipelining depth (0/1 = serial).
+	PipelineDepth int
+	// BlockComputeBudget overrides the host per-slot compute capacity
+	// (0 = profile default). Shrinking it is how the overload scenario
+	// makes host inclusion, not just relaying, a contended resource.
+	BlockComputeBudget uint64
+	// PrewarmTop pre-materialises the K most popular accounts.
+	PrewarmTop int
+}
+
+// DefaultLoadConfig is a moderate open-loop run: under capacity, so every
+// admitted packet settles within the drain window.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Seed:          1,
+		Channels:      2,
+		Rate:          0.2,
+		Accounts:      1_000_000,
+		ZipfS:         1.2,
+		Duration:      5 * time.Minute,
+		Drain:         30 * time.Minute,
+		PipelineDepth: 3,
+	}
+}
+
+// DefaultOverloadConfig offers far more than the deployment can relay
+// (capacity is pinned by relayer pacing at well under 1 packet/s/channel)
+// against a deliberately tight host: small mempool, small per-slot budget,
+// aggressive deadlines. Admission control must shed the excess and every
+// admitted packet must still conserve exactly-once.
+func DefaultOverloadConfig() LoadConfig {
+	return LoadConfig{
+		Seed:               1,
+		Channels:           2,
+		Rate:               100,
+		Bursty:             true,
+		Accounts:           1_000_000,
+		ZipfS:              1.2,
+		Duration:           2 * time.Minute,
+		Drain:              10 * time.Minute,
+		MempoolLimit:       48,
+		Deadline:           2 * time.Second,
+		PipelineDepth:      3,
+		BlockComputeBudget: 100_000,
+	}
+}
+
+// LoadChannelReport is the per-channel conservation outcome.
+type LoadChannelReport struct {
+	GuestChannel string
+	// Admitted / AdmittedTokens are transfers the mempool accepted, net
+	// of deadline sheds.
+	Admitted       uint64
+	AdmittedTokens uint64
+	// Escrowed must equal AdmittedTokens exactly: rejected and shed
+	// sends roll their escrow back, nothing else touches it.
+	Escrowed uint64
+	// Vouchers is the token sum minted to receivers on the counterparty;
+	// DeliveredCP the packets landed there. Vouchers can trail
+	// AdmittedTokens while packets are still in flight, but can never
+	// exceed it (no duplication).
+	Vouchers    uint64
+	DeliveredCP uint64
+	// EscrowConserved is the hard invariant (escrow == admitted tokens);
+	// FullyDelivered additionally means every admitted packet landed.
+	EscrowConserved bool
+	FullyDelivered  bool
+}
+
+// LoadResult is the outcome of one open-loop run.
+type LoadResult struct {
+	Offered  uint64
+	Admitted uint64
+	Rejected uint64
+	Shed     uint64
+	// HostRejected / HostShed are the host-side telemetry counters
+	// (include non-loadgen traffic bounced under congestion).
+	HostRejected uint64
+	HostShed     uint64
+	// Delivered is the packet count landed on the counterparty;
+	// SustainedPPS is Delivered over the full run (window + drain).
+	Delivered    uint64
+	SustainedPPS float64
+	// P50 / P99 are send→recv packet latencies over delivered packets.
+	P50, P99 time.Duration
+	// MaterialisedAccounts is how many distinct senders were touched.
+	MaterialisedAccounts int
+	Channels             []LoadChannelReport
+	// EscrowConserved is the AND over channels of the hard invariant.
+	EscrowConserved bool
+	// FullyDelivered is the AND over channels (expected only when the
+	// offered load is under capacity and the drain is generous).
+	FullyDelivered bool
+	// Fingerprint digests the run for determinism checks.
+	Fingerprint string
+}
+
+// RunLoad executes the open-loop scenario.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Channels <= 0 {
+		cfg.Channels = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Minute
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 30 * time.Minute
+	}
+
+	params := guest.DefaultParams()
+	params.PipelineDepth = cfg.PipelineDepth
+	profile := host.SolanaProfile()
+	if cfg.BlockComputeBudget > 0 {
+		profile.BlockComputeBudget = cfg.BlockComputeBudget
+	}
+	net, err := core.NewNetwork(core.Config{
+		Seed:         cfg.Seed,
+		Channels:     ChannelTopology(cfg.Channels, 0),
+		GuestParams:  params,
+		HostProfile:  profile,
+		MempoolLimit: cfg.MempoolLimit,
+		Behaviours:   HealthyBehaviours(8),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	gen := loadgen.New(net, loadgen.Config{
+		Seed:       cfg.Seed,
+		Rate:       cfg.Rate,
+		Bursty:     cfg.Bursty,
+		Accounts:   cfg.Accounts,
+		ZipfS:      cfg.ZipfS,
+		Deadline:   cfg.Deadline,
+		PrewarmTop: cfg.PrewarmTop,
+	})
+	gen.Run(cfg.Duration)
+	net.Run(cfg.Duration + cfg.Drain)
+
+	stats := gen.Stats()
+	snap := net.SnapshotTelemetry()
+	res := &LoadResult{
+		Offered:              stats.Offered,
+		Admitted:             stats.Admitted,
+		Rejected:             stats.Rejected,
+		Shed:                 stats.Shed,
+		HostRejected:         snap.Counter("host.mempool_rejected"),
+		HostShed:             snap.Counter("host.mempool_shed"),
+		MaterialisedAccounts: gen.Accounts().Materialised(),
+		EscrowConserved:      true,
+		FullyDelivered:       true,
+	}
+
+	var fp strings.Builder
+	for i, rt := range net.Channels {
+		admitted := gen.AdmittedCount(i)
+		tokens := gen.AdmittedTokens(i)
+		rep := LoadChannelReport{
+			GuestChannel:   string(rt.GuestChannel),
+			Admitted:       admitted,
+			AdmittedTokens: tokens,
+			Escrowed:       rt.GuestApp.EscrowedAmount(rt.GuestChannel, "load"),
+			DeliveredCP:    snap.Counter("relayer.ch." + string(rt.GuestChannel) + ".delivered_to_cp"),
+		}
+		voucher := fmt.Sprintf("%s/%s/load", rt.Spec.CPPort, rt.CPChannel)
+		for r := 0; r < 64; r++ {
+			rep.Vouchers += rt.CPApp.Balance(fmt.Sprintf("load-recv-%d", r), voucher)
+		}
+		rep.EscrowConserved = rep.Escrowed == rep.AdmittedTokens && rep.Vouchers <= rep.AdmittedTokens
+		rep.FullyDelivered = rep.EscrowConserved && rep.Vouchers == rep.AdmittedTokens
+		res.Channels = append(res.Channels, rep)
+		res.Delivered += rep.DeliveredCP
+		res.EscrowConserved = res.EscrowConserved && rep.EscrowConserved
+		res.FullyDelivered = res.FullyDelivered && rep.FullyDelivered
+		fmt.Fprintf(&fp, "ch%d:%s adm=%d tok=%d esc=%d vou=%d del=%d|",
+			i, rep.GuestChannel, rep.Admitted, rep.AdmittedTokens, rep.Escrowed, rep.Vouchers, rep.DeliveredCP)
+	}
+	res.SustainedPPS = float64(res.Delivered) / (cfg.Duration + cfg.Drain).Seconds()
+	res.P50, res.P99 = packetLatencyPercentiles(net.Tel.Tracer)
+	fmt.Fprintf(&fp, "off=%d adm=%d rej=%d shed=%d del=%d p50=%s p99=%s acct=%d",
+		res.Offered, res.Admitted, res.Rejected, res.Shed, res.Delivered, res.P50, res.P99, res.MaterialisedAccounts)
+	res.Fingerprint = fp.String()
+	return res, nil
+}
+
+// packetLatencyPercentiles computes p50/p99 send→recv latency over all
+// traced packets that completed delivery.
+func packetLatencyPercentiles(tr *telemetry.Tracer) (p50, p99 time.Duration) {
+	var lat []time.Duration
+	for _, t := range tr.Snapshot() {
+		send, okS := t.Span(telemetry.StageSend)
+		recv, okR := t.Span(telemetry.StageRecv)
+		if okS && okR && recv.At.After(send.At) {
+			lat = append(lat, recv.At.Sub(send.At))
+		}
+	}
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := func(q float64) time.Duration {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return idx(0.50), idx(0.99)
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunLoadModerate: under-capacity open-loop load settles completely —
+// every admitted packet delivered exactly once, per channel.
+func TestRunLoadModerate(t *testing.T) {
+	cfg := DefaultLoadConfig()
+	res, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered == 0 || res.Admitted == 0 {
+		t.Fatalf("no load offered/admitted: %+v", res)
+	}
+	if res.Admitted != res.Offered {
+		t.Fatalf("under-capacity run rejected load: offered %d admitted %d rejected %d",
+			res.Offered, res.Admitted, res.Rejected)
+	}
+	if !res.EscrowConserved {
+		t.Fatalf("escrow conservation violated: %+v", res.Channels)
+	}
+	if !res.FullyDelivered {
+		t.Fatalf("admitted packets not fully delivered after drain: %+v", res.Channels)
+	}
+	if res.Delivered == 0 || res.P99 <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles implausible: delivered=%d p50=%s p99=%s",
+			res.Delivered, res.P50, res.P99)
+	}
+	if res.MaterialisedAccounts == 0 || uint64(res.MaterialisedAccounts) > res.Offered {
+		t.Fatalf("materialised accounts = %d, offered = %d", res.MaterialisedAccounts, res.Offered)
+	}
+}
+
+// TestRunLoadDeterministic: identical config ⇒ identical fingerprint.
+func TestRunLoadDeterministic(t *testing.T) {
+	cfg := DefaultLoadConfig()
+	cfg.Duration = 2 * time.Minute
+	cfg.Drain = 20 * time.Minute
+	a, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("load run not deterministic:\n a: %s\n b: %s", a.Fingerprint, b.Fingerprint)
+	}
+}
+
+// TestRunOverload: offered load far above capacity must complete with
+// admission control shedding the excess, telemetry reporting rejected vs
+// admitted, and the escrow of admitted packets conserved exactly.
+func TestRunOverload(t *testing.T) {
+	res, err := RunLoad(DefaultOverloadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offered < 2*res.Delivered {
+		t.Fatalf("not an overload: offered %d < 2x delivered %d", res.Offered, res.Delivered)
+	}
+	if res.Rejected+res.Shed == 0 {
+		t.Fatalf("overload did not shed: offered=%d admitted=%d rejected=%d shed=%d",
+			res.Offered, res.Admitted, res.Rejected, res.Shed)
+	}
+	if res.HostRejected < res.Rejected {
+		t.Fatalf("host rejected counter %d < loadgen rejected %d", res.HostRejected, res.Rejected)
+	}
+	if !res.EscrowConserved {
+		t.Fatalf("escrow conservation violated under overload: %+v", res.Channels)
+	}
+	for _, ch := range res.Channels {
+		if ch.Vouchers > ch.AdmittedTokens {
+			t.Fatalf("voucher inflation on %s: %d > %d", ch.GuestChannel, ch.Vouchers, ch.AdmittedTokens)
+		}
+	}
+	if res.Delivered == 0 {
+		t.Fatal("overload delivered nothing; system wedged")
+	}
+}
+
+// TestPipelinedCascadeDeliversAll pins the header-ordering hazard of
+// pipelined finalisation: a quorum cascade finalises several guest blocks
+// at once, and the relayer must push their headers to the counterparty
+// client in height order — racing them over independent latencies gets a
+// later height accepted first and the earlier blocks rejected as stale,
+// stranding their packets until timeout. At this rate and depth the
+// cascade happens many times, so full delivery is the regression check.
+func TestPipelinedCascadeDeliversAll(t *testing.T) {
+	cfg := DefaultLoadConfig()
+	cfg.Rate = 0.5
+	cfg.Duration = 3 * time.Minute
+	res, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted != res.Offered {
+		t.Fatalf("under-capacity run rejected load: %+v", res)
+	}
+	if !res.FullyDelivered {
+		t.Fatalf("pipelined cascade stranded packets: %+v", res.Channels)
+	}
+}
+
+// TestPipelinedLoadConcurrentStages drives bursty load through a deep
+// pipeline (mint → sign → finalise → relay overlapped) with the sharded
+// host pre-verify and sharded MintBatch engaged — the configuration whose
+// goroutine fan-out `go test -race ./internal/experiments` must certify.
+func TestPipelinedLoadConcurrentStages(t *testing.T) {
+	cfg := DefaultLoadConfig()
+	cfg.Bursty = true
+	cfg.PipelineDepth = 4
+	cfg.Rate = 1
+	cfg.Duration = 2 * time.Minute
+	cfg.Drain = 20 * time.Minute
+	cfg.PrewarmTop = 64
+	res, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.EscrowConserved {
+		t.Fatalf("escrow conservation violated: %+v", res.Channels)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("pipelined run delivered nothing")
+	}
+}

@@ -295,8 +295,11 @@ func (c *Contract) sign(ctx *host.ExecContext, st *State, r *wire.Reader) error 
 
 	finalised := st.applySignature(entry, a.PubKey, a.Signature, ctx.Time)
 	ctx.Emit(EventSigned{Height: a.Height, PubKey: a.PubKey})
-	if finalised {
-		ctx.Emit(EventFinalisedBlock{Entry: entry})
+	// With pipelining a vote can finalise a run of blocks at once (a
+	// parent reaching quorum releases children that already had theirs);
+	// emit one event per block, in height order.
+	for _, e := range finalised {
+		ctx.Emit(EventFinalisedBlock{Entry: e})
 	}
 	return nil
 }

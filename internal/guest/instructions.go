@@ -57,7 +57,8 @@ type SendPacketArgs struct {
 
 // EncodeSendPacket builds OpSendPacket instruction data.
 func EncodeSendPacket(a *SendPacketArgs) []byte {
-	w := wire.NewWriter()
+	w := wire.NewWriterSize(1 + len(a.Sender) +
+		2 + len(a.Port) + 2 + len(a.Channel) + 4 + len(a.Data) + 8 + 8)
 	w.U8(OpSendPacket)
 	w.PubKey(a.Sender)
 	w.String16(string(a.Port))
@@ -97,7 +98,7 @@ type SignArgs struct {
 
 // EncodeSign builds OpSign instruction data.
 func EncodeSign(a *SignArgs) []byte {
-	w := wire.NewWriter()
+	w := wire.NewWriterSize(1 + 8 + len(a.PubKey) + len(a.Signature))
 	w.U8(OpSign)
 	w.U64(a.Height)
 	w.PubKey(a.PubKey)

@@ -45,6 +45,21 @@ type Params struct {
 	// may trigger the release of all staked assets to their owners,
 	// bypassing the unbonding period. 0 disables the mechanism.
 	EmergencyTimeout time.Duration
+	// PipelineDepth is how many unfinalised guest blocks may trail the
+	// finalised prefix. The paper's deployment serialises generation and
+	// finalisation (depth 1, the default); raising it lets block minting,
+	// signature collection, and relaying overlap under open-loop load.
+	// Blocks still finalise strictly in height order, so light-client
+	// updates remain sequential. 0 behaves like 1.
+	PipelineDepth int
+}
+
+// EffectivePipelineDepth returns PipelineDepth clamped to at least 1.
+func (p Params) EffectivePipelineDepth() int {
+	if p.PipelineDepth < 1 {
+		return 1
+	}
+	return p.PipelineDepth
 }
 
 // DefaultParams returns the deployment configuration from §IV.

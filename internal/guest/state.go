@@ -290,7 +290,19 @@ func (s *State) buildNextEpoch() (*guestblock.Epoch, error) {
 // bootstrap) path.
 func (s *State) generateBlockCore(now time.Time, slot uint64) (*BlockEntry, error) {
 	head := s.Head()
-	if !head.Finalised {
+	// Pipelining gate: up to PipelineDepth unfinalised blocks may trail
+	// the finalised prefix (depth 1 = the paper's serialised behaviour).
+	// An unfinalised epoch-rotation block always blocks generation — the
+	// next block's signer set would otherwise be uncommitted.
+	depth := s.Params.EffectivePipelineDepth()
+	unfinalised := 0
+	for i := len(s.Entries) - 1; i >= 0 && !s.Entries[i].Finalised; i-- {
+		if s.Entries[i].Block.NextEpoch != nil {
+			return nil, ErrHeadNotFinalised
+		}
+		unfinalised++
+	}
+	if unfinalised >= depth {
 		return nil, ErrHeadNotFinalised
 	}
 	age := now.Sub(head.Block.Time)
@@ -337,17 +349,36 @@ func (s *State) generateBlockCore(now time.Time, slot uint64) (*BlockEntry, erro
 	return entry, nil
 }
 
-// applySignature records a verified validator vote and reports whether it
-// finalised the block.
-func (s *State) applySignature(entry *BlockEntry, pub cryptoutil.PubKey, sig cryptoutil.Signature, now time.Time) bool {
+// applySignature records a verified validator vote and returns the block
+// entries it newly finalised, in height order. With pipelining, a block may
+// reach quorum before its parent; it then finalises only when the parent
+// does (in-order cascade), so light-client updates stay sequential.
+func (s *State) applySignature(entry *BlockEntry, pub cryptoutil.PubKey, sig cryptoutil.Signature, now time.Time) []*BlockEntry {
 	entry.Signatures[pub] = sig
 	entry.SignedStake += entry.Epoch.StakeOf(pub)
-	if !entry.Finalised && entry.SignedStake >= entry.Epoch.QuorumStake {
-		entry.Finalised = true
-		entry.FinalisedAt = now
-		return true
+	return s.cascadeFinalise(now)
+}
+
+// cascadeFinalise finalises, in height order, every tail entry whose quorum
+// is reached and whose parent is finalised, returning the newly finalised
+// entries. Entries always form a finalised prefix plus an unfinalised tail
+// of at most PipelineDepth blocks, so the backward scan is O(depth).
+func (s *State) cascadeFinalise(now time.Time) []*BlockEntry {
+	first := len(s.Entries)
+	for first > 0 && !s.Entries[first-1].Finalised {
+		first--
 	}
-	return false
+	var done []*BlockEntry
+	for i := first; i < len(s.Entries); i++ {
+		e := s.Entries[i]
+		if e.SignedStake < e.Epoch.QuorumStake {
+			break
+		}
+		e.Finalised = true
+		e.FinalisedAt = now
+		done = append(done, e)
+	}
+	return done
 }
 
 // DirectGenerateBlock mints a guest block outside a transaction (operator

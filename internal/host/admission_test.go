@@ -1,0 +1,165 @@
+package host
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cryptoutil"
+	"repro/internal/telemetry"
+)
+
+func TestMempoolLimitRejects(t *testing.T) {
+	c, _, prog, payer := newTestChain(t)
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+	c.SetMempoolLimit(2)
+
+	if free := c.MempoolFree(); free != 2 {
+		t.Fatalf("MempoolFree = %d, want 2", free)
+	}
+	for i := 0; i < 2; i++ {
+		tx := call(prog, payer, 1)
+		tx.PriorityFee = Lamports(i) // distinct hashes
+		if err := c.Submit(tx); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if free := c.MempoolFree(); free != 0 {
+		t.Fatalf("MempoolFree = %d, want 0", free)
+	}
+	over := call(prog, payer, 1)
+	over.PriorityFee = 99
+	if err := c.Submit(over); !errors.Is(err, ErrMempoolFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrMempoolFull", err)
+	}
+	if got := reg.Counter("host.mempool_rejected").Value(); got != 1 {
+		t.Fatalf("mempool_rejected = %d, want 1", got)
+	}
+
+	// Draining the mempool frees admission slots again.
+	b := c.ProduceBlock()
+	if len(b.Results) != 2 {
+		t.Fatalf("block results = %d, want 2", len(b.Results))
+	}
+	if free := c.MempoolFree(); free != 2 {
+		t.Fatalf("MempoolFree after block = %d, want 2", free)
+	}
+	if err := c.Submit(over); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+func TestMempoolUnlimitedByDefault(t *testing.T) {
+	c, _, prog, payer := newTestChain(t)
+	if free := c.MempoolFree(); free != -1 {
+		t.Fatalf("MempoolFree = %d, want -1 (unlimited)", free)
+	}
+	for i := 0; i < 64; i++ {
+		tx := call(prog, payer, 1)
+		tx.PriorityFee = Lamports(i)
+		if err := c.Submit(tx); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+func TestDeadlineShedding(t *testing.T) {
+	c, clock, prog, payer := newTestChain(t)
+	reg := telemetry.NewRegistry()
+	c.SetTelemetry(reg)
+
+	var shedLabels []string
+	stale := call(prog, payer, 1)
+	stale.Deadline = clock.Now().Add(1 * time.Second)
+	stale.Label = "stale"
+	stale.OnShed = func(tx *Transaction) { shedLabels = append(shedLabels, tx.Label) }
+	fresh := call(prog, payer, 1)
+	fresh.PriorityFee = 1
+	fresh.Label = "fresh"
+	fresh.Deadline = clock.Now().Add(1 * time.Hour)
+	if err := c.Submit(stale); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	clock.Advance(2 * time.Second)
+	b := c.ProduceBlock()
+	if len(b.Results) != 1 || b.Results[0].Label != "fresh" {
+		t.Fatalf("block results: %+v", b.Results)
+	}
+	if got := reg.Counter("host.mempool_shed").Value(); got != 1 {
+		t.Fatalf("mempool_shed = %d, want 1", got)
+	}
+	if len(shedLabels) != 1 || shedLabels[0] != "stale" {
+		t.Fatalf("OnShed hooks ran for %v, want [stale]", shedLabels)
+	}
+	// The shed transaction paid no fee and mutated no state.
+	st, err := c.StateOf(prog.account)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*counterState).n != 1 {
+		t.Fatalf("counter = %d, want 1 (only fresh tx applied)", st.(*counterState).n)
+	}
+}
+
+// TestShardedPreVerify exercises the parallel precompile pre-verification
+// path with a block full of signature-bearing transactions from fee payers
+// spread over the shard space, mixing valid and invalid signatures, and
+// checks the outcome matches the serial semantics: valid ones execute,
+// invalid ones fail with the precompile error, in priority order.
+func TestShardedPreVerify(t *testing.T) {
+	c, _, prog, payer := newTestChain(t)
+	msg := []byte("pre-verify me")
+
+	const n = 24
+	wantErr := make(map[string]bool, n)
+	for i := 0; i < n; i++ {
+		signer := cryptoutil.GenerateKey(string(rune('a'+i)) + "-signer")
+		sv := SigVerify{Pub: signer.Public(), Msg: msg, Sig: signer.Sign(msg)}
+		bad := i%3 == 0
+		if bad {
+			sv.Sig[0] ^= 0xff
+		}
+		// Spread fee payers across shard prefixes; each needs funds.
+		fp := cryptoutil.GenerateKey(string(rune('A'+i)) + "-payer").Public()
+		c.Fund(fp, LamportsPerSOL)
+		tx := call(prog, fp, 1)
+		tx.FeePayer = fp
+		tx.PrecompileSigs = []SigVerify{sv}
+		tx.Label = string(rune('a' + i))
+		wantErr[tx.Label] = bad
+		if err := c.Submit(tx); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	_ = payer
+
+	b := c.ProduceBlock()
+	if len(b.Results) != n {
+		t.Fatalf("block results = %d, want %d", len(b.Results), n)
+	}
+	okCount := 0
+	for _, res := range b.Results {
+		if wantErr[res.Label] {
+			if res.Err == nil {
+				t.Fatalf("tx %q: expected precompile failure, got success", res.Label)
+			}
+		} else {
+			if res.Err != nil {
+				t.Fatalf("tx %q: unexpected error %v", res.Label, res.Err)
+			}
+			okCount++
+		}
+	}
+	st, err := c.StateOf(prog.account)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*counterState).n != okCount {
+		t.Fatalf("counter = %d, want %d", st.(*counterState).n, okCount)
+	}
+}

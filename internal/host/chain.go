@@ -111,11 +111,18 @@ func (ctx *ExecContext) Debit(from cryptoutil.PubKey, amount Lamports) error {
 	return nil
 }
 
-// pendingTx is a queued transaction with its submission slot.
+// pendingTx is a queued transaction with its submission slot and, once the
+// pre-verification stage has run, its cached precompile result.
 type pendingTx struct {
 	tx        *Transaction
 	submitted Slot
 	seq       int // arrival order tiebreak
+
+	// preVerified caches the parallel precompile stage's output so a
+	// transaction that waits several slots is verified exactly once.
+	preVerified bool
+	verified    map[cryptoutil.Hash]bool
+	verifyErr   error
 }
 
 // Chain is the simulated host blockchain.
@@ -134,6 +141,12 @@ type Chain struct {
 	programs    map[ProgramID]Program
 	mempool     []pendingTx
 	seq         int
+
+	// mempoolLimit bounds the admission queue (0 = unlimited). When the
+	// queue is full, Submit rejects with ErrMempoolFull instead of growing
+	// without bound — the bounded-queue half of the open-loop load
+	// harness's admission control.
+	mempoolLimit int
 
 	// onSubmit, when set, is called after each successful Submit — the
 	// simulation runner uses it to schedule on-demand block production.
@@ -157,12 +170,14 @@ type Chain struct {
 	feesCollected Lamports
 
 	// Telemetry instruments; nil (no-op) until SetTelemetry is called.
-	txsSubmitted *telemetry.Counter
-	txsExecuted  *telemetry.Counter
-	txsFailed    *telemetry.Counter
-	feesCharged  *telemetry.Counter
-	txCompute    *telemetry.Histogram
-	mempoolDepth *telemetry.Gauge
+	txsSubmitted    *telemetry.Counter
+	txsExecuted     *telemetry.Counter
+	txsFailed       *telemetry.Counter
+	feesCharged     *telemetry.Counter
+	txCompute       *telemetry.Histogram
+	mempoolDepth    *telemetry.Gauge
+	mempoolRejected *telemetry.Counter
+	mempoolShed     *telemetry.Counter
 }
 
 // NewChain creates a host chain on the given clock with the Solana
@@ -197,6 +212,31 @@ func (c *Chain) SetTelemetry(reg *telemetry.Registry) {
 	c.feesCharged = reg.Counter("host.fees_lamports")
 	c.txCompute = reg.Histogram("host.tx_compute_units")
 	c.mempoolDepth = reg.Gauge("host.mempool_depth")
+	c.mempoolRejected = reg.Counter("host.mempool_rejected")
+	c.mempoolShed = reg.Counter("host.mempool_shed")
+}
+
+// SetMempoolLimit bounds the mempool admission queue; Submit rejects with
+// ErrMempoolFull beyond it. 0 restores the unlimited default.
+func (c *Chain) SetMempoolLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mempoolLimit = n
+}
+
+// MempoolFree returns how many more transactions the mempool admits before
+// Submit starts rejecting, or -1 when the mempool is unlimited.
+func (c *Chain) MempoolFree() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mempoolLimit <= 0 {
+		return -1
+	}
+	free := c.mempoolLimit - len(c.mempool)
+	if free < 0 {
+		free = 0
+	}
+	return free
 }
 
 // SetSubmitHook registers a callback fired after each successful Submit.
@@ -337,6 +377,11 @@ func (c *Chain) Submit(tx *Transaction) error {
 		c.mu.Unlock()
 		return ErrDuplicateTransaction
 	}
+	if c.mempoolLimit > 0 && len(c.mempool) >= c.mempoolLimit {
+		c.mempoolRejected.Inc()
+		c.mu.Unlock()
+		return ErrMempoolFull
+	}
 	c.rememberTxLocked(tx)
 	c.seq++
 	c.mempool = append(c.mempool, pendingTx{tx: tx, submitted: c.slot, seq: c.seq})
@@ -396,6 +441,20 @@ func (c *Chain) FeesCollected() Lamports {
 // slot's compute budget and appends a block. Unexecuted transactions stay
 // queued for the next slot.
 func (c *Chain) ProduceBlock() *Block {
+	block, shed := c.produceBlockLocked()
+	// Shed notifications run outside the lock: hooks typically roll back
+	// application-side bookkeeping (escrow refunds) and may re-enter the
+	// chain. Order follows arrival order within the mempool, so reruns of
+	// the same seed shed — and refund — identically.
+	for _, tx := range shed {
+		if tx.OnShed != nil {
+			tx.OnShed(tx)
+		}
+	}
+	return block
+}
+
+func (c *Chain) produceBlockLocked() (*Block, []*Transaction) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -409,6 +468,27 @@ func (c *Chain) ProduceBlock() *Block {
 	}
 	c.slot = slot
 	block := &Block{Slot: c.slot, Time: now}
+
+	// Deadline shedding: transactions that waited past their deadline are
+	// dropped before ordering — under overload the stalest work is shed
+	// instead of wasting block budget on requests nobody is waiting for.
+	// OnShed hooks run after the lock is released (they may re-enter).
+	var shed []*Transaction
+	if c.anyDeadlineLocked() {
+		kept := c.mempool[:0]
+		for _, ptx := range c.mempool {
+			if !ptx.tx.Deadline.IsZero() && now.After(ptx.tx.Deadline) {
+				shed = append(shed, ptx.tx)
+				continue
+			}
+			kept = append(kept, ptx)
+		}
+		for i := len(kept); i < len(c.mempool); i++ {
+			c.mempool[i] = pendingTx{}
+		}
+		c.mempool = kept
+		c.mempoolShed.Add(uint64(len(shed)))
+	}
 
 	// Order: bundle tips first (bundles jump the queue), then priority
 	// fee, then arrival order.
@@ -426,14 +506,24 @@ func (c *Chain) ProduceBlock() *Block {
 		return a.seq < b.seq
 	})
 
+	// Pre-verification stage: precompile signature batches for every
+	// queued transaction are verified in parallel, sharded by fee-payer
+	// key prefix, before the serial apply loop below consumes the cached
+	// results in canonical order. Verification is stateless, so the
+	// overlap cannot change execution outcomes — it only stops a block
+	// full of single-signature Sign transactions from paying one
+	// verification round-trip each, serially.
+	c.preVerifyShardedLocked()
+
 	var budget uint64
 	var rest []pendingTx
-	for i, ptx := range c.mempool {
+	for i := range c.mempool {
 		if budget >= c.profile.BlockComputeBudget {
 			rest = append(rest, c.mempool[i:]...)
 			break
 		}
-		res := c.executeLocked(ptx.tx, block)
+		ptx := &c.mempool[i]
+		res := c.executeLocked(ptx, block)
 		budget += res.Units
 		block.Results = append(block.Results, res)
 	}
@@ -446,14 +536,77 @@ func (c *Chain) ProduceBlock() *Block {
 		c.blocks = append([]*Block(nil), c.blocks[drop:]...)
 		c.prunedBlocks += drop
 	}
-	return block
+	return block, shed
+}
+
+// anyDeadlineLocked reports whether any queued transaction carries a
+// deadline, so deadline-free workloads skip the shedding pass entirely.
+func (c *Chain) anyDeadlineLocked() bool {
+	for i := range c.mempool {
+		if !c.mempool[i].tx.Deadline.IsZero() {
+			return true
+		}
+	}
+	return false
+}
+
+// preVerifyShards caps the verification worker fan-out per block.
+const preVerifyShards = 8
+
+// preVerifyShardedLocked runs the precompile batches of every queued,
+// not-yet-verified transaction across worker goroutines, sharded by the
+// fee payer's key prefix. Results are cached on the pendingTx, so the
+// serial apply loop — which keeps the canonical (tip, priority, arrival)
+// order — never re-verifies, and a transaction deferred to a later slot
+// is verified exactly once. Determinism: the per-transaction result does
+// not depend on shard scheduling, only on the transaction itself.
+func (c *Chain) preVerifyShardedLocked() {
+	var work [preVerifyShards][]*pendingTx
+	n := 0
+	for i := range c.mempool {
+		ptx := &c.mempool[i]
+		if ptx.preVerified || len(ptx.tx.PrecompileSigs) == 0 {
+			continue
+		}
+		shard := int(ptx.tx.FeePayer[0]) % preVerifyShards
+		work[shard] = append(work[shard], ptx)
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		for _, shard := range work {
+			for _, ptx := range shard {
+				ptx.verified, ptx.verifyErr = runPrecompiles(ptx.tx)
+				ptx.preVerified = true
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := range work {
+		if len(work[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(shard []*pendingTx) {
+			defer wg.Done()
+			for _, ptx := range shard {
+				ptx.verified, ptx.verifyErr = runPrecompiles(ptx.tx)
+				ptx.preVerified = true
+			}
+		}(work[s])
+	}
+	wg.Wait()
 }
 
 // executeLocked runs one transaction atomically. State mutations performed
 // by programs are applied directly; on error the native state objects are
 // responsible for their own rollback (the Guest Contract stages mutations
 // accordingly), while fee charging always happens.
-func (c *Chain) executeLocked(tx *Transaction, block *Block) TxResult {
+func (c *Chain) executeLocked(ptx *pendingTx, block *Block) TxResult {
+	tx := ptx.tx
 	res := TxResult{
 		Slot:     block.Slot,
 		Index:    len(block.Results),
@@ -482,7 +635,10 @@ func (c *Chain) executeLocked(tx *Transaction, block *Block) TxResult {
 		signers[s] = true
 	}
 
-	verified, err := runPrecompiles(tx)
+	verified, err := ptx.verified, ptx.verifyErr
+	if !ptx.preVerified {
+		verified, err = runPrecompiles(tx)
+	}
 	if err != nil {
 		res.Err = err
 		c.txsExecuted.Inc()

@@ -36,4 +36,11 @@ var (
 	// again after the chain already accepted it — the replay protection
 	// that lets network-level retries compose with at-most-once execution.
 	ErrDuplicateTransaction = errors.New("host: duplicate transaction")
+	// ErrMempoolFull is returned by Submit when the mempool admission
+	// limit is reached. Open-loop load generators treat it as an explicit
+	// reject signal (backpressure) instead of queueing without bound.
+	ErrMempoolFull = errors.New("host: mempool full")
+	// ErrDeadlineExceeded marks a transaction shed from the mempool
+	// because its deadline passed before it could be included in a block.
+	ErrDeadlineExceeded = errors.New("host: transaction deadline exceeded")
 )

@@ -2,6 +2,7 @@ package host
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cryptoutil"
 )
@@ -43,6 +44,16 @@ type Transaction struct {
 	// Label annotates the transaction for experiment bookkeeping (e.g.
 	// "send-packet", "sign", "client-update"); it has no on-chain size.
 	Label string
+
+	// Deadline, when non-zero, lets the mempool shed this transaction
+	// instead of executing it once the block time passes the deadline
+	// (open-loop load shedding: stale work is dropped, not serviced).
+	// It models a recent-blockhash expiry and has no on-chain size.
+	Deadline time.Time
+	// OnShed, when set, is invoked (outside the chain lock) after the
+	// transaction is deadline-shed, so the submitter can roll back any
+	// off-chain bookkeeping tied to it (e.g. a transfer escrow).
+	OnShed func(*Transaction)
 }
 
 // txOverhead approximates the fixed serialized overhead of a transaction:

@@ -36,9 +36,19 @@ func DecodePacket(r *wire.Reader) (*Packet, error) {
 	return p, nil
 }
 
+// PacketWireSize returns the exact encoded size of p, so encoders can
+// presize their buffer.
+func PacketWireSize(p *Packet) int {
+	return 8 + // sequence
+		2 + len(p.SourcePort) + 2 + len(p.SourceChannel) +
+		2 + len(p.DestPort) + 2 + len(p.DestChannel) +
+		4 + len(p.Data) +
+		8 + 8 // timeout height + timestamp
+}
+
 // MarshalPacket returns the packet's wire encoding.
 func MarshalPacket(p *Packet) []byte {
-	w := wire.NewWriter()
+	w := wire.NewWriterSize(PacketWireSize(p))
 	EncodePacket(w, p)
 	return w.Bytes()
 }

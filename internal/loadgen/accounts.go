@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"repro/internal/cryptoutil"
+)
+
+// Accounts is a Zipf-popular population of synthetic sender accounts.
+// Host transactions declare rather than verify their signers, so senders
+// need no private keys: a pubkey is derived by hashing the account index,
+// which makes populations of millions free until an account is actually
+// touched. Index 0 is the most popular account (rand.Zipf assigns mass
+// monotonically), so "the head" is always the lowest indices.
+type Accounts struct {
+	n    uint64
+	zipf *rand.Zipf
+
+	cache map[uint64]cryptoutil.PubKey
+	// materialise is called once per distinct account on first touch
+	// (funding, token minting); nil for pure sampling.
+	materialise func(idx uint64, pub cryptoutil.PubKey)
+}
+
+// NewAccounts builds a population of n accounts with Zipf parameter s
+// (> 1; heavier head for larger s), sampling with rng. materialise, when
+// non-nil, runs once per distinct account the first time it is drawn.
+func NewAccounts(rng *rand.Rand, n uint64, s float64, materialise func(idx uint64, pub cryptoutil.PubKey)) *Accounts {
+	if n == 0 {
+		n = 1
+	}
+	if s <= 1 {
+		s = 1.2
+	}
+	return &Accounts{
+		n:           n,
+		zipf:        rand.NewZipf(rng, s, 1, n-1),
+		cache:       make(map[uint64]cryptoutil.PubKey),
+		materialise: materialise,
+	}
+}
+
+// N returns the population size.
+func (a *Accounts) N() uint64 { return a.n }
+
+// Materialised returns how many distinct accounts have been touched.
+func (a *Accounts) Materialised() int { return len(a.cache) }
+
+// SampleIndex draws an account index by popularity.
+func (a *Accounts) SampleIndex() uint64 { return a.zipf.Uint64() }
+
+// Pub returns (deriving and materialising on first touch) the pubkey of
+// account idx.
+func (a *Accounts) Pub(idx uint64) cryptoutil.PubKey {
+	if pub, ok := a.cache[idx]; ok {
+		return pub
+	}
+	pub := AccountKey(idx)
+	a.cache[idx] = pub
+	if a.materialise != nil {
+		a.materialise(idx, pub)
+	}
+	return pub
+}
+
+// Sample draws an account by popularity, materialising it if new.
+func (a *Accounts) Sample() (uint64, cryptoutil.PubKey) {
+	idx := a.SampleIndex()
+	return idx, a.Pub(idx)
+}
+
+// AccountKey derives the synthetic pubkey of account idx.
+func AccountKey(idx uint64) cryptoutil.PubKey {
+	var be [8]byte
+	binary.BigEndian.PutUint64(be[:], idx)
+	h := cryptoutil.HashTagged('L', []byte("loadgen/account"), be[:])
+	var pub cryptoutil.PubKey
+	copy(pub[:], h[:])
+	return pub
+}

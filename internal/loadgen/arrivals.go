@@ -1,0 +1,101 @@
+// Package loadgen is the open-loop workload generator: it offers transfer
+// traffic to the deployment at a configured rate regardless of how fast
+// the system drains it — the regime that exposes saturation behaviour the
+// paper's closed-loop evaluation (§V, Table I) cannot show. Arrival
+// processes, account popularity, transfer sizes, and the channel mix are
+// all sampled from decorrelated deterministic streams of one seed, so
+// load runs stay bit-reproducible like every other experiment.
+package loadgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Arrivals produces inter-arrival gaps. Implementations may keep state
+// (burst phase), so one instance serves one generator stream.
+type Arrivals interface {
+	Next(rng *rand.Rand) time.Duration
+}
+
+// Poisson is the memoryless baseline: exponential inter-arrival gaps at
+// the given mean rate.
+type Poisson struct {
+	// Mean is the mean inter-arrival gap (1/rate).
+	Mean time.Duration
+}
+
+// Next implements Arrivals.
+func (p Poisson) Next(rng *rand.Rand) time.Duration {
+	return time.Duration(rng.ExpFloat64() * float64(p.Mean))
+}
+
+// SelfSimilar is a bursty on/off arrival process with Pareto-distributed
+// period lengths — the classic construction whose superposition yields
+// self-similar (long-range-dependent) traffic. During ON periods arrivals
+// come at Burst times the mean rate; OFF periods are silent. Period
+// lengths are heavy-tailed with index Alpha (1 < Alpha < 2 gives LRD),
+// and the ON/OFF duty cycle is chosen so the long-run rate matches Mean.
+type SelfSimilar struct {
+	// Mean is the long-run mean inter-arrival gap (1/rate).
+	Mean time.Duration
+	// Alpha is the Pareto tail index of period lengths (default 1.5).
+	Alpha float64
+	// Burst is the peak-to-mean rate ratio during ON periods (default 8).
+	Burst float64
+	// OnMean is the mean ON period length (default 100 peak gaps).
+	OnMean time.Duration
+
+	onLeft time.Duration
+}
+
+// params fills defaults and returns (alpha, peak gap, mean on, mean off).
+func (s *SelfSimilar) params() (float64, time.Duration, time.Duration, time.Duration) {
+	alpha := s.Alpha
+	if alpha <= 1 {
+		alpha = 1.5
+	}
+	burst := s.Burst
+	if burst <= 1 {
+		burst = 8
+	}
+	peak := time.Duration(float64(s.Mean) / burst)
+	onMean := s.OnMean
+	if onMean <= 0 {
+		onMean = 100 * peak
+	}
+	// Duty cycle on/(on+off) = 1/burst keeps the long-run rate at 1/Mean.
+	offMean := time.Duration(float64(onMean) * (burst - 1))
+	return alpha, peak, onMean, offMean
+}
+
+// pareto draws a Pareto(alpha) duration with the given mean.
+func pareto(rng *rand.Rand, mean time.Duration, alpha float64) time.Duration {
+	// Mean of Pareto(xm, alpha) is xm*alpha/(alpha-1); invert for xm.
+	xm := float64(mean) * (alpha - 1) / alpha
+	u := rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return time.Duration(xm / math.Pow(u, 1/alpha))
+}
+
+// Next implements Arrivals.
+func (s *SelfSimilar) Next(rng *rand.Rand) time.Duration {
+	alpha, peak, onMean, offMean := s.params()
+	var gap time.Duration
+	for {
+		if s.onLeft <= 0 {
+			gap += pareto(rng, offMean, alpha)
+			s.onLeft = pareto(rng, onMean, alpha)
+		}
+		g := time.Duration(rng.ExpFloat64() * float64(peak))
+		if g <= s.onLeft {
+			s.onLeft -= g
+			return gap + g
+		}
+		gap += s.onLeft
+		s.onLeft = 0
+	}
+}

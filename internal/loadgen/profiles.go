@@ -1,0 +1,71 @@
+package loadgen
+
+import "math/rand"
+
+// SizeProfile describes transfer amounts and memo padding. The deployment's
+// packets carried metadata that pushed ReceivePacket to 4-5 host
+// transactions (§V-A), so memo size directly scales relay cost.
+type SizeProfile struct {
+	// AmountMin/AmountMax bound the uniform token amount per transfer.
+	AmountMin, AmountMax uint64
+	// MemoMin/MemoMax bound the uniform memo padding length in bytes.
+	MemoMin, MemoMax int
+}
+
+// DefaultSizes mirrors the §V-A workload: small amounts, memos spanning
+// one to a few host-transaction chunks.
+func DefaultSizes() SizeProfile {
+	return SizeProfile{AmountMin: 1, AmountMax: 100, MemoMin: 32, MemoMax: 512}
+}
+
+// SampleAmount draws a transfer amount.
+func (p SizeProfile) SampleAmount(rng *rand.Rand) uint64 {
+	if p.AmountMax <= p.AmountMin {
+		if p.AmountMin == 0 {
+			return 1
+		}
+		return p.AmountMin
+	}
+	return p.AmountMin + uint64(rng.Int63n(int64(p.AmountMax-p.AmountMin+1)))
+}
+
+// SampleMemoLen draws a memo padding length.
+func (p SizeProfile) SampleMemoLen(rng *rand.Rand) int {
+	if p.MemoMax <= p.MemoMin {
+		return p.MemoMin
+	}
+	return p.MemoMin + rng.Intn(p.MemoMax-p.MemoMin+1)
+}
+
+// ChannelMix weights traffic across the topology's channels. Nil or empty
+// spreads load uniformly.
+type ChannelMix []float64
+
+// Sample draws a channel index in [0, channels).
+func (m ChannelMix) Sample(rng *rand.Rand, channels int) int {
+	if channels <= 1 {
+		return 0
+	}
+	if len(m) == 0 {
+		return rng.Intn(channels)
+	}
+	var total float64
+	n := len(m)
+	if n > channels {
+		n = channels
+	}
+	for _, w := range m[:n] {
+		total += w
+	}
+	if total <= 0 {
+		return rng.Intn(channels)
+	}
+	x := rng.Float64() * total
+	for i, w := range m[:n] {
+		if x < w {
+			return i
+		}
+		x -= w
+	}
+	return n - 1
+}

@@ -1,0 +1,25 @@
+package relayer
+
+import (
+	"testing"
+
+	"repro/internal/ibc"
+)
+
+// BenchmarkTraceKey covers the per-event trace-key construction: every
+// packet event the relayer scans builds this key (often several times per
+// packet lifecycle), so it sits on the telemetry hot path under load.
+func BenchmarkTraceKey(b *testing.B) {
+	p := &ibc.Packet{
+		Sequence:      123_456,
+		SourcePort:    "transfer",
+		SourceChannel: "channel-0",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(traceKey(p)) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}

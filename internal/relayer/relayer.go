@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"repro/internal/counterparty"
@@ -162,6 +163,22 @@ type Relayer struct {
 	// not let a RecvPacket overtake the UpdateClient it depends on.
 	cpQueue []*cpOp
 	cpBusy  bool
+
+	// cpHeaderQueue serialises guest→cp header updates in finalisation
+	// (= height) order. With pipelined guest blocks a quorum cascade
+	// finalises several entries at once; racing their updates over
+	// independently sampled latencies would let a later height land
+	// first, making the earlier ones stale at the counterparty client
+	// and silently stranding their packets.
+	cpHeaderQueue []*guest.BlockEntry
+	cpHeaderBusy  bool
+	// cpPushed is the highest guest height whose consensus state is known
+	// to be installed on the counterparty client — by the header pump or
+	// by a prune fall-forward in proveGuestMembership. Deliveries prove at
+	// least at this height: when a fall-forward advances the client past a
+	// queued header, that header's own height will never gain a consensus
+	// state, so proofs at it would be unverifiable.
+	cpPushed uint64
 
 	// Stats. The record slices are the pre-telemetry measurement path and
 	// stay authoritative for determinism checks; the telemetry histograms
@@ -367,6 +384,21 @@ func (r *Relayer) cpPump() {
 	})
 }
 
+// cpPushHeader sends a guest header to the counterparty's client and
+// records the height on success, so deliveries never prove below what the
+// client is known to hold. Every guest→cp header push must go through
+// here: out-of-band pushes (ack relaying, prune fall-forward) can advance
+// the client past heights still queued in the header pump, and those
+// heights' consensus states then never install.
+func (r *Relayer) cpPushHeader(height uint64, header []byte, onDone func(error)) {
+	r.cpUpdateClient(header, func(err error) {
+		if err == nil && height > r.cpPushed {
+			r.cpPushed = height
+		}
+		onDone(err)
+	})
+}
+
 // cpUpdateClient pushes a guest header to the counterparty's client.
 func (r *Relayer) cpUpdateClient(header []byte, onDone func(error)) {
 	if r.ep == nil {
@@ -416,8 +448,18 @@ func (r *Relayer) cpAckPacket(p *ibc.Packet, ack, proof []byte, provedAt uint64,
 // Key returns the relayer's fee-paying key.
 func (r *Relayer) Key() *cryptoutil.PrivKey { return r.key }
 
+// traceKey builds the packet's trace identifier. It is called for every
+// packet event the relayer scans (several times per packet lifecycle), so
+// it assembles the key directly instead of going through fmt, which costs
+// one allocation instead of four.
 func traceKey(p *ibc.Packet) string {
-	return fmt.Sprintf("%s/%s/%d", p.SourcePort, p.SourceChannel, p.Sequence)
+	b := make([]byte, 0, len(p.SourcePort)+len(p.SourceChannel)+22)
+	b = append(b, p.SourcePort...)
+	b = append(b, '/')
+	b = append(b, p.SourceChannel...)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, p.Sequence, 10)
+	return string(b)
 }
 
 // --- event polling (driven once per host slot by the runner) ---
@@ -486,45 +528,85 @@ func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
 	if len(entry.Packets) == 0 && entry.Block.NextEpoch == nil {
 		return
 	}
-	sb := entry.SignedBlock()
+	r.cpHeaderQueue = append(r.cpHeaderQueue, entry)
+	r.pumpCPHeaders()
+}
+
+// pumpCPHeaders dispatches at most one guest→cp header update at a time,
+// in queue order. Busy covers only the UpdateClient round-trip; packet
+// deliveries unlocked by an update run through the shard pacers and do not
+// hold up the next header.
+func (r *Relayer) pumpCPHeaders() {
+	if r.cpHeaderBusy || len(r.cpHeaderQueue) == 0 {
+		return
+	}
+	entry := r.cpHeaderQueue[0]
+	r.cpHeaderQueue = r.cpHeaderQueue[1:]
 	height := entry.Block.Height
 	st, err := r.contract.State(r.hostChain)
 	if err != nil {
+		r.pumpCPHeaders()
 		return
 	}
+	if height <= r.cpPushed {
+		// A prune fall-forward already advanced the client past this
+		// height, so the header would be rejected as stale and its
+		// consensus state will never install. Skip the round-trip and
+		// prove the packets against the advanced height instead.
+		r.deliverGuestEntry(st, entry)
+		r.pumpCPHeaders()
+		return
+	}
+	sb := entry.SignedBlock()
+	r.cpHeaderBusy = true
 
 	r.sched.After(r.cfg.CPLatency.Sample(r.rng), func() {
-		r.cpUpdateClient(sb.Marshal(), func(err error) {
+		r.cpPushHeader(height, sb.Marshal(), func(err error) {
+			r.cpHeaderBusy = false
+			defer r.pumpCPHeaders()
 			if err != nil {
 				return
 			}
-			for _, p := range entry.Packets {
-				p := p
-				s := r.shardForGuest(p.SourcePort, p.SourceChannel)
-				path := ibc.CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
-				proof, provedAt, err := r.proveGuestMembership(st, height, path)
-				if err != nil {
-					continue
-				}
-				r.cpRecvPacket(p, proof, provedAt, func(ack []byte, provableAt uint64, err error) {
-					if err != nil {
-						return
-					}
-					if tr, ok := r.Traces[traceKey(p)]; ok {
-						tr.DeliveredAt = r.sched.Now()
-					}
-					r.tracer.Mark(traceKey(p), telemetry.StageRecv, r.sched.Now())
-					s.cDelivered.Inc()
-					// The ack becomes provable at the next cp block.
-					s.pendingAcks = append(s.pendingAcks, ackWork{
-						packet: p,
-						ack:    ack,
-						height: provableAt,
-					})
-				})
-			}
+			r.deliverGuestEntry(st, entry)
 		})
 	})
+}
+
+// deliverGuestEntry relays entry's packets to the counterparty with
+// proofs at the newest height the cp client is known to hold — at least
+// the entry's own height, higher when a fall-forward advanced the client.
+// Packet commitments persist in guest state until acked, so a later root
+// still commits them.
+func (r *Relayer) deliverGuestEntry(st *guest.State, entry *guest.BlockEntry) {
+	proveAt := entry.Block.Height
+	if r.cpPushed > proveAt {
+		proveAt = r.cpPushed
+	}
+	for _, p := range entry.Packets {
+		p := p
+		s := r.shardForGuest(p.SourcePort, p.SourceChannel)
+		path := ibc.CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
+		proof, provedAt, err := r.proveGuestMembership(st, proveAt, path)
+		if err != nil {
+			continue
+		}
+		r.cpRecvPacket(p, proof, provedAt, func(ack []byte, provableAt uint64, err error) {
+			if err != nil {
+				return
+			}
+			if tr, ok := r.Traces[traceKey(p)]; ok {
+				tr.DeliveredAt = r.sched.Now()
+			}
+			r.tracer.Mark(traceKey(p), telemetry.StageRecv, r.sched.Now())
+			s.cDelivered.Inc()
+			// The ack becomes provable at the next cp block.
+			s.pendingAcks = append(s.pendingAcks, ackWork{
+				packet: p,
+				ack:    ack,
+				height: provableAt,
+			})
+		})
+	}
 }
 
 // proveGuestMembership proves path against the guest block at height,
@@ -552,8 +634,10 @@ func (r *Relayer) proveGuestMembership(st *guest.State, height uint64, path stri
 		return nil, 0, err
 	}
 	// The cp-op queue is FIFO, so this update lands before any recv/ack
-	// the caller enqueues with the returned height.
-	r.cpUpdateClient(latest.SignedBlock().Marshal(), func(error) {})
+	// the caller enqueues with the returned height, and its completion
+	// callback runs before that of any update enqueued after it — later
+	// pump iterations observe cpPushed before their own callbacks deliver.
+	r.cpPushHeader(newHeight, latest.SignedBlock().Marshal(), func(error) {})
 	return proof, newHeight, nil
 }
 

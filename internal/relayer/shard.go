@@ -201,7 +201,7 @@ func (s *shard) relayAcksToCP(st *guest.State, entry *guest.BlockEntry) {
 		r.sched.After(r.cfg.CPLatency.Sample(s.rng), func() {
 			// The cp's guest client must know this block first; FIFO on
 			// the cp-op queue keeps the update ahead of the ack.
-			r.cpUpdateClient(entry.SignedBlock().Marshal(), func(error) {})
+			r.cpPushHeader(height, entry.SignedBlock().Marshal(), func(error) {})
 			r.cpAckPacket(ab.packet, ab.ack, proof, provedAt, func(err error) {
 				if err == nil {
 					s.cAcksCP.Inc()

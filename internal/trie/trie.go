@@ -70,6 +70,13 @@ type Trie struct {
 	// shared between tries (Clone leaves it zero) so single-writer tries
 	// stay goroutine-isolated.
 	hs nodeHasher
+
+	// pathScratch and stackScratch back the descent of the current
+	// mutation (Set/Seal/Delete). Like hs they rely on writes being
+	// serialised; the read-only walkers (lookupRef, proveRef) never touch
+	// them, so concurrent Views of retained versions stay safe.
+	pathScratch  [keyBits]byte
+	stackScratch []*ref
 }
 
 // Option configures a Trie.
@@ -169,6 +176,28 @@ func (t *Trie) ensureOwned(cur *ref) *node {
 	return cur.node
 }
 
+// descentPath unpacks key into the trie's mutation scratch. The returned
+// path is valid only until the next mutation begins; node paths derived
+// from it must be clone()d before being stored, which Set/Seal/Delete
+// already guarantee.
+func (t *Trie) descentPath(key [KeySize]byte) path {
+	p := path(t.pathScratch[:])
+	for i := 0; i < keyBits; i++ {
+		p[i] = (key[i/8] >> (7 - uint(i%8))) & 1
+	}
+	return p
+}
+
+// mutStack returns the reusable (empty) ancestor stack for a mutation. Its
+// capacity covers the maximum possible descent depth, so appends never
+// reallocate.
+func (t *Trie) mutStack() []*ref {
+	if t.stackScratch == nil {
+		t.stackScratch = make([]*ref, 0, keyBits)
+	}
+	return t.stackScratch[:0]
+}
+
 // rehash recomputes commitments from the deepest changed ref up to the
 // root, through the trie's reusable hashing state.
 func (t *Trie) rehash(stack []*ref) {
@@ -184,9 +213,9 @@ func (t *Trie) Set(key [KeySize]byte, value cryptoutil.Hash) error {
 	if value.IsZero() {
 		return ErrZeroValue
 	}
-	remaining := keyToPath(key)
+	remaining := t.descentPath(key)
 	cur := &t.root
-	var stack []*ref
+	stack := t.mutStack()
 
 	for {
 		if cur.sealed {
@@ -410,9 +439,9 @@ func (t *Trie) Has(key [KeySize]byte) (bool, error) {
 // nodes are freed — this is the disk-reclamation mechanism that bounds the
 // guest blockchain's storage.
 func (t *Trie) Seal(key [KeySize]byte) error {
-	remaining := keyToPath(key)
+	remaining := t.descentPath(key)
 	cur := &t.root
-	var stack []*ref
+	stack := t.mutStack()
 
 	for {
 		if cur.sealed {
@@ -497,9 +526,9 @@ func (t *Trie) collapseSaturated(stack []*ref) {
 // Contract only deletes entries it never seals, e.g. packet commitments
 // cleared on acknowledgement.)
 func (t *Trie) Delete(key [KeySize]byte) error {
-	remaining := keyToPath(key)
+	remaining := t.descentPath(key)
 	cur := &t.root
-	var stack []*ref
+	stack := t.mutStack()
 
 	for {
 		if cur.sealed {

@@ -175,16 +175,18 @@ func (v *Validator) OnHostBlock(b *host.Block) {
 		}
 		v.maybeSign(nb.Block, b.Time)
 	}
-	// Recovery path: a daemon that was down (or joined late) signs the
-	// still-unfinalised head it may have missed — without this, one
-	// missed NewBlock event would wedge finalisation forever.
+	// Recovery path: a daemon that was down (or joined late) signs any
+	// still-unfinalised tail blocks it may have missed — without this,
+	// one missed NewBlock event would wedge finalisation forever. With
+	// pipelining the unfinalised tail can be several blocks deep, so
+	// walk all of it (the scan is bounded by PipelineDepth).
 	st, err := v.contract.State(v.chain)
 	if err != nil {
 		return
 	}
-	head := st.Head()
-	if !head.Finalised {
-		v.maybeSign(head.Block, head.CreatedAt)
+	for i := len(st.Entries) - 1; i >= 0 && !st.Entries[i].Finalised; i-- {
+		e := st.Entries[i]
+		v.maybeSign(e.Block, e.CreatedAt)
 	}
 }
 
@@ -222,6 +224,10 @@ func (v *Validator) submitSign(block *guestblock.Block, created time.Time) {
 	tx := v.builder.SignTx(v.Key, block)
 	v.submitTx(tx, func(err error) {
 		if err != nil {
+			// Bounced at mempool admission (congestion): clear the
+			// signed marker so the recovery scan in OnHostBlock retries
+			// on a later host block instead of wedging finalisation.
+			delete(v.signedHeights, block.Height)
 			return
 		}
 		// Landing happens at the next slot boundary; record latency as

@@ -24,6 +24,21 @@ type Writer struct {
 // NewWriter returns an empty writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// NewWriterSize returns an empty writer with capacity for an n-byte
+// message. Hot-path encoders that know their encoded size fill a single
+// allocation instead of growing through append doublings.
+func NewWriterSize(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
+
+// Grow ensures capacity for at least n more bytes.
+func (w *Writer) Grow(n int) {
+	if cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	buf := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(buf, w.buf)
+	w.buf = buf
+}
+
 // Bytes returns the accumulated buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
 
@@ -213,5 +228,14 @@ func (r *Reader) Bytes32() []byte {
 	return append([]byte(nil), b...)
 }
 
-// String16 reads a 2-byte-length-prefixed string.
-func (r *Reader) String16() string { return string(r.Bytes16()) }
+// String16 reads a 2-byte-length-prefixed string. Unlike Bytes16 it
+// converts straight from the underlying buffer — one allocation for the
+// string, not an intermediate byte-slice copy as well.
+func (r *Reader) String16() string {
+	n := int(r.U16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
