@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-deprecated test race bench bench-json cover verify-figs ci
+.PHONY: all build vet lint lint-deprecated test race bench bench-json cover verify-figs api-check api-update ci
 
 all: test
 
@@ -20,17 +20,15 @@ lint: lint-deprecated
 		$(GO) vet ./...; \
 	fi
 
-# Grep gate for the deprecated O(n) snapshot API: Clone() may appear only in
-# its definitions (trie.go, store.go) and the quarantined
-# *clone_deprecated_test.go coverage; everything else must use the O(1)
-# Snapshot/Commit + At + Release versioning API from PR 3.
+# Grep gate for retired APIs. The deprecated O(n) Clone() snapshot shims
+# and the error aliases ErrInvalidProof / ErrDuplicatePacket were deleted
+# in PR 7; this gate keeps them from creeping back in any file. Use the
+# O(1) Snapshot/Commit + At + Release versioning API and the canonical
+# ErrProofVerification / ErrPacketAlreadyDelivered names.
 lint-deprecated:
-	@bad=$$(grep -rn '\.Clone()' --include='*.go' . \
-		| grep -v 'clone_deprecated' \
-		| grep -v 'internal/trie/trie\.go' \
-		| grep -v 'internal/ibc/store\.go'); \
+	@bad=$$(grep -rn '\.Clone()\|ErrInvalidProof\|ErrDuplicatePacket' --include='*.go' .); \
 	if [ -n "$$bad" ]; then \
-		echo "deprecated Clone() call sites (use Snapshot/At/Release):"; \
+		echo "retired API call sites (Clone() -> Snapshot/At/Release; use ErrProofVerification / ErrPacketAlreadyDelivered):"; \
 		echo "$$bad"; exit 1; \
 	fi
 
@@ -53,8 +51,8 @@ bench:
 # hottest micro-benchmarks with their recorded pre-optimisation baselines.
 # The self-check fails the target when the output is schema-invalid.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr6.json
-	$(GO) run ./cmd/benchjson -check BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -check BENCH_pr7.json
 
 # Coverage across every package, with the combined profile left in
 # cover.out for `go tool cover -html=cover.out`.
@@ -73,7 +71,23 @@ verify-figs:
 	@rm -f bench_figs_28d.txt.new
 	@echo "bench_figs_28d.txt reproduces byte-identically"
 
-# The pre-merge gate: vet + lint (including the deprecated-API grep), the
-# whole suite under the race detector, the coverage summary, and the
-# figure-drift check.
-ci: vet lint race cover verify-figs
+# API-stability gate: the exported surface of the packet-pipeline
+# packages (internal/ibc, internal/middleware) must match the committed
+# api/ibc.txt. Regenerate deliberately with `make api-update` when an API
+# change is intended.
+api-check:
+	@$(GO) run ./cmd/apidump internal/ibc internal/middleware > api/ibc.txt.new
+	@if ! diff -u api/ibc.txt api/ibc.txt.new; then \
+		echo "exported API drift: run 'make api-update' if the change is intended"; \
+		rm -f api/ibc.txt.new; exit 1; \
+	fi
+	@rm -f api/ibc.txt.new
+	@echo "exported API surface matches api/ibc.txt"
+
+api-update:
+	$(GO) run ./cmd/apidump internal/ibc internal/middleware > api/ibc.txt
+
+# The pre-merge gate: vet + lint (including the retired-API grep), the
+# whole suite under the race detector, the coverage summary, the
+# figure-drift check, and the exported-API stability check.
+ci: vet lint race cover verify-figs api-check

@@ -1,0 +1,195 @@
+// Command apidump prints the exported API surface of the given packages
+// as a stable, sorted text listing — one declaration per line, comments
+// and bodies stripped. `make api-check` diffs its output for
+// internal/ibc and internal/middleware against the committed api/ibc.txt,
+// so any change to the packet-pipeline API (a new interface method, a
+// changed signature, a removed symbol) fails CI until the golden file is
+// regenerated with `make api-update` — making API changes deliberate and
+// reviewable rather than incidental.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		log.Fatal("usage: apidump <package-dir> [package-dir...]")
+	}
+	for i, dir := range os.Args[1:] {
+		if i > 0 {
+			fmt.Println()
+		}
+		lines, name, err := dump(dir)
+		if err != nil {
+			log.Fatalf("%s: %v", dir, err)
+		}
+		fmt.Printf("package %s (%s)\n", name, filepath.ToSlash(dir))
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+}
+
+// dump parses every non-test file of the package in dir and returns the
+// sorted exported declaration signatures.
+func dump(dir string) ([]string, string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, "", err
+	}
+	var lines []string
+	var pkgName string
+	for name, pkg := range pkgs {
+		pkgName = name
+		for _, file := range pkg.Files {
+			lines = append(lines, fileDecls(fset, file)...)
+		}
+	}
+	sort.Strings(lines)
+	return lines, pkgName, nil
+}
+
+func fileDecls(fset *token.FileSet, file *ast.File) []string {
+	var out []string
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedRecv(d) {
+				continue
+			}
+			out = append(out, funcLine(fset, d))
+		case *ast.GenDecl:
+			out = append(out, genLines(fset, d)...)
+		}
+	}
+	return out
+}
+
+// exportedRecv reports whether a method's receiver type is exported
+// (plain functions count as exported receivers).
+func exportedRecv(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	name := recvTypeName(d.Recv.List[0].Type)
+	return name == "" || ast.IsExported(name)
+}
+
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+func funcLine(fset *token.FileSet, d *ast.FuncDecl) string {
+	clone := *d
+	clone.Body = nil
+	clone.Doc = nil
+	return "func " + strings.TrimPrefix(render(fset, &clone), "func ")
+}
+
+// genLines renders exported const/var/type declarations. Struct and
+// interface types include only their exported members, so adding an
+// unexported field never churns the golden file.
+func genLines(fset *token.FileSet, d *ast.GenDecl) []string {
+	var out []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			out = append(out, typeLines(fset, s)...)
+		case *ast.ValueSpec:
+			for _, n := range s.Names {
+				if !n.IsExported() {
+					continue
+				}
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				line := kind + " " + n.Name
+				if s.Type != nil {
+					line += " " + render(fset, s.Type)
+				}
+				out = append(out, line)
+			}
+		}
+	}
+	return out
+}
+
+func typeLines(fset *token.FileSet, s *ast.TypeSpec) []string {
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		lines := []string{"type " + s.Name.Name + " struct"}
+		for _, f := range t.Fields.List {
+			if len(f.Names) == 0 {
+				// Embedded field: exported if its type name is.
+				name := recvTypeName(f.Type)
+				if name != "" && ast.IsExported(name) {
+					lines = append(lines, "type "+s.Name.Name+" struct: "+render(fset, f.Type))
+				}
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					lines = append(lines, "type "+s.Name.Name+" struct: "+n.Name+" "+render(fset, f.Type))
+				}
+			}
+		}
+		return lines
+	case *ast.InterfaceType:
+		lines := []string{"type " + s.Name.Name + " interface"}
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				lines = append(lines, "type "+s.Name.Name+" interface: "+render(fset, m.Type))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					lines = append(lines, "type "+s.Name.Name+" interface: "+n.Name+render(fset, m.Type))
+				}
+			}
+		}
+		return lines
+	default:
+		eq := " "
+		if s.Assign != token.NoPos {
+			eq = " = "
+		}
+		return []string{"type " + s.Name.Name + eq + render(fset, s.Type)}
+	}
+}
+
+func render(fset *token.FileSet, node any) string {
+	var sb strings.Builder
+	if err := printer.Fprint(&sb, fset, node); err != nil {
+		return fmt.Sprintf("<render error: %v>", err)
+	}
+	// Collapse multi-line renderings (func literals in struct fields etc.)
+	// to one line so the listing stays diff-friendly.
+	return strings.Join(strings.Fields(sb.String()), " ")
+}

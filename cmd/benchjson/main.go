@@ -1,8 +1,8 @@
 // Command benchjson emits the machine-checkable benchmark trajectory
-// (BENCH_pr6.json): packet-latency percentiles and sustained throughput
-// from a pinned open-loop load run, plus ns/op and allocs/op of the
-// hottest micro-benchmarks alongside their recorded pre-optimisation
-// baselines. With -check it validates an existing file instead of
+// (BENCH_pr7.json): packet-latency percentiles and sustained throughput
+// from a pinned open-loop load run, ns/op and allocs/op of the hottest
+// micro-benchmarks alongside their recorded pre-optimisation baselines,
+// and the middleware-chain recv overhead (stacked vs bare dispatch). With -check it validates an existing file instead of
 // generating one, exiting non-zero when the file is missing, empty, or
 // schema-invalid — that mode is the CI bench-smoke gate.
 //
@@ -22,11 +22,13 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/experiments"
 	"repro/internal/ibc"
+	"repro/internal/middleware"
+	"repro/internal/transfer"
 	"repro/internal/trie"
 )
 
 // Schema identifies the document layout; bump on breaking changes.
-const Schema = "bench/pr6/v1"
+const Schema = "bench/pr7/v1"
 
 // LoadSection reports the pinned open-loop run.
 type LoadSection struct {
@@ -62,16 +64,29 @@ type HotBench struct {
 	BaselineAllocsPerOp int64   `json:"baseline_allocs_per_op"`
 }
 
-// Doc is the whole BENCH_pr6.json document.
+// MiddlewareSection records the recv-path cost of the middleware-chain
+// API: the same packet delivered to a bare application and through a
+// two-layer Stack. The gate: wrapping must cost at most 2 extra
+// allocs/op (the precomposed closure chains measure 0).
+type MiddlewareSection struct {
+	BareNsPerOp        float64 `json:"bare_ns_per_op"`
+	StackedNsPerOp     float64 `json:"stacked_ns_per_op"`
+	BareAllocsPerOp    int64   `json:"bare_allocs_per_op"`
+	StackedAllocsPerOp int64   `json:"stacked_allocs_per_op"`
+	OverheadAllocs     int64   `json:"overhead_allocs"`
+}
+
+// Doc is the whole BENCH_pr7.json document.
 type Doc struct {
-	Schema        string      `json:"schema"`
-	Load          LoadSection `json:"load"`
-	HotBenchmarks []HotBench  `json:"hot_benchmarks"`
+	Schema        string            `json:"schema"`
+	Load          LoadSection       `json:"load"`
+	HotBenchmarks []HotBench        `json:"hot_benchmarks"`
+	Middleware    MiddlewareSection `json:"middleware"`
 }
 
 func main() {
 	check := flag.String("check", "", "validate an existing BENCH json and exit (no generation)")
-	out := flag.String("out", "BENCH_pr6.json", "output path")
+	out := flag.String("out", "BENCH_pr7.json", "output path")
 	flag.Parse()
 
 	if *check != "" {
@@ -156,7 +171,60 @@ func generate() (*Doc, error) {
 			BaselineAllocsPerOp: hb.baseAllocsPerOp,
 		})
 	}
+
+	bare := testing.Benchmark(benchRecvBare)
+	stacked := testing.Benchmark(benchRecvStacked)
+	doc.Middleware = MiddlewareSection{
+		BareNsPerOp:        float64(bare.T.Nanoseconds()) / float64(bare.N),
+		StackedNsPerOp:     float64(stacked.T.Nanoseconds()) / float64(stacked.N),
+		BareAllocsPerOp:    bare.AllocsPerOp(),
+		StackedAllocsPerOp: stacked.AllocsPerOp(),
+	}
+	doc.Middleware.OverheadAllocs = doc.Middleware.StackedAllocsPerOp - doc.Middleware.BareAllocsPerOp
 	return doc, nil
+}
+
+func recvBenchApp() (*transfer.App, ibc.Packet) {
+	app := transfer.New("transfer")
+	d := &transfer.PacketData{Denom: "TOK", Amount: 1, Sender: "s", Receiver: "r"}
+	p := ibc.Packet{
+		Sequence:      1,
+		SourcePort:    "transfer",
+		SourceChannel: "channel-0",
+		DestPort:      "transfer",
+		DestChannel:   "channel-1",
+		Data:          d.Marshal(),
+	}
+	return app, p
+}
+
+func benchRecvBare(b *testing.B) {
+	app, p := recvBenchApp()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := app.OnRecvPacket(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchRecvStacked(b *testing.B) {
+	app, p := recvBenchApp()
+	// Callbacks (no hook registered) + fees: the two layers on the recv
+	// hot path of the fee-incentivised topology. Forwarding is excluded
+	// here because its per-packet memo parse is application work, not
+	// chain-dispatch overhead.
+	stack := middleware.NewStack(app,
+		middleware.NewCallbacks(),
+		middleware.NewFees(app, middleware.FeeSchedule{Denom: "fee", RecvFee: 1}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stack.OnRecvPacket(p); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 func benchTrieSet(b *testing.B) {
@@ -251,6 +319,16 @@ func Validate(doc *Doc) error {
 		if hb.Name == "" || hb.NsPerOp <= 0 || hb.AllocsPerOp < 0 {
 			return fmt.Errorf("bad hot benchmark entry: %+v", hb)
 		}
+	}
+	mw := doc.Middleware
+	if mw.BareNsPerOp <= 0 || mw.StackedNsPerOp <= 0 {
+		return fmt.Errorf("middleware section empty: %+v", mw)
+	}
+	if mw.OverheadAllocs != mw.StackedAllocsPerOp-mw.BareAllocsPerOp {
+		return fmt.Errorf("middleware overhead mismatch: %+v", mw)
+	}
+	if mw.OverheadAllocs > 2 {
+		return fmt.Errorf("middleware recv overhead %d allocs/op, budget is 2", mw.OverheadAllocs)
 	}
 	return nil
 }

@@ -41,7 +41,15 @@ func main() {
 	loadZipfS := flag.Float64("load-zipf-s", 1.2, "loadgen Zipf account-popularity exponent (> 1)")
 	loadDuration := flag.Duration("load-duration", 5*time.Minute, "loadgen offered-load window of virtual time")
 	loadBursty := flag.Bool("load-bursty", false, "loadgen self-similar (bursty) arrivals instead of Poisson")
+	mw := flag.Bool("middleware", false, "run the middleware-chain scenario (ICS-29 fees + 2-hop forwarding + metered callbacks) instead of the closed-loop deployment")
+	mwPackets := flag.Int("middleware-packets", 16, "middleware scenario: number of 2-hop transfers")
+	mwChaos := flag.Bool("middleware-chaos", false, "middleware scenario: inject the 5% drop + 5% duplicate acceptance chaos on every link")
 	flag.Parse()
+
+	if *mw {
+		runMiddlewareScenario(*seed, *mwPackets, *mwChaos)
+		return
+	}
 
 	if *loadRate > 0 {
 		runLoadScenario(*seed, *channels, *loadRate, *loadAccounts, *loadZipfS, *loadDuration, *loadBursty)
@@ -178,6 +186,36 @@ func main() {
 
 	if *metrics {
 		fmt.Printf("\n--- telemetry snapshot ---\n%s", dep.Net.SnapshotTelemetry().Render())
+	}
+}
+
+// runMiddlewareScenario runs the middleware-chain acceptance scenario:
+// fee-escrowed transfers forwarded through the counterparty hub back to a
+// second guest app, with metered recv callbacks on the terminal leg, and
+// prints the hop-by-hop conservation and fee-settlement verdicts.
+func runMiddlewareScenario(seed int64, packets int, chaos bool) {
+	cfg := experiments.DefaultMiddlewareConfig()
+	cfg.Seed = seed
+	cfg.Packets = packets
+	if chaos {
+		cfg.Net = experiments.ChaosLink()
+	}
+	start := time.Now()
+	res, err := experiments.RunMiddleware(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("middleware chain: %d 2-hop transfers over %v (chaos=%v), simulated in %v\n\n",
+		res.Sent, cfg.Duration, chaos, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("tokens:    sent %d = guest escrow %d = hub escrow %d = final vouchers %d (stuck %d) — conserved=%v\n",
+		res.SentTokens, res.GuestEscrow, res.HubEscrow, res.FinalVouchers, res.HubModuleStuck, res.TokensConserved)
+	fmt.Printf("forwarded: %d (stranded %d)\n", res.Forwarded, res.Stranded)
+	fmt.Printf("fees:      escrowed %d = paid %d + refunded %d, claimed %d onto relayer balance %d (pending %d) — conserved=%v\n",
+		res.FeesEscrowed, res.FeesPaid, res.FeesRefunded, res.FeesClaimed, res.RelayerBalance, res.FeesPending, res.FeesConserved)
+	fmt.Printf("callbacks: %d executed, %d rejected\n", res.CallbacksExecuted, res.CallbacksRejected)
+	fmt.Printf("network:   %d retries\n", res.NetRetries)
+	if !res.Conserved() {
+		log.Fatal("middleware scenario conservation violated")
 	}
 }
 

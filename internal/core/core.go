@@ -22,6 +22,7 @@ import (
 	"repro/internal/guestblock"
 	"repro/internal/host"
 	"repro/internal/ibc"
+	"repro/internal/middleware"
 	"repro/internal/netsim"
 	"repro/internal/relayer"
 	"repro/internal/sim"
@@ -78,22 +79,61 @@ type Config struct {
 }
 
 // ChannelSpec declares one channel of the topology: the application
-// ports on each side, the ordering, and the ICS-20 version string.
-// Zero fields inherit the Config-level defaults.
+// ports on each side, the ordering, the ICS-20 version string, and the
+// middleware stacks wrapping each side's transfer app. Zero fields
+// inherit the Config-level defaults.
 type ChannelSpec struct {
 	GuestPort ibc.PortID
 	CPPort    ibc.PortID
 	Ordering  ibc.Ordering
 	Version   string
+
+	// GuestMiddleware / CPMiddleware list the middleware layers wrapped
+	// around each side's app, outermost first. Stacks are per PORT
+	// (channels sharing a port share the app and its stack), so only the
+	// first spec binding a port may declare a list; a later spec naming
+	// the same port with a different non-empty list is a config error.
+	GuestMiddleware []MiddlewareSpec
+	CPMiddleware    []MiddlewareSpec
+}
+
+// MiddlewareKind names one of the production middlewares for ChannelSpec
+// wiring.
+type MiddlewareKind string
+
+const (
+	// MiddlewareCallbacks installs per-packet lifecycle hooks with
+	// bounded compute budgets (register hooks via the stack after
+	// NewNetwork).
+	MiddlewareCallbacks MiddlewareKind = "callbacks"
+	// MiddlewareFees installs ICS-29-style relayer fee escrow; payouts
+	// accrue to the deployment's relayer, which claims them periodically.
+	MiddlewareFees MiddlewareKind = "fees"
+	// MiddlewareForward installs transfer-v2-style packet forwarding over
+	// a next (port, channel) hop named in the memo.
+	MiddlewareForward MiddlewareKind = "forward"
+)
+
+// MiddlewareSpec declares one middleware layer of a ChannelSpec stack.
+type MiddlewareSpec struct {
+	Kind MiddlewareKind
+	// Fees is the per-packet fee schedule (Kind == MiddlewareFees).
+	Fees middleware.FeeSchedule
+	// ForwardAccount is the module account that funds onward hops
+	// (Kind == MiddlewareForward; defaults to "forward-module").
+	ForwardAccount string
 }
 
 // ChannelRuntime is one opened channel: its spec, the transfer apps
-// bound on each side (channels sharing a port share an app), and the
-// channel IDs the handshake assigned.
+// bound on each side (channels sharing a port share an app), the
+// middleware stacks wrapping them, and the channel IDs the handshake
+// assigned.
 type ChannelRuntime struct {
 	Spec         ChannelSpec
 	GuestApp     *transfer.App
 	CPApp        *transfer.App
+	GuestStack   *middleware.Stack
+	CPStack      *middleware.Stack
 	GuestChannel ibc.ChannelID
 	CPChannel    ibc.ChannelID
 }
@@ -281,23 +321,81 @@ func NewNetwork(cfg Config) (*Network, error) {
 
 	// Applications on both sides: one transfer app per distinct port
 	// (channels sharing a port share the app and dispatch through the
-	// ibc router's single binding).
+	// ibc router's single binding). Every app is bound as a middleware
+	// stack — empty for plain channels, so a stack-less spec behaves
+	// bit-identically to binding the bare app.
 	guestApps := make(map[ibc.PortID]*transfer.App)
 	cpApps := make(map[ibc.PortID]*transfer.App)
-	for _, sp := range specs {
+	guestStacks := make(map[ibc.PortID]*middleware.Stack)
+	cpStacks := make(map[ibc.PortID]*middleware.Stack)
+
+	// Middleware dependencies per side: the live guest compute meter (so
+	// callback budgets charge the enclosing transaction), a next-hop app
+	// resolver, and the chain-level packet sender onward hops ride. The
+	// state pointer is resolved ONCE here, outside execution — the hook
+	// fires inside executeLocked, where a chain.StateOf round-trip would
+	// self-deadlock on the host mutex.
+	guestState, err := contract.State(n.Host)
+	if err != nil {
+		return nil, fmt.Errorf("core: guest state for middleware: %w", err)
+	}
+	guestMeter := func() middleware.Meter {
+		if m := guestState.Meter(); m != nil {
+			return m
+		}
+		return nil
+	}
+	guestResolve := func(port ibc.PortID) middleware.ForwardBank {
+		if a, ok := guestApps[port]; ok {
+			return a
+		}
+		return nil
+	}
+	cpResolve := func(port ibc.PortID) middleware.ForwardBank {
+		if a, ok := cpApps[port]; ok {
+			return a
+		}
+		return nil
+	}
+	guestSender, err := contract.PacketSender(n.Host)
+	if err != nil {
+		return nil, fmt.Errorf("core: guest packet sender: %w", err)
+	}
+
+	for i, sp := range specs {
 		if _, ok := guestApps[sp.GuestPort]; !ok {
-			app := transfer.New(sp.GuestPort)
-			if err := contract.BindPort(n.Host, sp.GuestPort, app); err != nil {
+			app := transfer.New(sp.GuestPort,
+				transfer.WithTelemetry(n.Tel.Metrics),
+				transfer.WithMetricsNamespace("guest.transfer"))
+			mws, err := n.buildMiddlewares("guest", sp.GuestMiddleware, app, guestResolve, guestSender, guestMeter)
+			if err != nil {
+				return nil, fmt.Errorf("core: channel %d guest middleware: %w", i, err)
+			}
+			stack := middleware.NewStack(app, mws...)
+			if err := contract.BindPort(n.Host, sp.GuestPort, stack); err != nil {
 				return nil, err
 			}
 			guestApps[sp.GuestPort] = app
+			guestStacks[sp.GuestPort] = stack
+		} else if len(sp.GuestMiddleware) > 0 {
+			return nil, fmt.Errorf("core: channel %d re-declares middleware for guest port %q (stacks are per port; declare them on the port's first channel)", i, sp.GuestPort)
 		}
 		if _, ok := cpApps[sp.CPPort]; !ok {
-			app := transfer.New(sp.CPPort)
-			if err := cp.Handler().BindPort(sp.CPPort, app); err != nil {
+			app := transfer.New(sp.CPPort,
+				transfer.WithTelemetry(n.Tel.Metrics),
+				transfer.WithMetricsNamespace("cp.transfer"))
+			mws, err := n.buildMiddlewares("cp", sp.CPMiddleware, app, cpResolve, cp, nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: channel %d cp middleware: %w", i, err)
+			}
+			stack := middleware.NewStack(app, mws...)
+			if err := cp.Handler().BindPort(sp.CPPort, stack); err != nil {
 				return nil, err
 			}
 			cpApps[sp.CPPort] = app
+			cpStacks[sp.CPPort] = stack
+		} else if len(sp.CPMiddleware) > 0 {
+			return nil, fmt.Errorf("core: channel %d re-declares middleware for cp port %q (stacks are per port; declare them on the port's first channel)", i, sp.CPPort)
 		}
 	}
 	n.GuestApp = guestApps[specs[0].GuestPort]
@@ -332,6 +430,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 			Spec:         sp,
 			GuestApp:     guestApps[sp.GuestPort],
 			CPApp:        cpApps[sp.CPPort],
+			GuestStack:   guestStacks[sp.GuestPort],
+			CPStack:      cpStacks[sp.CPPort],
 			GuestChannel: res.GuestChannel,
 			CPChannel:    res.CPChannel,
 		})
@@ -418,12 +518,64 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.Host.Fund(crankKey.Public(), 1_000*host.LamportsPerSOL)
 	n.crank = guest.NewTxBuilder(contract, crankKey.Public())
 
-	n.wireScheduling()
+	// Point every fee middleware at the deployment's relayer: settled
+	// fees accrue to its payee identity and it sweeps the escrows
+	// periodically (plus once at drain in experiments).
+	feesPresent := false
+	seenStacks := make(map[*middleware.Stack]bool)
+	for _, rt := range n.Channels {
+		for _, stack := range []*middleware.Stack{rt.GuestStack, rt.CPStack} {
+			if stack == nil || seenStacks[stack] {
+				continue
+			}
+			seenStacks[stack] = true
+			if fm, ok := stack.Middleware("fees").(*middleware.Fees); ok && fm != nil {
+				fm.SetPayee(n.Relayer.PayeeID())
+				n.Relayer.RegisterFeeClaimer(fm)
+				feesPresent = true
+			}
+		}
+	}
+
+	n.wireScheduling(feesPresent)
 	return n, nil
 }
 
+// buildMiddlewares instantiates a ChannelSpec middleware list for one
+// side of a deployment. bank is the port's transfer app (fee escrow
+// ledger), resolve finds next-hop apps for forwarding, sender is the
+// chain-level send entry point, and meter exposes the live compute meter
+// (nil on the unmetered counterparty).
+func (n *Network) buildMiddlewares(side string, mspecs []MiddlewareSpec, bank *transfer.App, resolve middleware.AppResolver, sender ibc.PacketSender, meter middleware.MeterSource) ([]middleware.Middleware, error) {
+	out := make([]middleware.Middleware, 0, len(mspecs))
+	for _, ms := range mspecs {
+		switch ms.Kind {
+		case MiddlewareCallbacks:
+			out = append(out, middleware.NewCallbacks(
+				middleware.WithMeterSource(meter),
+				middleware.WithCallbacksTelemetry(n.Tel.Metrics, side+".mw.callbacks")))
+		case MiddlewareFees:
+			if !ms.Fees.Enabled() {
+				return nil, fmt.Errorf("core: fees middleware needs a non-zero schedule")
+			}
+			out = append(out, middleware.NewFees(bank, ms.Fees,
+				middleware.WithFeesTelemetry(n.Tel.Metrics, side+".mw.fees")))
+		case MiddlewareForward:
+			account := ms.ForwardAccount
+			if account == "" {
+				account = "forward-module"
+			}
+			out = append(out, middleware.NewForward(account, resolve, sender,
+				middleware.WithForwardTelemetry(n.Tel.Metrics, side+".mw.forward")))
+		default:
+			return nil, fmt.Errorf("core: unknown middleware kind %q", ms.Kind)
+		}
+	}
+	return out, nil
+}
+
 // wireScheduling installs the recurring simulation activities.
-func (n *Network) wireScheduling() {
+func (n *Network) wireScheduling(feesPresent bool) {
 	// Host blocks are produced on demand: whenever a transaction is
 	// submitted, the next slot boundary gets a production event.
 	n.Host.SetSubmitHook(n.ensureSlotScheduled)
@@ -461,6 +613,15 @@ func (n *Network) wireScheduling() {
 		}
 		return true
 	})
+
+	// ICS-29 fee sweeping, only wired when a fee middleware exists so
+	// stack-less deployments schedule exactly what they did before.
+	if feesPresent {
+		n.Sched.Every(10*time.Minute, func() bool {
+			n.Relayer.ClaimFees()
+			return true
+		})
+	}
 }
 
 // ensureSlotScheduled arms block production at the next slot boundary.

@@ -362,10 +362,12 @@ func (c *Chain) ProveNonMembershipAt(height uint64, path string) ([]byte, error)
 	return snap.ProveNonMembership(path)
 }
 
-// SendPacket sends a packet from an application on this chain; it becomes
-// relayable at the next block.
+// SendPacket sends a packet from an application on this chain; it threads
+// the port's middleware stack (fees, forwarding, ...) and becomes
+// relayable at the next block. It implements ibc.PacketSender, so
+// forwarding middleware can use the chain itself for onward hops.
 func (c *Chain) SendPacket(port ibc.PortID, channel ibc.ChannelID, data []byte, timeoutHeight ibc.Height, timeoutTs time.Time) (*ibc.Packet, error) {
-	p, err := c.handler.SendPacket(port, channel, data, timeoutHeight, timeoutTs)
+	p, err := c.handler.AppSendPacket(port, channel, data, timeoutHeight, timeoutTs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fees"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/middleware"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/transfer"
+)
+
+// MiddlewareConfig parameterises the middleware-chain acceptance
+// scenario: fee-incentivised transfers forwarded through an intermediate
+// hop under netsim chaos, with metered callbacks on the terminal leg.
+type MiddlewareConfig struct {
+	// Packets is the number of 2-hop transfers.
+	Packets int
+	// Duration of the simulated window the sends are spread across.
+	Duration time.Duration
+	// Seed drives the workload and every actor's derived streams.
+	Seed int64
+	// Net injects faults between the actors (zero = lossless).
+	Net netsim.Config
+	// Fees is the per-packet ICS-29 schedule escrowed on the guest send
+	// path (zero value: DefaultMiddlewareConfig's schedule).
+	Fees middleware.FeeSchedule
+	// CallbackBudget is the compute allowance of the terminal recv hook.
+	CallbackBudget uint64
+}
+
+// DefaultMiddlewareConfig returns the acceptance scenario: 16 forwarded
+// transfers over 8 simulated hours.
+func DefaultMiddlewareConfig() MiddlewareConfig {
+	return MiddlewareConfig{
+		Packets:        16,
+		Duration:       8 * time.Hour,
+		Seed:           1,
+		Fees:           middleware.FeeSchedule{Denom: "fee", RecvFee: 3, AckFee: 2, TimeoutFee: 4},
+		CallbackBudget: 1_000,
+	}
+}
+
+// MiddlewareResult aggregates one run of the middleware scenario.
+type MiddlewareResult struct {
+	// Sent / SentTokens are the admitted first-hop transfers.
+	Sent       int
+	SentTokens uint64
+
+	// Hop-by-hop conservation of the forwarded denomination: the guest
+	// escrow on hop one, the intermediate chain's escrow on hop two, and
+	// the vouchers minted to the final receiver must all equal SentTokens,
+	// with nothing left at the forwarding module account.
+	GuestEscrow     uint64
+	HubEscrow       uint64
+	FinalVouchers   uint64
+	HubModuleStuck  uint64
+	Forwarded       int
+	Stranded        int
+	TokensConserved bool
+
+	// Fee plane: escrow split into relayer earnings and sender refunds,
+	// and what the relayer actually claimed onto the guest bank.
+	FeesEscrowed   uint64
+	FeesPaid       uint64
+	FeesRefunded   uint64
+	FeesClaimed    uint64
+	FeesPending    int
+	RelayerBalance uint64
+	FeesConserved  bool
+
+	// CallbacksExecuted counts terminal-hop recv hooks that ran to
+	// completion within budget (one per delivered hop-two packet).
+	CallbacksExecuted uint64
+	CallbacksRejected uint64
+
+	// NetRetries counts reliable-call re-issues the chaos forced.
+	NetRetries uint64
+	// Fingerprint digests the run for determinism checks.
+	Fingerprint string
+}
+
+// Conserved reports both token and fee conservation.
+func (r *MiddlewareResult) Conserved() bool { return r.TokensConserved && r.FeesConserved }
+
+// MiddlewareTopology builds the 2-hop forwarding topology: channel 0 is
+// guest "transfer" ↔ cp "transfer" with ICS-29 fees on the guest send
+// path and forwarding on the counterparty; channel 1 is guest
+// "transfer-1" ↔ cp "transfer" (the SAME counterparty app, so the hub's
+// vouchers and second-hop escrow live on one ledger) with metered
+// callbacks on the terminal guest app.
+func MiddlewareTopology(sched middleware.FeeSchedule) []core.ChannelSpec {
+	return []core.ChannelSpec{
+		{
+			GuestPort: "transfer", CPPort: "transfer",
+			GuestMiddleware: []core.MiddlewareSpec{{Kind: core.MiddlewareFees, Fees: sched}},
+			CPMiddleware:    []core.MiddlewareSpec{{Kind: core.MiddlewareForward}},
+		},
+		{
+			GuestPort: "transfer-1", CPPort: "transfer",
+			GuestMiddleware: []core.MiddlewareSpec{{Kind: core.MiddlewareCallbacks}},
+		},
+	}
+}
+
+// RunMiddleware executes the middleware acceptance scenario: every
+// transfer pays an ICS-29 fee escrow, addresses the counterparty's
+// forwarding module account, and carries a forward memo naming the
+// second-hop channel back to the guest's "transfer-1" app, where a
+// metered recv callback fires per delivery. Under drop/duplicate chaos
+// the run must conserve tokens exactly across both hops and settle every
+// fee escrow into relayer earnings plus sender refunds.
+func RunMiddleware(cfg MiddlewareConfig) (*MiddlewareResult, error) {
+	if cfg.Packets <= 0 {
+		cfg.Packets = 16
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 8 * time.Hour
+	}
+	if !cfg.Fees.Enabled() {
+		cfg.Fees = DefaultMiddlewareConfig().Fees
+	}
+	if cfg.CallbackBudget == 0 {
+		cfg.CallbackBudget = 1_000
+	}
+
+	net, err := core.NewNetwork(core.Config{
+		Seed:       cfg.Seed,
+		Channels:   MiddlewareTopology(cfg.Fees),
+		Net:        cfg.Net,
+		Behaviours: HealthyBehaviours(8),
+	})
+	if err != nil {
+		return nil, err
+	}
+	hop1, hop2 := net.Channels[0], net.Channels[1]
+
+	feesMW := hop1.GuestStack.Middleware("fees").(*middleware.Fees)
+	forwardMW := hop1.CPStack.Middleware("forward").(*middleware.Forward)
+	callbacksMW := hop2.GuestStack.Middleware("callbacks").(*middleware.Callbacks)
+
+	// The terminal recv hook burns some of its allowance per delivery;
+	// exactly-once dispatch means it runs once per hop-two packet even
+	// when the chaos duplicates deliveries.
+	callbacksMW.Register(hop2.Spec.GuestPort, hop2.GuestChannel, &middleware.Callback{
+		Budget: cfg.CallbackBudget,
+		OnRecv: func(p ibc.Packet, m middleware.Meter) error { return m.Consume(cfg.CallbackBudget / 2) },
+	})
+
+	// One sender, funded in the transferred denom and the fee denom.
+	alice := net.NewUser("mw-sender", 10_000*host.LamportsPerSOL, "TOK", 1<<40)
+	net.GuestApp.Mint(alice.Key.Public().String(), cfg.Fees.Denom, cfg.Fees.Total()*uint64(cfg.Packets)*2)
+
+	const finalReceiver = "mw-final-receiver"
+	memo := middleware.ForwardMemo(middleware.ForwardInfo{
+		Port:     string(hop2.Spec.CPPort),
+		Channel:  string(hop2.CPChannel),
+		Receiver: finalReceiver,
+	})
+
+	rng := rand.New(rand.NewSource(sim.DeriveSeed(cfg.Seed, "experiments/middleware")))
+	res := &MiddlewareResult{}
+	for j := 0; j < cfg.Packets; j++ {
+		at := cfg.Duration*time.Duration(j+1)/time.Duration(cfg.Packets+2) +
+			time.Duration(rng.Int63n(int64(time.Minute)))
+		amount := 1 + uint64(rng.Intn(100))
+		net.Sched.After(at, func() {
+			if _, err := net.SendTransferFromGuestOn(0, alice, forwardMW.Account(), "TOK", amount, memo, fees.BundlePolicy, 0); err == nil {
+				res.Sent++
+				res.SentTokens += amount
+			}
+		})
+	}
+
+	// Run the window plus drain time for chaos retries, the second hop,
+	// and ack round-trips.
+	net.Run(cfg.Duration + 2*time.Hour)
+
+	// Sweep any fee accrual the periodic claim job has not picked up yet.
+	net.Relayer.ClaimFees()
+
+	hop1Voucher := transfer.VoucherPrefix(hop1.Spec.CPPort, hop1.CPChannel) + "TOK"
+	hop2Voucher := transfer.VoucherPrefix(hop2.Spec.GuestPort, hop2.GuestChannel) + hop1Voucher
+
+	snap := net.SnapshotTelemetry()
+	res.GuestEscrow = hop1.GuestApp.EscrowedAmount(hop1.GuestChannel, "TOK")
+	res.HubEscrow = hop1.CPApp.EscrowedAmount(hop2.CPChannel, hop1Voucher)
+	res.FinalVouchers = hop2.GuestApp.Balance(finalReceiver, hop2Voucher)
+	res.HubModuleStuck = hop1.CPApp.Balance(forwardMW.Account(), hop1Voucher)
+	res.Forwarded = forwardMW.Forwarded
+	res.Stranded = forwardMW.Stranded
+	res.TokensConserved = res.SentTokens == res.GuestEscrow &&
+		res.SentTokens == res.HubEscrow &&
+		res.SentTokens == res.FinalVouchers &&
+		res.HubModuleStuck == 0
+
+	res.FeesEscrowed = feesMW.EscrowedTotal
+	res.FeesPaid = feesMW.PaidTotal
+	res.FeesRefunded = feesMW.RefundedTotal
+	res.FeesClaimed = feesMW.ClaimedTotal
+	res.FeesPending = feesMW.PendingCount()
+	res.RelayerBalance = net.GuestApp.Balance(net.Relayer.PayeeID(), cfg.Fees.Denom)
+	res.FeesConserved = res.FeesEscrowed == res.FeesPaid+res.FeesRefunded &&
+		res.FeesPending == 0 &&
+		res.FeesClaimed == res.FeesPaid &&
+		res.RelayerBalance == res.FeesPaid
+
+	res.CallbacksExecuted = snap.Counter("guest.mw.callbacks.executed")
+	res.CallbacksRejected = snap.Counter("guest.mw.callbacks.recv_rejected")
+	res.NetRetries = snap.Counter("relayer.net_retries")
+
+	var fp strings.Builder
+	fmt.Fprintf(&fp, "sent=%d tokens=%d escrow=%d hub=%d final=%d stuck=%d fwd=%d strand=%d|",
+		res.Sent, res.SentTokens, res.GuestEscrow, res.HubEscrow, res.FinalVouchers,
+		res.HubModuleStuck, res.Forwarded, res.Stranded)
+	fmt.Fprintf(&fp, "fees esc=%d paid=%d ref=%d claim=%d pend=%d bal=%d|cb exec=%d rej=%d",
+		res.FeesEscrowed, res.FeesPaid, res.FeesRefunded, res.FeesClaimed,
+		res.FeesPending, res.RelayerBalance, res.CallbacksExecuted, res.CallbacksRejected)
+	res.Fingerprint = fp.String()
+	return res, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestRunMiddlewareLossless: every transfer completes both hops, fees
+// settle, callbacks fire once per terminal delivery.
+func TestRunMiddlewareLossless(t *testing.T) {
+	cfg := DefaultMiddlewareConfig()
+	res, err := RunMiddleware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != cfg.Packets {
+		t.Fatalf("sent %d of %d", res.Sent, cfg.Packets)
+	}
+	if !res.TokensConserved {
+		t.Fatalf("token conservation broke: %s", res.Fingerprint)
+	}
+	if !res.FeesConserved {
+		t.Fatalf("fee conservation broke: %s", res.Fingerprint)
+	}
+	if res.Forwarded != res.Sent || res.Stranded != 0 {
+		t.Fatalf("forwarded=%d stranded=%d sent=%d", res.Forwarded, res.Stranded, res.Sent)
+	}
+	if res.CallbacksExecuted != uint64(res.Sent) || res.CallbacksRejected != 0 {
+		t.Fatalf("callbacks executed=%d rejected=%d, want %d/0",
+			res.CallbacksExecuted, res.CallbacksRejected, res.Sent)
+	}
+	// Delivered fee legs: recv+ack earned, timeout leg refunded, per packet.
+	perPkt := cfg.Fees.RecvFee + cfg.Fees.AckFee
+	if res.FeesPaid != perPkt*uint64(res.Sent) {
+		t.Fatalf("fees paid = %d, want %d", res.FeesPaid, perPkt*uint64(res.Sent))
+	}
+	if res.FeesRefunded != cfg.Fees.TimeoutFee*uint64(res.Sent) {
+		t.Fatalf("fees refunded = %d, want %d", res.FeesRefunded, cfg.Fees.TimeoutFee*uint64(res.Sent))
+	}
+}
+
+// TestRunMiddlewareChaos is the acceptance gate: 5% drop + 5% duplicate
+// on every link must not break 2-hop conservation, fee settlement, or
+// exactly-once callback dispatch — and the chaos must actually bite
+// (retries observed).
+func TestRunMiddlewareChaos(t *testing.T) {
+	cfg := DefaultMiddlewareConfig()
+	cfg.Net = ChaosLink()
+	res, err := RunMiddleware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != cfg.Packets {
+		t.Fatalf("sent %d of %d", res.Sent, cfg.Packets)
+	}
+	if !res.Conserved() {
+		t.Fatalf("conservation broke under chaos: %s", res.Fingerprint)
+	}
+	if res.Forwarded != res.Sent || res.Stranded != 0 {
+		t.Fatalf("forwarded=%d stranded=%d sent=%d", res.Forwarded, res.Stranded, res.Sent)
+	}
+	if res.CallbacksExecuted != uint64(res.Sent) {
+		t.Fatalf("callbacks executed %d, want exactly %d despite duplicates",
+			res.CallbacksExecuted, res.Sent)
+	}
+	if res.RelayerBalance == 0 {
+		t.Fatal("relayer claimed no fees")
+	}
+	if res.NetRetries == 0 {
+		t.Fatal("chaos config produced no retries — the scenario did not stress anything")
+	}
+}
+
+// TestRunMiddlewareDeterminism: same config, same fingerprint.
+func TestRunMiddlewareDeterminism(t *testing.T) {
+	cfg := DefaultMiddlewareConfig()
+	cfg.Packets = 8
+	cfg.Net = ChaosLink()
+	a, err := RunMiddleware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMiddleware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprints diverged:\n%s\n%s", a.Fingerprint, b.Fingerprint)
+	}
+}

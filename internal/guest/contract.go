@@ -3,6 +3,7 @@ package guest
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cryptoutil"
 	"repro/internal/guestblock"
@@ -163,6 +164,10 @@ func (c *Contract) Execute(ctx *host.ExecContext, ins host.Instruction) error {
 	st.nowTime = ctx.Time
 	st.nowSlot = uint64(ctx.Slot)
 	st.ibcEvents = nil
+	// Expose the live compute meter for the duration of the instruction,
+	// so middleware callback budgets charge through it.
+	st.execMeter = ctx.Meter
+	defer func() { st.execMeter = nil }()
 
 	op := ins.Data[0]
 	if st.Halted && op != OpWithdraw {
@@ -241,13 +246,45 @@ func (c *Contract) sendPacket(ctx *host.ExecContext, st *State, r *wire.Reader) 
 	}
 	st.TotalFeesCollected += st.Params.PacketFee
 
-	p, err := st.Handler.SendPacket(a.Port, a.Channel, a.Data, a.TimeoutHeight, a.TimeoutTimestamp)
+	// Sends thread the port's middleware stack (fees, callbacks, ...)
+	// before the core handler commits the packet.
+	p, err := st.Handler.AppSendPacket(a.Port, a.Channel, a.Data, a.TimeoutHeight, a.TimeoutTimestamp)
 	if err != nil {
 		return err
 	}
 	st.PendingPackets = append(st.PendingPackets, p)
 	ctx.Emit(EventPacketQueued{Packet: p})
 	return nil
+}
+
+// PacketSender returns the guest blockchain's chain-level send entry
+// point: packets sent through it thread the destination port's middleware
+// stack AND join the pending list of the next guest block, so they become
+// relayable exactly like application sends. Forwarding middleware uses it
+// for onward hops (it must run inside an executing instruction, where the
+// re-send rides the enclosing recv transaction).
+func (c *Contract) PacketSender(chain *host.Chain) (*GuestPacketSender, error) {
+	st, err := c.State(chain)
+	if err != nil {
+		return nil, err
+	}
+	return &GuestPacketSender{st: st}, nil
+}
+
+// GuestPacketSender implements ibc.PacketSender over the guest contract
+// state (see Contract.PacketSender).
+type GuestPacketSender struct {
+	st *State
+}
+
+// SendPacket implements ibc.PacketSender.
+func (g *GuestPacketSender) SendPacket(port ibc.PortID, ch ibc.ChannelID, data []byte, th ibc.Height, tt time.Time) (*ibc.Packet, error) {
+	p, err := g.st.Handler.AppSendPacket(port, ch, data, th, tt)
+	if err != nil {
+		return nil, err
+	}
+	g.st.PendingPackets = append(g.st.PendingPackets, p)
+	return p, nil
 }
 
 // generateBlock implements Alg. 1 GenerateBlock.

@@ -154,6 +154,12 @@ type State struct {
 	// the host event log after the instruction succeeds.
 	ibcEvents []telemetry.Event
 
+	// execMeter is the compute meter of the instruction currently
+	// executing (set by Execute, nil between instructions). Middleware
+	// callback budgets charge hook compute through it, so hooks are
+	// metered like any other contract code.
+	execMeter *host.ComputeMeter
+
 	// Experiment counters.
 	TotalFeesCollected host.Lamports
 
@@ -225,6 +231,11 @@ func (s *State) BeginDirect(t time.Time, slot uint64) {
 	s.nowSlot = slot
 	s.ibcEvents = nil
 }
+
+// Meter returns the compute meter of the instruction currently executing,
+// or nil between instructions. Middleware meter sources read it live so
+// callback budgets charge the transaction that triggered the hook.
+func (s *State) Meter() *host.ComputeMeter { return s.execMeter }
 
 // CurrentHeight implements ibc.SelfInfo: the guest chain's own height.
 func (s *State) CurrentHeight() ibc.Height { return ibc.Height(s.Height()) }

@@ -114,9 +114,19 @@ func (h *Handler) Events() *telemetry.Bus { return h.bus }
 
 func (h *Handler) emit(ev telemetry.Event) { h.bus.Publish(ev) }
 
-// BindPort registers an application module on a port.
+// BindPort registers an application module on a port and wires the port's
+// send-side entry point: the core handler for plain modules, or the
+// module's wrapped send chain when it is a SendMiddleware (a middleware
+// stack intercepting outgoing packets).
 func (h *Handler) BindPort(port PortID, m Module) error {
-	return h.router.Bind(port, m)
+	if err := h.router.Bind(port, m); err != nil {
+		return err
+	}
+	var sender PacketSender = h
+	if sm, ok := m.(SendMiddleware); ok {
+		sender = sm.WrapSender(h)
+	}
+	return h.router.BindSender(port, sender)
 }
 
 // Router exposes the handler's port router (read-mostly: new apps are
@@ -641,6 +651,19 @@ func (h *Handler) SendPacket(port PortID, id ChannelID, data []byte, timeoutHeig
 	return p, nil
 }
 
+// AppSendPacket is the application-facing send entry point: it threads the
+// outgoing packet through the middleware stack bound on port (fees,
+// callbacks, ...) before the core SendPacket commits it. Chain layers
+// (Guest Contract, counterparty chain) call this; middlewares themselves
+// re-enter via the PacketSender they were given at wrap time.
+func (h *Handler) AppSendPacket(port PortID, id ChannelID, data []byte, timeoutHeight Height, timeoutTimestamp time.Time) (*Packet, error) {
+	s, err := h.router.Sender(port)
+	if err != nil {
+		return nil, err
+	}
+	return s.SendPacket(port, id, data, timeoutHeight, timeoutTimestamp)
+}
+
 // RecvPacket verifies an incoming packet against the counterparty's
 // commitment proof, guards against double delivery, hands the payload to
 // the bound application, and commits the acknowledgement (Alg. 1
@@ -687,7 +710,7 @@ func (h *Handler) RecvPacket(p *Packet, proof []byte, proofHeight Height) ([]byt
 		}
 		if p.Sequence != next {
 			if p.Sequence < next {
-				return nil, ErrDuplicatePacket
+				return nil, ErrPacketAlreadyDelivered
 			}
 			return nil, fmt.Errorf("%w: got %d, want %d", ErrSequenceMismatch, p.Sequence, next)
 		}
@@ -699,17 +722,17 @@ func (h *Handler) RecvPacket(p *Packet, proof []byte, proofHeight Height) ([]byt
 		has, err := h.store.Has(receiptPath)
 		switch {
 		case errors.Is(err, trie.ErrSealed):
-			return nil, ErrDuplicatePacket
+			return nil, ErrPacketAlreadyDelivered
 		case err != nil:
 			return nil, err
 		case has:
-			return nil, ErrDuplicatePacket
+			return nil, ErrPacketAlreadyDelivered
 		}
 		err = h.store.Set(receiptPath, receiptValue)
 		switch {
 		case errors.Is(err, trie.ErrSealed):
 			// The sealed receipt IS the double-delivery guard (§III-A).
-			return nil, ErrDuplicatePacket
+			return nil, ErrPacketAlreadyDelivered
 		case err != nil:
 			return nil, err
 		}
@@ -781,7 +804,7 @@ func (h *Handler) AcknowledgePacket(p *Packet, ack []byte, proofAck []byte, proo
 	}
 	if !has {
 		// Already acknowledged or timed out.
-		return ErrDuplicatePacket
+		return ErrPacketAlreadyDelivered
 	}
 	stored, err := h.store.Get(commitPath)
 	if err != nil {
@@ -835,7 +858,7 @@ func (h *Handler) TimeoutPacket(p *Packet, proofUnreceived []byte, proofHeight H
 		return err
 	}
 	if !has {
-		return ErrDuplicatePacket
+		return ErrPacketAlreadyDelivered
 	}
 	stored, err := h.store.Get(commitPath)
 	if err != nil {
@@ -874,7 +897,7 @@ func (h *Handler) TimeoutPacket(p *Packet, proofUnreceived []byte, proofHeight H
 		nsrPath := NextSequenceRecvPath(p.DestPort, p.DestChannel)
 		// proofUnreceived carries (value || proof): first 8 bytes value.
 		if len(proofUnreceived) < 8 {
-			return fmt.Errorf("%w: short ordered timeout proof", ErrInvalidProof)
+			return fmt.Errorf("%w: short ordered timeout proof", ErrProofVerification)
 		}
 		next, err := decodeSequence(proofUnreceived[:8])
 		if err != nil {

@@ -263,8 +263,8 @@ func TestHandshakeRejectsForgedProof(t *testing.T) {
 	_, err = b.handler.ConnOpenTry("client-a",
 		Counterparty{ClientID: "client-b", ConnectionID: connA},
 		[]byte("client-for-B"), wrongProof, a.height-1)
-	if !errors.Is(err, ErrInvalidProof) {
-		t.Fatalf("err = %v, want ErrInvalidProof", err)
+	if !errors.Is(err, ErrProofVerification) {
+		t.Fatalf("err = %v, want ErrProofVerification", err)
 	}
 }
 
@@ -297,8 +297,8 @@ func TestRecvPacketDuplicateRejected(t *testing.T) {
 	_, err := p.b.handler.RecvPacket(pkt, proof, h)
 	must(t, err)
 	_, err = p.b.handler.RecvPacket(pkt, proof, h)
-	if !errors.Is(err, ErrDuplicatePacket) {
-		t.Fatalf("second delivery = %v, want ErrDuplicatePacket", err)
+	if !errors.Is(err, ErrPacketAlreadyDelivered) {
+		t.Fatalf("second delivery = %v, want ErrPacketAlreadyDelivered", err)
 	}
 }
 
@@ -319,8 +319,8 @@ func TestRecvPacketSealedReceiptDuplicateRejected(t *testing.T) {
 		t.Fatal("receipt not sealed on the sealing chain")
 	}
 	_, err = p.a.handler.RecvPacket(pkt, proof, h)
-	if !errors.Is(err, ErrDuplicatePacket) {
-		t.Fatalf("second delivery = %v, want ErrDuplicatePacket", err)
+	if !errors.Is(err, ErrPacketAlreadyDelivered) {
+		t.Fatalf("second delivery = %v, want ErrPacketAlreadyDelivered", err)
 	}
 }
 
@@ -330,8 +330,8 @@ func TestRecvPacketForgedProofRejected(t *testing.T) {
 	// Tamper with the packet: same proof must fail.
 	bad := *pkt
 	bad.Data = []byte("forged-data")
-	if _, err := p.b.handler.RecvPacket(&bad, proof, h); !errors.Is(err, ErrInvalidProof) {
-		t.Fatalf("forged packet = %v, want ErrInvalidProof", err)
+	if _, err := p.b.handler.RecvPacket(&bad, proof, h); !errors.Is(err, ErrProofVerification) {
+		t.Fatalf("forged packet = %v, want ErrProofVerification", err)
 	}
 }
 
@@ -365,8 +365,8 @@ func TestTimeoutPacketUnordered(t *testing.T) {
 		t.Fatal("commitment not cleared after timeout")
 	}
 	// A second timeout claim must fail.
-	if err := p.a.handler.TimeoutPacket(pkt, proof, h); !errors.Is(err, ErrDuplicatePacket) {
-		t.Fatalf("double timeout = %v, want ErrDuplicatePacket", err)
+	if err := p.a.handler.TimeoutPacket(pkt, proof, h); !errors.Is(err, ErrPacketAlreadyDelivered) {
+		t.Fatalf("double timeout = %v, want ErrPacketAlreadyDelivered", err)
 	}
 }
 
@@ -413,8 +413,8 @@ func TestOrderedChannelSequenceEnforced(t *testing.T) {
 	_, err = p.b.handler.RecvPacket(pkt2, proof2, h2)
 	must(t, err)
 	// Replaying packet 1 must fail as a duplicate.
-	if _, err := p.b.handler.RecvPacket(pkt1, proof1, h1); !errors.Is(err, ErrDuplicatePacket) {
-		t.Fatalf("replay = %v, want ErrDuplicatePacket", err)
+	if _, err := p.b.handler.RecvPacket(pkt1, proof1, h1); !errors.Is(err, ErrPacketAlreadyDelivered) {
+		t.Fatalf("replay = %v, want ErrPacketAlreadyDelivered", err)
 	}
 }
 
@@ -457,8 +457,8 @@ func TestAckCommitmentMismatchRejected(t *testing.T) {
 	_, ackProof, err := p.b.snaps[p.b.height-1].ProveMembership(AckPath(pkt.DestPort, pkt.DestChannel, pkt.Sequence))
 	must(t, err)
 	// Wrong ack bytes cannot verify against the committed ack.
-	if err := p.a.handler.AcknowledgePacket(pkt, []byte("forged-ack"), ackProof, p.b.height-1); !errors.Is(err, ErrInvalidProof) {
-		t.Fatalf("forged ack = %v, want ErrInvalidProof", err)
+	if err := p.a.handler.AcknowledgePacket(pkt, []byte("forged-ack"), ackProof, p.b.height-1); !errors.Is(err, ErrProofVerification) {
+		t.Fatalf("forged ack = %v, want ErrProofVerification", err)
 	}
 }
 
@@ -588,8 +588,8 @@ func TestChannelCloseHandshake(t *testing.T) {
 	q := newPair(t)
 	garbage, err := q.a.snaps[q.a.height-1].ProveNonMembership(ChannelPath("transfer", "channel-77"))
 	must(t, err)
-	if err := q.b.handler.ChanCloseConfirm("transfer", q.chanB, garbage, q.a.height-1); !errors.Is(err, ErrInvalidProof) {
-		t.Fatalf("bogus close proof = %v, want ErrInvalidProof", err)
+	if err := q.b.handler.ChanCloseConfirm("transfer", q.chanB, garbage, q.a.height-1); !errors.Is(err, ErrProofVerification) {
+		t.Fatalf("bogus close proof = %v, want ErrProofVerification", err)
 	}
 }
 

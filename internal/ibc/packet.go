@@ -101,3 +101,21 @@ type Module interface {
 	// OnTimeoutPacket notifies the application a sent packet timed out.
 	OnTimeoutPacket(p Packet) error
 }
+
+// PacketSender is the send side of the packet lifecycle: assign a
+// sequence, commit the packet, return it. Handler implements it (the core
+// ICS-04 send); middleware stacks wrap it to intercept outgoing packets
+// before they reach the core — the ICS4-wrapper direction of ICS-30.
+type PacketSender interface {
+	SendPacket(port PortID, channel ChannelID, data []byte, timeoutHeight Height, timeoutTimestamp time.Time) (*Packet, error)
+}
+
+// SendMiddleware is implemented by modules (middleware stacks) that also
+// intercept the send path. When such a module is bound on a port, the
+// handler routes application-originated sends (Handler.AppSendPacket)
+// through WrapSender(core) instead of straight into the core send.
+type SendMiddleware interface {
+	Module
+	// WrapSender returns the send chain with core as its innermost layer.
+	WrapSender(core PacketSender) PacketSender
+}

@@ -17,11 +17,19 @@ import (
 // and even channels sharing a port — stay fully isolated.
 type Router struct {
 	modules map[PortID]Module
+	// senders[port] is the send-side entry point for apps bound on port:
+	// the core handler for plain modules, or the outermost layer of the
+	// port's middleware stack when the bound module wraps sends (ICS-30's
+	// ICS4-wrapper direction). Wired by Handler.BindPort.
+	senders map[PortID]PacketSender
 }
 
 // NewRouter returns an empty router.
 func NewRouter() *Router {
-	return &Router{modules: make(map[PortID]Module)}
+	return &Router{
+		modules: make(map[PortID]Module),
+		senders: make(map[PortID]PacketSender),
+	}
 }
 
 // Bind registers a module on a port. Binding an already-bound port is a
@@ -35,6 +43,28 @@ func (r *Router) Bind(port PortID, m Module) error {
 	}
 	r.modules[port] = m
 	return nil
+}
+
+// BindSender registers the send-side entry point for a port. Called by
+// Handler.BindPort alongside Bind; a port is only ever wired once.
+func (r *Router) BindSender(port PortID, s PacketSender) error {
+	if s == nil {
+		return fmt.Errorf("%w: nil sender for %q", ErrPortNotBound, port)
+	}
+	if _, ok := r.senders[port]; ok {
+		return fmt.Errorf("%w: sender for %q", ErrPortAlreadyBound, port)
+	}
+	r.senders[port] = s
+	return nil
+}
+
+// Sender returns the send-side entry point bound on port.
+func (r *Router) Sender(port PortID) (PacketSender, error) {
+	s, ok := r.senders[port]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrPortNotBound, port)
+	}
+	return s, nil
 }
 
 // Route returns the module bound on port.

@@ -311,31 +311,6 @@ func (s *Store) ProveNonMembership(path string) ([]byte, error) {
 	return raw, nil
 }
 
-// Clone returns a deep, fully independent copy of the store's head.
-//
-// Deprecated: Clone is the pre-versioning snapshot mechanism and costs
-// O(state size) per call. Use Commit and At, which freeze the same contents
-// in O(1). Clone is retained so external callers and the pre-versioning
-// benchmarks keep working; retained versions and history do not carry over.
-func (s *Store) Clone() *Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := &Store{
-		trie:     s.trie.Clone(),
-		values:   make(map[string][]valueRev, len(s.values)),
-		head:     1,
-		retained: make(map[Version]struct{}),
-		writeLog: make(map[Version][]string),
-	}
-	for p, h := range s.values {
-		if n := len(h); n > 0 && h[n-1].val != nil {
-			out.values[p] = []valueRev{{ver: 1, val: h[n-1].val}}
-			out.writeLog[1] = append(out.writeLog[1], p)
-		}
-	}
-	return out
-}
-
 // ReadOnlyStore is a read-only view of one committed store version,
 // obtained from Store.At. It serves reads and proofs against the frozen
 // root for as long as the version stays retained, and is safe to use
@@ -421,10 +396,10 @@ func (r *ReadOnlyStore) ProveNonMembership(path string) ([]byte, error) {
 func VerifyStoredMembership(root cryptoutil.Hash, path string, value []byte, rawProof []byte) error {
 	var proof trie.Proof
 	if err := proof.UnmarshalBinary(rawProof); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		return fmt.Errorf("%w: %v", ErrProofVerification, err)
 	}
 	if err := trie.VerifyMembership(root, PathToKey(path), cryptoutil.HashBytes(value), &proof); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		return fmt.Errorf("%w: %v", ErrProofVerification, err)
 	}
 	return nil
 }
@@ -433,10 +408,10 @@ func VerifyStoredMembership(root cryptoutil.Hash, path string, value []byte, raw
 func VerifyStoredNonMembership(root cryptoutil.Hash, path string, rawProof []byte) error {
 	var proof trie.Proof
 	if err := proof.UnmarshalBinary(rawProof); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		return fmt.Errorf("%w: %v", ErrProofVerification, err)
 	}
 	if err := trie.VerifyNonMembership(root, PathToKey(path), &proof); err != nil {
-		return fmt.Errorf("%w: %v", ErrInvalidProof, err)
+		return fmt.Errorf("%w: %v", ErrProofVerification, err)
 	}
 	return nil
 }

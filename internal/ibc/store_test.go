@@ -134,8 +134,8 @@ func TestStoreProofHelpers(t *testing.T) {
 		t.Fatal("generated absence proof for present path")
 	}
 	// Garbage proof bytes are rejected.
-	if err := VerifyStoredMembership(root, "exists", value, []byte{0xde, 0xad}); !errors.Is(err, ErrInvalidProof) {
-		t.Fatalf("garbage proof = %v, want ErrInvalidProof", err)
+	if err := VerifyStoredMembership(root, "exists", value, []byte{0xde, 0xad}); !errors.Is(err, ErrProofVerification) {
+		t.Fatalf("garbage proof = %v, want ErrProofVerification", err)
 	}
 }
 

@@ -105,15 +105,6 @@ var (
 	ErrReceiptLost            = errors.New("ibc: receipt write lost")
 )
 
-// Deprecated aliases for the pre-rename sentinel names. They are bound to
-// the same error values, so errors.Is works identically through either name.
-var (
-	// Deprecated: use ErrProofVerification.
-	ErrInvalidProof = ErrProofVerification
-	// Deprecated: use ErrPacketAlreadyDelivered.
-	ErrDuplicatePacket = ErrPacketAlreadyDelivered
-)
-
 // Client is a light client of a counterparty chain, stored in the local
 // chain's state (ICS-02). Implementations: lightclient/guest (quorum of
 // validator signatures) and lightclient/tendermint (BFT commits).

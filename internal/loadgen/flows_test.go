@@ -1,0 +1,82 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/middleware"
+)
+
+func testFlows(frac float64) FlowProfile {
+	return FlowProfile{
+		ForwardFraction: frac,
+		ForwardPort:     "transfer",
+		ForwardChannel:  "chan-1",
+		ForwardAccount:  "forward-module",
+		ForwardReceiver: "final",
+	}
+}
+
+// TestFlowProfileSampling checks the forward mix is deterministic per
+// seed, roughly honours the configured fraction, and never fires when
+// disabled or incomplete.
+func TestFlowProfileSampling(t *testing.T) {
+	cfg := Config{Seed: 7, Flows: testFlows(0.25)}
+	a := NewSampler(cfg, 2, nil)
+	b := NewSampler(cfg, 2, nil)
+	forwards := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		ea, eb := a.Next(), b.Next()
+		if ea != eb {
+			t.Fatalf("event %d diverged: %+v vs %+v", i, ea, eb)
+		}
+		if ea.Forward {
+			forwards++
+		}
+	}
+	got := float64(forwards) / n
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("forward fraction = %.3f, want ~0.25", got)
+	}
+
+	// Zero-value profile: no forwards, and the rest of the event stream is
+	// unchanged relative to a run with flows configured (decorrelated RNG
+	// streams mean the flow draw never perturbs arrivals/accounts/sizes).
+	off := NewSampler(Config{Seed: 7}, 2, nil)
+	on := NewSampler(Config{Seed: 7, Flows: testFlows(0.25)}, 2, nil)
+	for i := 0; i < 500; i++ {
+		eo, en := off.Next(), on.Next()
+		if eo.Forward {
+			t.Fatal("disabled profile sampled a forward")
+		}
+		eo.Forward, en.Forward = false, false
+		if eo != en {
+			t.Fatalf("flow profile perturbed base stream at %d: %+v vs %+v", i, eo, en)
+		}
+	}
+
+	// Incomplete profiles never enable.
+	if (FlowProfile{ForwardFraction: 1}).Enabled() {
+		t.Fatal("profile without a hop must not enable")
+	}
+}
+
+// TestFlowProfileMemoShape pins the memo the generator emits for forward
+// events: parseable by the middleware, hop fields preserved, and the
+// unique padding folded into the onward memo.
+func TestFlowProfileMemoShape(t *testing.T) {
+	f := testFlows(1)
+	memo := middleware.ForwardMemo(middleware.ForwardInfo{
+		Port:     f.ForwardPort,
+		Channel:  f.ForwardChannel,
+		Receiver: f.ForwardReceiver,
+		Memo:     "42:xxxx",
+	})
+	info := middleware.ParseForwardMemo(memo)
+	if info == nil {
+		t.Fatal("generator memo did not round-trip")
+	}
+	if info.Port != "transfer" || info.Channel != "chan-1" || info.Receiver != "final" || info.Memo != "42:xxxx" {
+		t.Fatalf("parsed = %+v", info)
+	}
+}

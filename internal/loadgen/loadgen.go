@@ -11,6 +11,7 @@ import (
 	"repro/internal/cryptoutil"
 	"repro/internal/fees"
 	"repro/internal/host"
+	"repro/internal/middleware"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -48,6 +49,9 @@ type Config struct {
 	PrewarmTop int
 	// Policy is the fee policy for injected transfers.
 	Policy fees.Policy
+	// Flows mixes forwarding traffic into the workload (zero value: all
+	// transfers are terminal).
+	Flows FlowProfile
 }
 
 func (c Config) withDefaults() Config {
@@ -86,6 +90,9 @@ type Event struct {
 	Channel int
 	Amount  uint64
 	MemoLen int
+	// Forward marks a transfer that carries a forward memo for the
+	// counterparty's forwarding middleware.
+	Forward bool
 }
 
 // Sampler draws the workload's random decisions from four decorrelated
@@ -99,6 +106,7 @@ type Sampler struct {
 	arrRng   *rand.Rand
 	sizeRng  *rand.Rand
 	mixRng   *rand.Rand
+	flowRng  *rand.Rand
 	accounts *Accounts
 }
 
@@ -126,6 +134,7 @@ func NewSampler(cfg Config, channels int, materialise func(idx uint64, pub crypt
 		arrRng:   stream("arrivals"),
 		sizeRng:  stream("sizes"),
 		mixRng:   stream("mix"),
+		flowRng:  stream("flows"),
 		accounts: NewAccounts(stream("accounts"), cfg.Accounts, cfg.ZipfS, materialise),
 	}
 }
@@ -140,6 +149,7 @@ func (s *Sampler) Next() Event {
 		Channel: s.cfg.Mix.Sample(s.mixRng, s.channels),
 		Amount:  s.cfg.Sizes.SampleAmount(s.sizeRng),
 		MemoLen: s.cfg.Sizes.SampleMemoLen(s.sizeRng),
+		Forward: s.cfg.Flows.SampleForward(s.flowRng),
 	}
 	ev.Account = s.accounts.SampleIndex()
 	return ev
@@ -275,6 +285,17 @@ func (g *Generator) inject(ev Event) {
 	// when the Zipf head re-sends the same amount within one slot.
 	memo := fmt.Sprintf("%d:%s", g.seq, strings.Repeat("x", ev.MemoLen))
 	receiver := fmt.Sprintf("load-recv-%d", ev.Account%64)
+	if ev.Forward {
+		// Address the counterparty's forwarding module account and fold the
+		// unique padding memo into the onward hop so dedup still holds.
+		receiver = g.cfg.Flows.ForwardAccount
+		memo = middleware.ForwardMemo(middleware.ForwardInfo{
+			Port:     g.cfg.Flows.ForwardPort,
+			Channel:  g.cfg.Flows.ForwardChannel,
+			Receiver: g.cfg.Flows.ForwardReceiver,
+			Memo:     memo,
+		})
+	}
 	var deadline time.Time
 	if g.cfg.Deadline > 0 {
 		deadline = g.net.Sched.Now().Add(g.cfg.Deadline)

@@ -37,6 +37,38 @@ func (p SizeProfile) SampleMemoLen(rng *rand.Rand) int {
 	return p.MemoMin + rng.Intn(p.MemoMax-p.MemoMin+1)
 }
 
+// FlowProfile mixes multi-hop forwarding traffic into the workload: a
+// sampled fraction of transfers address the counterparty's forwarding
+// module account and carry a forward memo naming the onward hop, so a
+// load run exercises the middleware chain (fees escrow on send, forward
+// re-send on recv) instead of only terminal transfers.
+type FlowProfile struct {
+	// ForwardFraction in [0, 1] is the probability a transfer forwards.
+	ForwardFraction float64
+	// ForwardPort/ForwardChannel name the onward hop on the receiving
+	// chain, as the forwarding middleware there resolves them.
+	ForwardPort, ForwardChannel string
+	// ForwardAccount is the intermediate module account the first hop pays
+	// into (the receiver of the hop-one packet).
+	ForwardAccount string
+	// ForwardReceiver is the final receiver on the second hop.
+	ForwardReceiver string
+}
+
+// Enabled reports whether the profile can emit forwarding transfers.
+func (f FlowProfile) Enabled() bool {
+	return f.ForwardFraction > 0 && f.ForwardPort != "" && f.ForwardChannel != "" &&
+		f.ForwardAccount != "" && f.ForwardReceiver != ""
+}
+
+// SampleForward draws whether one transfer forwards.
+func (f FlowProfile) SampleForward(rng *rand.Rand) bool {
+	if !f.Enabled() {
+		return false
+	}
+	return rng.Float64() < f.ForwardFraction
+}
+
 // ChannelMix weights traffic across the topology's channels. Nil or empty
 // spreads load uniformly.
 type ChannelMix []float64

@@ -1,0 +1,42 @@
+// Package middleware implements an ICS-30-style packet middleware chain
+// for IBC applications.
+//
+// A Stack wraps a base application (any ibc.Module) in an ordered list of
+// middlewares, each of which may observe or intercept every point of the
+// packet lifecycle: OnChanOpen, OnRecvPacket, OnAcknowledgementPacket,
+// OnTimeoutPacket, and — through the ICS4-wrapper direction — SendPacket.
+// The stack itself implements ibc.Module and ibc.SendMiddleware, so it is
+// bound on a port exactly like a bare application:
+//
+//	app := transfer.New("transfer")
+//	stack := middleware.NewStack(app, feesMw, callbacksMw)
+//	handler.BindPort("transfer", stack)
+//
+// Ordering. NewStack(app, m0, m1, ..., mN) places m0 outermost (closest
+// to the IBC core) and mN innermost (closest to the application):
+//
+//   - recv enters outside-in: m0, m1, ..., mN, then the application;
+//   - ack and timeout enter inside-out: mN, ..., m1, m0, then the
+//     application;
+//   - sends originate at the application and travel outward: mN, ..., m0,
+//     then the core handler commits the packet.
+//
+// The per-hook chains are composed once at construction (and once per
+// WrapSender), so dispatch through a stack is plain closure calls with no
+// per-packet allocation: an empty stack is observationally identical to
+// binding the bare application.
+//
+// Three production middlewares ship with the package:
+//
+//   - Callbacks: user-registered per-packet lifecycle hooks with bounded
+//     compute budgets charged through the host compute meter; a hook that
+//     exhausts its budget on recv yields an error acknowledgement rather
+//     than a handler fault.
+//   - Fees: ICS-29-style relayer incentivisation — recv/ack/timeout fees
+//     are escrowed when a packet is sent, paid out to the delivering
+//     relayer identity on settlement, and partially refunded (the unused
+//     leg) to the original sender.
+//   - Forward: transfer-v2-style packet forwarding — a memo naming a next
+//     (port, channel) hop causes the received tokens to be re-sent from a
+//     module account, preserving ICS-20 denom tracing across hops.
+package middleware

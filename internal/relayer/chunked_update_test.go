@@ -215,7 +215,7 @@ func TestDoubleDeliveryRejectedThroughContract(t *testing.T) {
 	if err == nil {
 		t.Fatal("double delivery succeeded")
 	}
-	if !errors.Is(err, ibc.ErrDuplicatePacket) {
-		t.Fatalf("second delivery error = %v, want ErrDuplicatePacket", err)
+	if !errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+		t.Fatalf("second delivery error = %v, want ErrPacketAlreadyDelivered", err)
 	}
 }

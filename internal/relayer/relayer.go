@@ -206,6 +206,18 @@ type Relayer struct {
 	mNetRetries    *telemetry.Counter
 	mNetDead       *telemetry.Counter
 	mNetAttempts   *telemetry.Histogram
+	mFeesClaimed   *telemetry.Counter
+
+	// feeEscrows are the fee middlewares this relayer earns from
+	// (registered by the deployment wiring); ClaimFees sweeps them.
+	feeEscrows []FeeClaimer
+}
+
+// FeeClaimer is a fee escrow the relayer can claim accrued packet fees
+// from, keyed by the relayer's payee identity (implemented by
+// middleware.Fees).
+type FeeClaimer interface {
+	Claim(payee string) map[string]uint64
 }
 
 // cpOp is one queued counterparty operation.
@@ -284,6 +296,7 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 	r.mClientUpdates = reg.Counter("relayer.client_updates")
 	r.mTimeouts = reg.Counter("relayer.timeouts_submitted")
 	r.mSnapRetries = reg.Counter("relayer.snapshot_pruned_retries")
+	r.mFeesClaimed = reg.Counter("relayer.fees_claimed_tokens")
 	r.byGuest = make(map[chanKey]*shard)
 	r.byCP = make(map[chanKey]*shard)
 	for i, route := range cfg.routes() {
@@ -447,6 +460,38 @@ func (r *Relayer) cpAckPacket(p *ibc.Packet, ack, proof []byte, provedAt uint64,
 
 // Key returns the relayer's fee-paying key.
 func (r *Relayer) Key() *cryptoutil.PrivKey { return r.key }
+
+// PayeeID is the relayer's identity in fee escrows (ICS-29 payee): the
+// string form of its public key, the same identity its host transactions
+// are signed with.
+func (r *Relayer) PayeeID() string { return r.key.Public().String() }
+
+// RegisterFeeClaimer adds a fee escrow this relayer earns from. The
+// deployment wiring registers the fee middleware of every stack whose
+// packets this relayer delivers, after pointing the middleware's payee at
+// PayeeID.
+func (r *Relayer) RegisterFeeClaimer(c FeeClaimer) {
+	if c != nil {
+		r.feeEscrows = append(r.feeEscrows, c)
+	}
+}
+
+// ClaimFees sweeps accrued packet fees from every registered escrow into
+// the relayer's bank balance and returns the total claimed per denom.
+// Scheduled periodically by the deployment (and once more at drain).
+func (r *Relayer) ClaimFees() map[string]uint64 {
+	var total map[string]uint64
+	for _, esc := range r.feeEscrows {
+		for denom, amt := range esc.Claim(r.PayeeID()) {
+			if total == nil {
+				total = make(map[string]uint64)
+			}
+			total[denom] += amt
+			r.mFeesClaimed.Add(amt)
+		}
+	}
+	return total
+}
 
 // traceKey builds the packet's trace identifier. It is called for every
 // packet event the relayer scans (several times per packet lifecycle), so

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"repro/internal/ibc"
+	"repro/internal/telemetry"
 )
 
 // PacketData is the fungible-token packet payload (ICS-20 shape).
@@ -93,17 +94,53 @@ type App struct {
 	// Cancels counts sends rolled back before the packet ever left the
 	// chain (mempool rejection or deadline shedding under load).
 	Cancels int
+
+	// Telemetry mirrors of the test counters above; nil instruments are
+	// no-ops, so an app built without WithTelemetry pays nothing.
+	telemetry *telemetry.Registry
+	metricsNS string
+	cMints    *telemetry.Counter
+	cBurns    *telemetry.Counter
+	cRefunds  *telemetry.Counter
+	cCancels  *telemetry.Counter
 }
 
 var _ ibc.Module = (*App)(nil)
 
+// Option configures a transfer App (PR 2 functional-options convention).
+type Option func(*App)
+
+// WithTelemetry registers the app's voucher-operation counters in reg
+// under the app's metrics namespace.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(a *App) { a.telemetry = reg }
+}
+
+// WithMetricsNamespace sets the metric-name prefix (default "transfer").
+// Deployments running one app per chain side use e.g. "guest.transfer"
+// and "cp.transfer" so both report into one registry.
+func WithMetricsNamespace(ns string) Option {
+	return func(a *App) { a.metricsNS = ns }
+}
+
 // New creates a transfer app for the given port.
-func New(port ibc.PortID) *App {
-	return &App{
-		port:     port,
-		balances: make(map[string]map[string]uint64),
-		escrow:   make(map[ibc.ChannelID]map[string]uint64),
+func New(port ibc.PortID, opts ...Option) *App {
+	a := &App{
+		port:      port,
+		balances:  make(map[string]map[string]uint64),
+		escrow:    make(map[ibc.ChannelID]map[string]uint64),
+		metricsNS: "transfer",
 	}
+	for _, o := range opts {
+		o(a)
+	}
+	// Resolve instruments once options settled (namespace may follow the
+	// registry in the option list); nil registry yields no-op counters.
+	a.cMints = a.telemetry.Counter(a.metricsNS + ".mints")
+	a.cBurns = a.telemetry.Counter(a.metricsNS + ".burns")
+	a.cRefunds = a.telemetry.Counter(a.metricsNS + ".refunds")
+	a.cCancels = a.telemetry.Counter(a.metricsNS + ".cancels")
+	return a
 }
 
 // Port returns the app's port.
@@ -141,10 +178,30 @@ func (a *App) debit(account, denom string, amount uint64) error {
 	return nil
 }
 
+// Credit adds amount of denom to account. Exported for middleware (fee
+// escrow payouts, forwarding refunds) that treats the app as the chain's
+// bank; application-internal flows use the unexported helpers.
+func (a *App) Credit(account, denom string, amount uint64) {
+	a.credit(account, denom, amount)
+}
+
+// Debit removes amount of denom from account, failing without side
+// effects if the balance is insufficient. Exported for middleware.
+func (a *App) Debit(account, denom string, amount uint64) error {
+	return a.debit(account, denom, amount)
+}
+
 // voucherPrefix is the denom prefix for tokens that travelled over
 // (port, channel).
 func voucherPrefix(port ibc.PortID, ch ibc.ChannelID) string {
 	return fmt.Sprintf("%s/%s/", port, ch)
+}
+
+// VoucherPrefix exposes the ICS-20 denom trace prefix for tokens that
+// travelled over (port, channel) — middleware (forwarding) and tests use
+// it to reconstruct the denom a recv credited.
+func VoucherPrefix(port ibc.PortID, ch ibc.ChannelID) string {
+	return voucherPrefix(port, ch)
 }
 
 // PrepareSend debits/escrows sender funds and returns the packet data to
@@ -163,6 +220,7 @@ func (a *App) PrepareSend(srcChannel ibc.ChannelID, d *PacketData) error {
 	if strings.HasPrefix(d.Denom, prefix) {
 		// Voucher going home: burn.
 		a.Burns++
+		a.cBurns.Inc()
 		return nil
 	}
 	// Native: escrow.
@@ -182,11 +240,13 @@ func (a *App) PrepareSend(srcChannel ibc.ChannelID, d *PacketData) error {
 // stranded and per-channel conservation would break under overload.
 func (a *App) CancelSend(srcChannel ibc.ChannelID, d *PacketData) error {
 	a.Cancels++
+	a.cCancels.Inc()
 	prefix := voucherPrefix(a.port, srcChannel)
 	if strings.HasPrefix(d.Denom, prefix) {
 		// The burned voucher comes back into existence.
 		a.credit(d.Sender, d.Denom, d.Amount)
 		a.Mints++
+		a.cMints.Inc()
 		return nil
 	}
 	esc := a.escrow[srcChannel]
@@ -276,6 +336,7 @@ func (a *App) OnRecvPacket(p ibc.Packet) ([]byte, error) {
 	voucher := voucherPrefix(p.DestPort, p.DestChannel) + d.Denom
 	a.credit(d.Receiver, voucher, d.Amount)
 	a.Mints++
+	a.cMints.Inc()
 	return AckSuccess, nil
 }
 
@@ -299,11 +360,13 @@ func (a *App) refund(p ibc.Packet) error {
 		return err
 	}
 	a.Refunds++
+	a.cRefunds.Inc()
 	prefix := voucherPrefix(p.SourcePort, p.SourceChannel)
 	if strings.HasPrefix(d.Denom, prefix) {
 		// A burned voucher comes back into existence.
 		a.credit(d.Sender, d.Denom, d.Amount)
 		a.Mints++
+		a.cMints.Inc()
 		return nil
 	}
 	esc := a.escrow[p.SourceChannel]

@@ -67,8 +67,8 @@ type Trie struct {
 	fresh    int
 
 	// hs is the reusable hashing state for the rehash spine. It is never
-	// shared between tries (Clone leaves it zero) so single-writer tries
-	// stay goroutine-isolated.
+	// shared between tries, so single-writer tries stay
+	// goroutine-isolated.
 	hs nodeHasher
 
 	// pathScratch and stackScratch back the descent of the current
@@ -734,48 +734,6 @@ func (t *Trie) SharedNodeRatio() float64 {
 		return 0
 	}
 	return r
-}
-
-// Clone returns a deep copy of the trie.
-//
-// Deprecated: Clone is the pre-versioning snapshot mechanism and costs
-// O(state size) time and memory. Use Snapshot and At, which freeze the
-// same contents in O(1) with structural sharing. Clone is retained so
-// external callers and historical tests keep working.
-func (t *Trie) Clone() *Trie {
-	out := &Trie{
-		nodeCount:   t.nodeCount,
-		leafCount:   t.leafCount,
-		sealedCount: t.sealedCount,
-		maxNodes:    t.maxNodes,
-		totalAllocs: t.totalAllocs,
-		totalFrees:  t.totalFrees,
-		rev:         1,
-	}
-	out.root = cloneRef(t.root)
-	return out
-}
-
-func cloneRef(r ref) ref {
-	out := ref{hash: r.hash, sealed: r.sealed}
-	if r.node == nil {
-		return out
-	}
-	n := &node{
-		kind:   r.node.kind,
-		path:   r.node.path.clone(),
-		value:  r.node.value,
-		sealed: r.node.sealed,
-	}
-	switch n.kind {
-	case kindBranch:
-		n.children[0] = cloneRef(r.node.children[0])
-		n.children[1] = cloneRef(r.node.children[1])
-	case kindExt:
-		n.child = cloneRef(r.node.child)
-	}
-	out.node = n
-	return out
 }
 
 // Keys returns all live keys in the trie, in depth-first order. Intended
