@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-deprecated test race bench bench-json cover verify-figs api-check api-update ci
+.PHONY: all build vet lint lint-deprecated test race bench bench-json mesh-smoke cover verify-figs api-check api-update ci
 
 all: test
 
@@ -51,8 +51,17 @@ bench:
 # hottest micro-benchmarks with their recorded pre-optimisation baselines.
 # The self-check fails the target when the output is schema-invalid.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json
-	$(GO) run ./cmd/benchjson -check BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -check BENCH_pr8.json
+
+# Mesh smoke gate: both acceptance topologies (4-chain line and diamond)
+# under per-link chaos must deliver every routed transfer with exact
+# escrow/voucher conservation at every hop. guestsim exits non-zero on a
+# conservation violation, so this is a pass/fail gate, not a demo.
+mesh-smoke:
+	$(GO) run ./cmd/guestsim -mesh -mesh-topology line >/dev/null
+	$(GO) run ./cmd/guestsim -mesh -mesh-topology diamond >/dev/null
+	@echo "mesh smoke: line + diamond conserve under chaos"
 
 # Coverage across every package, with the combined profile left in
 # cover.out for `go tool cover -html=cover.out`.
@@ -76,7 +85,7 @@ verify-figs:
 # api/ibc.txt. Regenerate deliberately with `make api-update` when an API
 # change is intended.
 api-check:
-	@$(GO) run ./cmd/apidump internal/ibc internal/middleware > api/ibc.txt.new
+	@$(GO) run ./cmd/apidump internal/ibc internal/middleware internal/routing > api/ibc.txt.new
 	@if ! diff -u api/ibc.txt api/ibc.txt.new; then \
 		echo "exported API drift: run 'make api-update' if the change is intended"; \
 		rm -f api/ibc.txt.new; exit 1; \
@@ -85,9 +94,10 @@ api-check:
 	@echo "exported API surface matches api/ibc.txt"
 
 api-update:
-	$(GO) run ./cmd/apidump internal/ibc internal/middleware > api/ibc.txt
+	$(GO) run ./cmd/apidump internal/ibc internal/middleware internal/routing > api/ibc.txt
 
 # The pre-merge gate: vet + lint (including the retired-API grep), the
 # whole suite under the race detector, the coverage summary, the
-# figure-drift check, and the exported-API stability check.
-ci: vet lint race cover verify-figs api-check
+# figure-drift check, the exported-API stability check, and the mesh
+# smoke run.
+ci: vet lint race cover verify-figs api-check mesh-smoke

@@ -1,10 +1,13 @@
 // Command benchjson emits the machine-checkable benchmark trajectory
-// (BENCH_pr7.json): packet-latency percentiles and sustained throughput
+// (BENCH_pr8.json): packet-latency percentiles and sustained throughput
 // from a pinned open-loop load run, ns/op and allocs/op of the hottest
 // micro-benchmarks alongside their recorded pre-optimisation baselines,
-// and the middleware-chain recv overhead (stacked vs bare dispatch). With -check it validates an existing file instead of
-// generating one, exiting non-zero when the file is missing, empty, or
-// schema-invalid — that mode is the CI bench-smoke gate.
+// the middleware-chain recv overhead (stacked vs bare dispatch), and the
+// mesh section — per-flow end-to-end latency and per-link client-update
+// amortisation from a pinned 4-chain line run under chaos. With -check
+// it validates an existing file instead of generating one, exiting
+// non-zero when the file is missing, empty, or schema-invalid — that
+// mode is the CI bench-smoke gate.
 //
 // The load configuration is pinned (not flag-tunable) so successive JSON
 // files differ only when the code's behaviour does.
@@ -16,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,7 +32,7 @@ import (
 )
 
 // Schema identifies the document layout; bump on breaking changes.
-const Schema = "bench/pr7/v1"
+const Schema = "bench/pr8/v1"
 
 // LoadSection reports the pinned open-loop run.
 type LoadSection struct {
@@ -76,17 +80,57 @@ type MiddlewareSection struct {
 	OverheadAllocs     int64   `json:"overhead_allocs"`
 }
 
-// Doc is the whole BENCH_pr7.json document.
+// MeshHop is one flow's end-to-end latency over a multi-hop route in the
+// pinned mesh run.
+type MeshHop struct {
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+	Path string `json:"path"`
+	Hops int    `json:"hops"`
+
+	Sent      int  `json:"sent"`
+	Delivered int  `json:"delivered"`
+	Conserved bool `json:"conserved"`
+
+	E2EP50s float64 `json:"e2e_p50_s"`
+	E2EP99s float64 `json:"e2e_p99_s"`
+}
+
+// MeshLink is one link's relayer cost in the pinned mesh run.
+type MeshLink struct {
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+
+	ClientUpdates    uint64  `json:"client_updates"`
+	Delivered        uint64  `json:"delivered"`
+	UpdatesPerPacket float64 `json:"updates_per_packet"`
+	NetRetries       uint64  `json:"net_retries"`
+}
+
+// MeshSection records the pinned 4-chain line run under per-link chaos:
+// per-hop (per-flow) end-to-end latency and the per-link client-update
+// amortisation the per-link relayer fleet pays.
+type MeshSection struct {
+	Topology  string     `json:"topology"`
+	Seed      int64      `json:"seed"`
+	Packets   int        `json:"packets"`
+	Conserved bool       `json:"conserved"`
+	Flows     []MeshHop  `json:"flows"`
+	Links     []MeshLink `json:"links"`
+}
+
+// Doc is the whole BENCH_pr8.json document.
 type Doc struct {
 	Schema        string            `json:"schema"`
 	Load          LoadSection       `json:"load"`
 	HotBenchmarks []HotBench        `json:"hot_benchmarks"`
 	Middleware    MiddlewareSection `json:"middleware"`
+	Mesh          MeshSection       `json:"mesh"`
 }
 
 func main() {
 	check := flag.String("check", "", "validate an existing BENCH json and exit (no generation)")
-	out := flag.String("out", "BENCH_pr7.json", "output path")
+	out := flag.String("out", "BENCH_pr8.json", "output path")
 	flag.Parse()
 
 	if *check != "" {
@@ -181,6 +225,35 @@ func generate() (*Doc, error) {
 		StackedAllocsPerOp: stacked.AllocsPerOp(),
 	}
 	doc.Middleware.OverheadAllocs = doc.Middleware.StackedAllocsPerOp - doc.Middleware.BareAllocsPerOp
+
+	// Pinned mesh run: the 4-chain line under per-link chaos — the
+	// longest route is 3 hops, so the flow percentiles span one, two and
+	// three client-update round-trips.
+	mcfg := experiments.DefaultMeshConfig()
+	mres, err := experiments.RunMesh(mcfg)
+	if err != nil {
+		return nil, err
+	}
+	doc.Mesh = MeshSection{
+		Topology:  mres.Topology,
+		Seed:      mcfg.Seed,
+		Packets:   mres.TotalPackets,
+		Conserved: mres.Conserved,
+	}
+	for _, f := range mres.Flows {
+		doc.Mesh.Flows = append(doc.Mesh.Flows, MeshHop{
+			Src: f.Src, Dst: f.Dst, Path: strings.Join(f.Path, "-"), Hops: f.Hops,
+			Sent: f.Sent, Delivered: f.Delivered, Conserved: f.Conserved,
+			E2EP50s: f.E2EP50s, E2EP99s: f.E2EP99s,
+		})
+	}
+	for _, l := range mres.Links {
+		doc.Mesh.Links = append(doc.Mesh.Links, MeshLink{
+			ID: l.ID, Kind: l.Kind,
+			ClientUpdates: l.ClientUpdates, Delivered: l.Delivered,
+			UpdatesPerPacket: l.UpdatesPerPacket, NetRetries: l.NetRetries,
+		})
+	}
 	return doc, nil
 }
 
@@ -329,6 +402,33 @@ func Validate(doc *Doc) error {
 	}
 	if mw.OverheadAllocs > 2 {
 		return fmt.Errorf("middleware recv overhead %d allocs/op, budget is 2", mw.OverheadAllocs)
+	}
+	m := doc.Mesh
+	if len(m.Flows) == 0 || len(m.Links) == 0 {
+		return fmt.Errorf("mesh section empty: %d flows, %d links", len(m.Flows), len(m.Links))
+	}
+	if !m.Conserved {
+		return fmt.Errorf("mesh conservation violated in recorded run")
+	}
+	maxHops := 0
+	for _, f := range m.Flows {
+		if f.Sent == 0 || f.Delivered != f.Sent {
+			return fmt.Errorf("mesh flow %s>%s delivered %d of %d", f.Src, f.Dst, f.Delivered, f.Sent)
+		}
+		if f.E2EP50s <= 0 || f.E2EP99s < f.E2EP50s {
+			return fmt.Errorf("mesh flow %s>%s implausible latency: p50=%vs p99=%vs", f.Src, f.Dst, f.E2EP50s, f.E2EP99s)
+		}
+		if f.Hops > maxHops {
+			maxHops = f.Hops
+		}
+	}
+	if maxHops < 2 {
+		return fmt.Errorf("mesh run never crossed a forwarding chain (max %d hops)", maxHops)
+	}
+	for _, l := range m.Links {
+		if l.Delivered == 0 || l.ClientUpdates == 0 {
+			return fmt.Errorf("mesh link %s idle: updates=%d delivered=%d", l.ID, l.ClientUpdates, l.Delivered)
+		}
 	}
 	return nil
 }

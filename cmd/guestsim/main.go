@@ -44,7 +44,16 @@ func main() {
 	mw := flag.Bool("middleware", false, "run the middleware-chain scenario (ICS-29 fees + 2-hop forwarding + metered callbacks) instead of the closed-loop deployment")
 	mwPackets := flag.Int("middleware-packets", 16, "middleware scenario: number of 2-hop transfers")
 	mwChaos := flag.Bool("middleware-chaos", false, "middleware scenario: inject the 5% drop + 5% duplicate acceptance chaos on every link")
+	mesh := flag.Bool("mesh", false, "run the N-chain mesh scenario (routed multi-hop transfers, one relayer per link) instead of the closed-loop deployment")
+	meshTopology := flag.String("mesh-topology", "line", "mesh scenario: link graph, line (guest-a-b-c) or diamond (guest-{a,b}-c)")
+	meshPackets := flag.Int("mesh-packets", 6, "mesh scenario: transfers per flow")
+	meshChaos := flag.Bool("mesh-chaos", true, "mesh scenario: 5% drop + asymmetric latency on every link")
 	flag.Parse()
+
+	if *mesh {
+		runMeshScenario(*seed, *meshTopology, *meshPackets, *meshChaos)
+		return
+	}
 
 	if *mw {
 		runMiddlewareScenario(*seed, *mwPackets, *mwChaos)
@@ -216,6 +225,41 @@ func runMiddlewareScenario(seed int64, packets int, chaos bool) {
 	fmt.Printf("network:   %d retries\n", res.NetRetries)
 	if !res.Conserved() {
 		log.Fatal("middleware scenario conservation violated")
+	}
+}
+
+// runMeshScenario runs the N-chain mesh acceptance scenario: a line or
+// diamond topology with one relayer per link, routed multi-hop transfers
+// under per-link chaos, and prints per-flow latency plus per-link
+// client-update amortisation and the hop-by-hop conservation verdict.
+func runMeshScenario(seed int64, topology string, packets int, chaos bool) {
+	cfg := experiments.DefaultMeshConfig()
+	cfg.Seed = seed
+	cfg.Topology = topology
+	cfg.PacketsPerFlow = packets
+	cfg.Chaos = chaos
+	start := time.Now()
+	res, err := experiments.RunMesh(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mesh %s: chains %s, %d routed transfers over %v (chaos=%v), simulated in %v\n\n",
+		res.Topology, strings.Join(res.Chains, ","), res.TotalPackets, cfg.Duration, chaos, time.Since(start).Round(time.Millisecond))
+	for _, f := range res.Flows {
+		fmt.Printf("flow %-9s path=%-16s sent=%2d tokens=%5d received=%5d delivered=%2d  e2e p50=%6.2fs p99=%6.2fs  conserved=%v\n",
+			f.Src+">"+f.Dst, strings.Join(f.Path, "-"), f.Sent, f.SentTokens, f.Received, f.Delivered, f.E2EP50s, f.E2EP99s, f.Conserved)
+	}
+	fmt.Println()
+	for _, l := range res.Links {
+		fmt.Printf("link %-9s kind=%-5s client_updates=%3d delivered=%3d acks=%3d updates/packet=%.2f net_retries=%d",
+			l.ID, l.Kind, l.ClientUpdates, l.Delivered, l.Acks, l.UpdatesPerPacket, l.NetRetries)
+		if l.HopP99Ms > 0 {
+			fmt.Printf(" hop p50=%.0fms p99=%.0fms", l.HopP50Ms, l.HopP99Ms)
+		}
+		fmt.Println()
+	}
+	if !res.Conserved {
+		log.Fatal("mesh scenario conservation violated")
 	}
 }
 

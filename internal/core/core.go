@@ -57,7 +57,16 @@ type Config struct {
 	// over the one connection/client pair; the relayer serves each from
 	// its own work-queue shard while client updates stay shared.
 	Channels []ChannelSpec
-	// RelayerConfig tunes pacing; DefaultConfig if zero.
+	// Mesh, when non-empty, replaces the fixed host↔counterparty pair
+	// with an N-chain topology: one guest chain plus Cosmos
+	// counterparties joined by a link graph, each link served by its own
+	// relayer. The legacy accessors (CP, Relayer, Boot, Channels) then
+	// alias the first guest link so single-pair call sites keep working.
+	// An empty Mesh leaves the classic pair path completely untouched.
+	// See mesh.go.
+	Mesh MeshSpec
+	// RelayerConfig tunes pacing; DefaultConfig if zero. Mesh deployments
+	// use it as the pacing template for every guest-link relayer.
 	RelayerConfig relayer.Config
 	// HostProfile sets the host runtime constraints (Solana default;
 	// §VI-D portability).
@@ -156,6 +165,9 @@ type Network struct {
 	CPApp    *transfer.App
 	Channels []*ChannelRuntime
 
+	// Mesh holds the N-chain runtime (nil on legacy pair deployments).
+	Mesh *MeshRuntime
+
 	Gossip    *fisherman.Gossip
 	Fishermen []*fisherman.Fisherman
 
@@ -182,6 +194,10 @@ type Network struct {
 	hostEP       *netsim.Endpoint
 	cpEP         *netsim.Endpoint
 	recordedAcks map[string][]byte
+	// relayerNodes are the addresses host-block notifications fan out to:
+	// the single RelayerNode on pair deployments, one node per guest link
+	// on a mesh.
+	relayerNodes []netsim.NodeID
 
 	// Guest-block cadence instruments fed from dispatch.
 	mBlockInterval *telemetry.Histogram
@@ -205,6 +221,9 @@ func DefaultStakes(n int) []host.Lamports {
 // NewNetwork deploys everything and runs the IBC bootstrap. The returned
 // network is idle: call Run (or the scheduler directly) to make progress.
 func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Mesh.enabled() {
+		return newMeshNetwork(cfg)
+	}
 	if cfg.Start.IsZero() {
 		cfg.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
 	}
@@ -247,53 +266,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 		cfg.HostProfile = host.SolanaProfile()
 	}
 	n := &Network{Sched: sim.NewScheduler(cfg.Start), cfg: cfg, Tel: telemetry.New()}
-	n.Host = host.NewChainWithProfile(n.Sched.Clock(), cfg.HostProfile)
-	n.Host.SetBlockRetention(2048)
-	n.Host.SetTelemetry(n.Tel.Metrics)
-	if cfg.MempoolLimit > 0 {
-		n.Host.SetMempoolLimit(cfg.MempoolLimit)
+	if err := n.setupFoundation(); err != nil {
+		return nil, err
 	}
-	n.mBlockInterval = n.Tel.Metrics.Histogram("guest.block.interval_s")
-	n.mBlockFinalise = n.Tel.Metrics.Histogram("guest.block.finalise_s")
-	// Quorum verification cost is real CPU work (Ed25519), so it is the one
-	// wall-clock measurement in an otherwise virtual-time simulation. The
-	// observer is process-wide; the latest Network wins.
-	quorumHist := n.Tel.Metrics.Histogram("guestblock.quorum_verify_s")
-	guestblock.SetQuorumObserver(func(d time.Duration) {
-		quorumHist.Observe(d.Seconds())
-	})
-
-	n.payer = cryptoutil.GenerateKey("network-payer")
-	n.Host.Fund(n.payer.Public(), 1_000_000*host.LamportsPerSOL)
-
-	// Validator fleet: operators with JoinAt == 0 are in the genesis
-	// epoch; the rest stake at their join time and enter the set at the
-	// next epoch rotation (the deployment started with one bootstrap
-	// validator, §V).
-	var genesis []guestblock.Validator
-	for i := range cfg.Behaviours {
-		key := cryptoutil.GenerateKeyIndexed("guest-validator", i)
-		n.ValidatorKeys = append(n.ValidatorKeys, key)
-		n.Host.Fund(key.Public(), cfg.Stakes[i]+50*host.LamportsPerSOL)
-		if cfg.Behaviours[i].JoinAt <= 0 {
-			genesis = append(genesis, guestblock.Validator{PubKey: key.Public(), Stake: uint64(cfg.Stakes[i])})
-		}
-	}
-	if len(genesis) == 0 {
-		return nil, errors.New("core: no genesis validator (need one with JoinAt == 0)")
-	}
-
-	contract, deposit, err := guest.Deploy(n.Host, guest.Config{
-		Params:            cfg.GuestParams,
-		Payer:             n.payer.Public(),
-		GenesisValidators: genesis,
-		Telemetry:         n.Tel.Metrics,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: deploy guest contract: %w", err)
-	}
-	n.Contract = contract
-	n.Deposit = deposit
+	contract := n.Contract
 
 	cp, err := counterparty.New(cfg.CP, n.Sched.Clock(), counterparty.WithTelemetry(n.Tel.Metrics))
 	if err != nil {
@@ -437,20 +413,7 @@ func NewNetwork(cfg Config) (*Network, error) {
 		})
 	}
 
-	// Seed the guest-block cadence histograms with the blocks minted during
-	// bootstrap, which predate the dispatch loop.
-	if st, err := contract.State(n.Host); err == nil {
-		for _, e := range st.Entries {
-			if !n.lastGuestBlock.IsZero() {
-				n.mBlockInterval.Observe(e.CreatedAt.Sub(n.lastGuestBlock).Seconds())
-			}
-			n.lastGuestBlock = e.CreatedAt
-			// The genesis entry is born finalised with no FinalisedAt.
-			if e.Finalised && !e.FinalisedAt.IsZero() {
-				n.mBlockFinalise.Observe(e.FinalisedAt.Sub(e.CreatedAt).Seconds())
-			}
-		}
-	}
+	n.seedBlockCadence()
 
 	// Simulated network between all actors. Bootstrap ran over direct
 	// calls (operator setup predates the daemons); from here on every
@@ -481,6 +444,112 @@ func NewNetwork(cfg Config) (*Network, error) {
 	n.Relayer = relayer.New(rcfg, n.Host, contract, cp, n.Sched,
 		relayer.WithTelemetry(n.Tel), relayer.WithTransport(n.Net))
 	n.Host.Fund(n.Relayer.Key().Public(), 10_000*host.LamportsPerSOL)
+
+	n.startDaemons()
+
+	// Point every fee middleware at the deployment's relayer: settled
+	// fees accrue to its payee identity and it sweeps the escrows
+	// periodically (plus once at drain in experiments).
+	feesPresent := false
+	seenStacks := make(map[*middleware.Stack]bool)
+	for _, rt := range n.Channels {
+		for _, stack := range []*middleware.Stack{rt.GuestStack, rt.CPStack} {
+			if stack == nil || seenStacks[stack] {
+				continue
+			}
+			seenStacks[stack] = true
+			if fm, ok := stack.Middleware("fees").(*middleware.Fees); ok && fm != nil {
+				fm.SetPayee(n.Relayer.PayeeID())
+				n.Relayer.RegisterFeeClaimer(fm)
+				feesPresent = true
+			}
+		}
+	}
+
+	n.wireScheduling(feesPresent)
+	return n, nil
+}
+
+// setupFoundation provisions the layers every deployment shape shares —
+// the simulated host chain, telemetry instruments, the funded payer, the
+// validator fleet's keys and genesis set, and the Guest Contract. Both
+// the legacy pair path and the mesh path build on it.
+func (n *Network) setupFoundation() error {
+	cfg := n.cfg
+	n.Host = host.NewChainWithProfile(n.Sched.Clock(), cfg.HostProfile)
+	n.Host.SetBlockRetention(2048)
+	n.Host.SetTelemetry(n.Tel.Metrics)
+	if cfg.MempoolLimit > 0 {
+		n.Host.SetMempoolLimit(cfg.MempoolLimit)
+	}
+	n.mBlockInterval = n.Tel.Metrics.Histogram("guest.block.interval_s")
+	n.mBlockFinalise = n.Tel.Metrics.Histogram("guest.block.finalise_s")
+	// Quorum verification cost is real CPU work (Ed25519), so it is the one
+	// wall-clock measurement in an otherwise virtual-time simulation. The
+	// observer is process-wide; the latest Network wins.
+	quorumHist := n.Tel.Metrics.Histogram("guestblock.quorum_verify_s")
+	guestblock.SetQuorumObserver(func(d time.Duration) {
+		quorumHist.Observe(d.Seconds())
+	})
+
+	n.payer = cryptoutil.GenerateKey("network-payer")
+	n.Host.Fund(n.payer.Public(), 1_000_000*host.LamportsPerSOL)
+
+	// Validator fleet: operators with JoinAt == 0 are in the genesis
+	// epoch; the rest stake at their join time and enter the set at the
+	// next epoch rotation (the deployment started with one bootstrap
+	// validator, §V).
+	var genesis []guestblock.Validator
+	for i := range cfg.Behaviours {
+		key := cryptoutil.GenerateKeyIndexed("guest-validator", i)
+		n.ValidatorKeys = append(n.ValidatorKeys, key)
+		n.Host.Fund(key.Public(), cfg.Stakes[i]+50*host.LamportsPerSOL)
+		if cfg.Behaviours[i].JoinAt <= 0 {
+			genesis = append(genesis, guestblock.Validator{PubKey: key.Public(), Stake: uint64(cfg.Stakes[i])})
+		}
+	}
+	if len(genesis) == 0 {
+		return errors.New("core: no genesis validator (need one with JoinAt == 0)")
+	}
+
+	contract, deposit, err := guest.Deploy(n.Host, guest.Config{
+		Params:            cfg.GuestParams,
+		Payer:             n.payer.Public(),
+		GenesisValidators: genesis,
+		Telemetry:         n.Tel.Metrics,
+	})
+	if err != nil {
+		return fmt.Errorf("core: deploy guest contract: %w", err)
+	}
+	n.Contract = contract
+	n.Deposit = deposit
+	return nil
+}
+
+// seedBlockCadence seeds the guest-block cadence histograms with the
+// blocks minted during bootstrap, which predate the dispatch loop.
+func (n *Network) seedBlockCadence() {
+	st, err := n.Contract.State(n.Host)
+	if err != nil {
+		return
+	}
+	for _, e := range st.Entries {
+		if !n.lastGuestBlock.IsZero() {
+			n.mBlockInterval.Observe(e.CreatedAt.Sub(n.lastGuestBlock).Seconds())
+		}
+		n.lastGuestBlock = e.CreatedAt
+		// The genesis entry is born finalised with no FinalisedAt.
+		if e.Finalised && !e.FinalisedAt.IsZero() {
+			n.mBlockFinalise.Observe(e.FinalisedAt.Sub(e.CreatedAt).Seconds())
+		}
+	}
+}
+
+// startDaemons launches the host-side actors every deployment shape
+// runs: the validator daemons, the fisherman, and the crank identity.
+func (n *Network) startDaemons() {
+	cfg := n.cfg
+	contract := n.Contract
 
 	// Validator daemons: activate (and stake, for late joiners) at their
 	// join time.
@@ -517,28 +586,6 @@ func NewNetwork(cfg Config) (*Network, error) {
 	crankKey := cryptoutil.GenerateKey("crank")
 	n.Host.Fund(crankKey.Public(), 1_000*host.LamportsPerSOL)
 	n.crank = guest.NewTxBuilder(contract, crankKey.Public())
-
-	// Point every fee middleware at the deployment's relayer: settled
-	// fees accrue to its payee identity and it sweeps the escrows
-	// periodically (plus once at drain in experiments).
-	feesPresent := false
-	seenStacks := make(map[*middleware.Stack]bool)
-	for _, rt := range n.Channels {
-		for _, stack := range []*middleware.Stack{rt.GuestStack, rt.CPStack} {
-			if stack == nil || seenStacks[stack] {
-				continue
-			}
-			seenStacks[stack] = true
-			if fm, ok := stack.Middleware("fees").(*middleware.Fees); ok && fm != nil {
-				fm.SetPayee(n.Relayer.PayeeID())
-				n.Relayer.RegisterFeeClaimer(fm)
-				feesPresent = true
-			}
-		}
-	}
-
-	n.wireScheduling(feesPresent)
-	return n, nil
 }
 
 // buildMiddlewares instantiates a ChannelSpec middleware list for one
@@ -667,7 +714,9 @@ func (n *Network) dispatch(block *host.Block) {
 	for i := range n.Validators {
 		n.hostEP.Send(netsim.ValidatorNode(i), netsim.KindHostBlock, netsim.MsgHostBlock{Block: block})
 	}
-	n.hostEP.Send(netsim.RelayerNode, netsim.KindHostBlock, netsim.MsgHostBlock{Block: block})
+	for _, rn := range n.relayerNodes {
+		n.hostEP.Send(rn, netsim.KindHostBlock, netsim.MsgHostBlock{Block: block})
+	}
 	n.hostCursor = block.Slot
 }
 

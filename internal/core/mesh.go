@@ -1,0 +1,774 @@
+// Mesh deployments: instead of the fixed host↔counterparty pair, a
+// Network can wire an N-chain graph — one guest chain living on the host
+// plus any number of Cosmos-style counterparties — joined by links. Each
+// link gets its own client pair, connection, channel, relayer, and
+// netsim fault profile; a static route table over the graph turns
+// SendRouted into a nested forward memo the PR-7 forwarding middleware
+// unwraps one hop per chain.
+//
+// The mesh path branches off at the top of NewNetwork; an empty
+// Config.Mesh leaves the legacy pair wiring completely untouched, so
+// every seed experiment reproduces bit-identically.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/counterparty"
+	"repro/internal/fees"
+	"repro/internal/guest"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/middleware"
+	"repro/internal/netsim"
+	"repro/internal/relayer"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/transfer"
+)
+
+// MeshChainKind tags a mesh chain as the guest-on-host deployment or a
+// Cosmos-style counterparty.
+type MeshChainKind string
+
+const (
+	// MeshGuest is the guest chain living on the simulated host. A mesh
+	// has exactly one (the host machinery — validators, fishermen, crank
+	// — is singular).
+	MeshGuest MeshChainKind = "guest"
+	// MeshCosmos is a Cosmos-style counterparty chain. The zero Kind
+	// means cosmos.
+	MeshCosmos MeshChainKind = "cosmos"
+)
+
+// MeshChainSpec declares one chain of the topology.
+type MeshChainSpec struct {
+	// Name identifies the chain in links and routes (no spaces).
+	Name string
+	// Kind is MeshGuest or MeshCosmos ("" = cosmos).
+	Kind MeshChainKind
+	// CP configures a cosmos chain. Zero fields default like the legacy
+	// counterparty except ChainID (the chain's Name), NumValidators (24 —
+	// a mesh runs several chains in one process), and Seed (derived from
+	// Config.Seed under "mesh/chain/<name>").
+	CP counterparty.Config
+}
+
+// MeshLinkSpec declares one bidirectional link of the graph. Links are
+// canonicalised (ends swapped so A < B, list sorted) before wiring, so
+// declaration order and orientation never change the deployment.
+type MeshLinkSpec struct {
+	A, B string
+	// PortA / PortB are each end's application port ("transfer").
+	PortA, PortB ibc.PortID
+	Ordering     ibc.Ordering
+	Version      string
+	// NetA / NetB are per-link fault profiles: NetA shapes traffic
+	// between the link's relayer and chain A's front-end (both
+	// directions), NetB likewise for chain B. Zero profiles inherit
+	// Config.Net.Default.
+	NetA, NetB netsim.LinkConfig
+}
+
+// MeshSpec describes the whole topology.
+type MeshSpec struct {
+	Chains []MeshChainSpec
+	Links  []MeshLinkSpec
+	// ForwardAccount is the module account intermediate hops pay through
+	// (default "forward-module").
+	ForwardAccount string
+	// ForwardTimeout, when set, puts a timestamp timeout on every onward
+	// hop the forwarding middleware emits — the knob multi-hop timeout
+	// experiments turn. 0 means onward hops never expire.
+	ForwardTimeout time.Duration
+}
+
+// enabled reports whether the config asks for a mesh deployment.
+func (m MeshSpec) enabled() bool { return len(m.Chains) > 0 || len(m.Links) > 0 }
+
+// MeshChain is one chain's runtime state inside a mesh Network.
+type MeshChain struct {
+	Name string
+	Kind MeshChainKind
+	// CP is the chain itself (nil for the guest chain, which lives in
+	// Network.Host/Contract).
+	CP *counterparty.Chain
+	// Apps / Stacks hold the transfer app and its middleware stack per
+	// bound port.
+	Apps   map[ibc.PortID]*transfer.App
+	Stacks map[ibc.PortID]*middleware.Stack
+	// Node is the chain's RPC front-end address (cosmos chains only; the
+	// guest chain is reached through netsim.HostNode).
+	Node netsim.NodeID
+
+	ep *netsim.Endpoint
+	// relayerNodes are the link relayers notified of this chain's blocks.
+	relayerNodes []netsim.NodeID
+}
+
+// MeshLink is one wired link: canonical ends, the channel the handshake
+// opened, and the relayer serving it (exactly one of Relayer / Pair).
+type MeshLink struct {
+	// ID is the canonical "<a>-<b>" identifier (A < B).
+	ID   string
+	A, B string
+	// PortA/ChanA are A's end of the channel; PortB/ChanB are B's.
+	PortA, PortB ibc.PortID
+	ChanA, ChanB ibc.ChannelID
+	// Relayer serves guest↔cosmos links, Pair cosmos↔cosmos ones.
+	Relayer *relayer.Relayer
+	Pair    *relayer.PairRelayer
+	// Node is the link relayer's network address.
+	Node netsim.NodeID
+
+	// bootRes / pairRes hold the bootstrap identifiers (exactly one set,
+	// matching Relayer / Pair).
+	bootRes *relayer.Result
+	pairRes *relayer.PairResult
+}
+
+// MeshRuntime is the mesh-specific view of a Network.
+type MeshRuntime struct {
+	Spec  MeshSpec
+	Table *routing.Table
+	// Chains indexes runtime state by chain name; Order lists the names
+	// sorted.
+	Chains map[string]*MeshChain
+	Order  []string
+	Links  []*MeshLink
+	// GuestName is the guest chain's name in the graph.
+	GuestName string
+	// ForwardAccount is the module account routed sends address on
+	// intermediate chains.
+	ForwardAccount string
+}
+
+// Chain returns one chain's runtime state (nil when absent).
+func (m *MeshRuntime) Chain(name string) *MeshChain { return m.Chains[name] }
+
+// Link returns the link between a and b in either orientation (nil when
+// absent).
+func (m *MeshRuntime) Link(a, b string) *MeshLink {
+	if b < a {
+		a, b = b, a
+	}
+	for _, l := range m.Links {
+		if l.A == a && l.B == b {
+			return l
+		}
+	}
+	return nil
+}
+
+// linkCfgSet reports whether a per-link fault profile was declared.
+func linkCfgSet(c netsim.LinkConfig) bool {
+	return c.Latency != nil || c.Drop != 0 || c.Duplicate != 0 || c.Reorder != 0 || c.ReorderDelay != 0
+}
+
+// normalizeMesh validates the spec and returns it with chains sorted by
+// name and links canonicalised (A < B, sorted), so two configs declaring
+// the same topology in different order wire identically.
+func normalizeMesh(spec MeshSpec) (MeshSpec, error) {
+	if len(spec.Chains) == 0 || len(spec.Links) == 0 {
+		return spec, errors.New("core: mesh needs chains and links")
+	}
+	if spec.ForwardAccount == "" {
+		spec.ForwardAccount = "forward-module"
+	}
+
+	chains := append([]MeshChainSpec(nil), spec.Chains...)
+	sort.Slice(chains, func(i, j int) bool { return chains[i].Name < chains[j].Name })
+	byName := make(map[string]MeshChainSpec, len(chains))
+	chainIDs := make(map[string]string)
+	guests := 0
+	for i := range chains {
+		sp := &chains[i]
+		if sp.Name == "" {
+			return spec, errors.New("core: mesh chain needs a name")
+		}
+		for _, r := range sp.Name {
+			if r == ' ' {
+				return spec, fmt.Errorf("core: mesh chain name %q contains a space", sp.Name)
+			}
+		}
+		if _, dup := byName[sp.Name]; dup {
+			return spec, fmt.Errorf("core: duplicate mesh chain %q", sp.Name)
+		}
+		if sp.Kind == "" {
+			sp.Kind = MeshCosmos
+		}
+		switch sp.Kind {
+		case MeshGuest:
+			guests++
+		case MeshCosmos:
+			id := sp.CP.ChainID
+			if id == "" {
+				id = sp.Name
+			}
+			if prev, dup := chainIDs[id]; dup {
+				return spec, fmt.Errorf("core: mesh chains %q and %q share chain ID %q", prev, sp.Name, id)
+			}
+			chainIDs[id] = sp.Name
+		default:
+			return spec, fmt.Errorf("core: mesh chain %q: unknown kind %q", sp.Name, sp.Kind)
+		}
+		byName[sp.Name] = *sp
+	}
+	if guests != 1 {
+		return spec, fmt.Errorf("core: mesh needs exactly one guest chain, got %d", guests)
+	}
+
+	links := append([]MeshLinkSpec(nil), spec.Links...)
+	for i := range links {
+		l := &links[i]
+		if l.PortA == "" {
+			l.PortA = "transfer"
+		}
+		if l.PortB == "" {
+			l.PortB = "transfer"
+		}
+		if l.Ordering == 0 {
+			l.Ordering = ibc.Unordered
+		}
+		if l.A == l.B {
+			return spec, fmt.Errorf("core: mesh link %q-%q joins a chain to itself", l.A, l.B)
+		}
+		if _, ok := byName[l.A]; !ok {
+			return spec, fmt.Errorf("core: mesh link references unknown chain %q", l.A)
+		}
+		if _, ok := byName[l.B]; !ok {
+			return spec, fmt.Errorf("core: mesh link references unknown chain %q", l.B)
+		}
+		if l.B < l.A {
+			l.A, l.B = l.B, l.A
+			l.PortA, l.PortB = l.PortB, l.PortA
+			l.NetA, l.NetB = l.NetB, l.NetA
+		}
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].A != links[j].A {
+			return links[i].A < links[j].A
+		}
+		return links[i].B < links[j].B
+	})
+	for i := 1; i < len(links); i++ {
+		if links[i].A == links[i-1].A && links[i].B == links[i-1].B {
+			return spec, fmt.Errorf("core: duplicate mesh link %s-%s", links[i].A, links[i].B)
+		}
+	}
+	spec.Chains, spec.Links = chains, links
+	return spec, nil
+}
+
+// newMeshNetwork deploys an N-chain mesh. It shares the host/guest
+// foundation and daemon fleet with the legacy pair path and replaces the
+// single bootstrap + relayer with a per-link fleet.
+func newMeshNetwork(cfg Config) (*Network, error) {
+	// Defaults mirror the pair path.
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if cfg.GuestParams == (guest.Params{}) {
+		cfg.GuestParams = guest.DefaultParams()
+	}
+	if len(cfg.Behaviours) == 0 {
+		cfg.Behaviours = DeploymentBehaviours()
+		if len(cfg.Stakes) == 0 {
+			cfg.Stakes = DeploymentStakes()
+		}
+		cfg.Net.Crashes = append(cfg.Net.Crashes, DeploymentOutage())
+	}
+	if len(cfg.Stakes) == 0 {
+		cfg.Stakes = DefaultStakes(len(cfg.Behaviours))
+	}
+	if len(cfg.Stakes) != len(cfg.Behaviours) {
+		return nil, errors.New("core: stakes and behaviours length mismatch")
+	}
+	if cfg.HostProfile.Name == "" {
+		cfg.HostProfile = host.SolanaProfile()
+	}
+	spec, err := normalizeMesh(cfg.Mesh)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Mesh = spec
+
+	n := &Network{Sched: sim.NewScheduler(cfg.Start), cfg: cfg, Tel: telemetry.New()}
+	if err := n.setupFoundation(); err != nil {
+		return nil, err
+	}
+
+	mesh := &MeshRuntime{
+		Spec:           spec,
+		Chains:         make(map[string]*MeshChain),
+		ForwardAccount: spec.ForwardAccount,
+	}
+	n.Mesh = mesh
+
+	// --- Chains ---
+	for _, sp := range spec.Chains {
+		mc := &MeshChain{
+			Name:   sp.Name,
+			Kind:   sp.Kind,
+			Apps:   make(map[ibc.PortID]*transfer.App),
+			Stacks: make(map[ibc.PortID]*middleware.Stack),
+		}
+		if sp.Kind == MeshGuest {
+			mesh.GuestName = sp.Name
+		} else {
+			cc := sp.CP
+			if cc.ChainID == "" {
+				cc.ChainID = sp.Name
+			}
+			if cc.NumValidators == 0 {
+				cc.NumValidators = 24
+			}
+			if cc.BlockInterval == 0 {
+				cc.BlockInterval = 6 * time.Second
+			}
+			if cc.ParticipationMin == 0 {
+				cc.ParticipationMin = 0.68
+			}
+			if cc.Seed == 0 {
+				cc.Seed = sim.DeriveSeed(cfg.Seed, "mesh/chain/"+sp.Name)
+			}
+			if cc.SnapshotRetention == 0 {
+				cc.SnapshotRetention = 4096
+			}
+			cp, err := counterparty.New(cc, n.Sched.Clock(),
+				counterparty.WithTelemetry(n.Tel.Metrics),
+				counterparty.WithMetricsNamespace("mesh."+sp.Name+".ibc"))
+			if err != nil {
+				return nil, fmt.Errorf("core: mesh chain %s: %w", sp.Name, err)
+			}
+			mc.CP = cp
+			mc.Node = netsim.ChainNode(sp.Name)
+		}
+		mesh.Chains[sp.Name] = mc
+		mesh.Order = append(mesh.Order, sp.Name)
+	}
+
+	// --- Applications + forwarding middleware ---
+	// Each chain binds one transfer app per port its links use, wrapped in
+	// the forwarding middleware so it can serve as an intermediate hop.
+	ports := make(map[string][]ibc.PortID)
+	seenPort := make(map[string]map[ibc.PortID]bool)
+	addPort := func(chain string, port ibc.PortID) {
+		if seenPort[chain] == nil {
+			seenPort[chain] = make(map[ibc.PortID]bool)
+		}
+		if !seenPort[chain][port] {
+			seenPort[chain][port] = true
+			ports[chain] = append(ports[chain], port)
+		}
+	}
+	for _, l := range spec.Links {
+		addPort(l.A, l.PortA)
+		addPort(l.B, l.PortB)
+	}
+
+	guestSender, err := n.Contract.PacketSender(n.Host)
+	if err != nil {
+		return nil, fmt.Errorf("core: guest packet sender: %w", err)
+	}
+	for _, name := range mesh.Order {
+		mc := mesh.Chains[name]
+		resolve := func(port ibc.PortID) middleware.ForwardBank {
+			if a, ok := mc.Apps[port]; ok {
+				return a
+			}
+			return nil
+		}
+		var sender ibc.PacketSender
+		if mc.Kind == MeshGuest {
+			sender = guestSender
+		} else {
+			sender = mc.CP
+		}
+		for _, port := range ports[name] {
+			base := "mesh." + name + "." + string(port)
+			app := transfer.New(port,
+				transfer.WithTelemetry(n.Tel.Metrics),
+				transfer.WithMetricsNamespace(base))
+			fwdOpts := []middleware.ForwardOption{
+				middleware.WithForwardTelemetry(n.Tel.Metrics, base+".forward"),
+			}
+			if spec.ForwardTimeout > 0 {
+				fwdOpts = append(fwdOpts, middleware.WithForwardTimeout(spec.ForwardTimeout, n.Sched.Now))
+			}
+			stack := middleware.NewStack(app,
+				middleware.NewForward(spec.ForwardAccount, resolve, sender, fwdOpts...))
+			if mc.Kind == MeshGuest {
+				if err := n.Contract.BindPort(n.Host, port, stack); err != nil {
+					return nil, fmt.Errorf("core: mesh chain %s: bind %s: %w", name, port, err)
+				}
+			} else {
+				if err := mc.CP.Handler().BindPort(port, stack); err != nil {
+					return nil, fmt.Errorf("core: mesh chain %s: bind %s: %w", name, port, err)
+				}
+			}
+			mc.Apps[port] = app
+			mc.Stacks[port] = stack
+		}
+	}
+
+	// --- Link bootstrap ---
+	// One client pair + connection + channel per link, in canonical
+	// order. Guest links get indexed client IDs on the shared guest
+	// handler; cosmos pairs name their clients after the peer chain.
+	guestLinks := 0
+	for _, ls := range spec.Links {
+		ca, cb := mesh.Chains[ls.A], mesh.Chains[ls.B]
+		link := &MeshLink{
+			ID: ls.A + "-" + ls.B, A: ls.A, B: ls.B,
+			PortA: ls.PortA, PortB: ls.PortB,
+			Node: netsim.LinkRelayerNode(ls.A + "-" + ls.B),
+		}
+		switch {
+		case ca.Kind == MeshGuest || cb.Kind == MeshGuest:
+			guestEndA := ca.Kind == MeshGuest
+			cosmos := cb
+			guestPort, cpPort := ls.PortA, ls.PortB
+			if !guestEndA {
+				cosmos = ca
+				guestPort, cpPort = ls.PortB, ls.PortA
+			}
+			boot := &relayer.Bootstrap{
+				HostChain:         n.Host,
+				Contract:          n.Contract,
+				CP:                cosmos.CP,
+				ValidatorKeys:     n.ValidatorKeys,
+				GuestPort:         guestPort,
+				CPPort:            cpPort,
+				Ordering:          ls.Ordering,
+				Version:           ls.Version,
+				GuestClientID:     ibc.ClientID(fmt.Sprintf("tendermint-%d", guestLinks)),
+				GuestOnCPClientID: "guest-0",
+			}
+			res, err := boot.Run()
+			if err != nil {
+				return nil, fmt.Errorf("core: bootstrap link %s: %w", link.ID, err)
+			}
+			guestLinks++
+			if guestEndA {
+				link.ChanA, link.ChanB = res.GuestChannel, res.CPChannel
+			} else {
+				link.ChanA, link.ChanB = res.CPChannel, res.GuestChannel
+			}
+			link.bootRes = res
+		default:
+			pb := &relayer.PairBootstrap{
+				A: ca.CP, B: cb.CP,
+				PortA: ls.PortA, PortB: ls.PortB,
+				Ordering: ls.Ordering, Version: ls.Version,
+			}
+			res, err := pb.Run()
+			if err != nil {
+				return nil, fmt.Errorf("core: bootstrap link %s: %w", link.ID, err)
+			}
+			link.ChanA, link.ChanB = res.ChanA, res.ChanB
+			link.pairRes = res
+		}
+		mesh.Links = append(mesh.Links, link)
+	}
+
+	// --- Simulated network + front-ends ---
+	netCfg := cfg.Net
+	if netCfg.Seed == 0 {
+		netCfg.Seed = sim.DeriveSeed(cfg.Seed, "netsim")
+	}
+	n.Net = netsim.New(n.Sched, netCfg, netsim.WithTelemetry(n.Tel.Metrics))
+	n.Net.ScheduleFaults(cfg.Start)
+	n.hostEP = n.Net.Node(netsim.HostNode, nil, n.hostCall)
+	for _, name := range mesh.Order {
+		mc := mesh.Chains[name]
+		if mc.Kind == MeshCosmos {
+			mc.ep = n.Net.Node(mc.Node, nil, meshChainFrontEnd(mc.CP))
+		}
+	}
+	for i, l := range mesh.Links {
+		ls := spec.Links[i]
+		if linkCfgSet(ls.NetA) {
+			n.Net.SetLinkBoth(l.Node, meshEndNode(mesh.Chains[l.A]), ls.NetA)
+		}
+		if linkCfgSet(ls.NetB) {
+			n.Net.SetLinkBoth(l.Node, meshEndNode(mesh.Chains[l.B]), ls.NetB)
+		}
+	}
+
+	// --- Relayer fleet: one per link ---
+	base := cfg.RelayerConfig
+	if base.TxGap == nil {
+		base = relayer.DefaultConfig()
+	}
+	for _, l := range mesh.Links {
+		ca, cb := mesh.Chains[l.A], mesh.Chains[l.B]
+		if l.bootRes != nil {
+			cosmos := cb
+			guestPort, cpPort := l.PortA, l.PortB
+			if cb.Kind == MeshGuest {
+				cosmos = ca
+				guestPort, cpPort = l.PortB, l.PortA
+			}
+			res := l.bootRes
+			rcfg := base
+			rcfg.Seed = sim.DeriveSeed(cfg.Seed, "link/"+l.ID)
+			rcfg.GuestClientID = res.GuestClientID
+			rcfg.GuestOnCPClientID = res.GuestOnCPClientID
+			rcfg.Channels = []relayer.ChannelRoute{{
+				GuestPort: guestPort, GuestChannel: res.GuestChannel,
+				CPPort: cpPort, CPChannel: res.CPChannel,
+			}}
+			rcfg.MetricsNamespace = "relayer.link." + l.ID
+			rcfg.NodeID = l.Node
+			rcfg.ChainNodeID = cosmos.Node
+			rcfg.KeyName = "relayer/link/" + l.ID
+			rcfg.StrictRoutes = true
+			r := relayer.New(rcfg, n.Host, n.Contract, cosmos.CP, n.Sched,
+				relayer.WithTelemetry(n.Tel), relayer.WithTransport(n.Net))
+			n.Host.Fund(r.Key().Public(), 10_000*host.LamportsPerSOL)
+			l.Relayer = r
+			n.relayerNodes = append(n.relayerNodes, l.Node)
+			cosmos.relayerNodes = append(cosmos.relayerNodes, l.Node)
+		} else {
+			res := l.pairRes
+			pr := relayer.NewPair(relayer.PairConfig{
+				LinkID: l.ID,
+				Seed:   sim.DeriveSeed(cfg.Seed, "link/"+l.ID),
+				NodeID: l.Node,
+				A:      relayer.PairSideConfig{Chain: ca.CP, Node: ca.Node, ClientOfPeer: res.ClientBOnA, Port: l.PortA, Channel: l.ChanA},
+				B:      relayer.PairSideConfig{Chain: cb.CP, Node: cb.Node, ClientOfPeer: res.ClientAOnB, Port: l.PortB, Channel: l.ChanB},
+			}, n.Sched, n.Net, relayer.WithPairTelemetry(n.Tel))
+			l.Pair = pr
+			ca.relayerNodes = append(ca.relayerNodes, l.Node)
+			cb.relayerNodes = append(cb.relayerNodes, l.Node)
+		}
+	}
+
+	// --- Route table + legacy aliases ---
+	rlinks := make([]routing.Link, 0, len(mesh.Links))
+	for _, l := range mesh.Links {
+		rlinks = append(rlinks, routing.Link{
+			A: l.A, B: l.B,
+			PortA: l.PortA, PortB: l.PortB,
+			ChannelA: l.ChanA, ChannelB: l.ChanB,
+		})
+	}
+	mesh.Table = routing.NewTable(rlinks)
+	n.aliasGuestLinks()
+
+	n.seedBlockCadence()
+	n.startDaemons()
+	n.wireMeshScheduling()
+	return n, nil
+}
+
+// meshEndNode is a chain's address for per-link fault profiles: the host
+// front-end for the guest chain, the chain's own node otherwise.
+func meshEndNode(mc *MeshChain) netsim.NodeID {
+	if mc.Kind == MeshGuest {
+		return netsim.HostNode
+	}
+	return mc.Node
+}
+
+// aliasGuestLinks points the legacy single-pair accessors (CP, Relayer,
+// Boot, Channels, GuestApp, CPApp) at the guest links, first link first,
+// so InjectTransfer and existing call sites work unchanged on a mesh.
+func (n *Network) aliasGuestLinks() {
+	mesh := n.Mesh
+	for _, l := range mesh.Links {
+		if l.Relayer == nil {
+			continue
+		}
+		ca, cb := mesh.Chains[l.A], mesh.Chains[l.B]
+		guestChain, cosmos := ca, cb
+		guestPort, cpPort := l.PortA, l.PortB
+		guestChan, cpChan := l.ChanA, l.ChanB
+		if cb.Kind == MeshGuest {
+			guestChain, cosmos = cb, ca
+			guestPort, cpPort = l.PortB, l.PortA
+			guestChan, cpChan = l.ChanB, l.ChanA
+		}
+		rt := &ChannelRuntime{
+			Spec:         ChannelSpec{GuestPort: guestPort, CPPort: cpPort},
+			GuestApp:     guestChain.Apps[guestPort],
+			CPApp:        cosmos.Apps[cpPort],
+			GuestStack:   guestChain.Stacks[guestPort],
+			CPStack:      cosmos.Stacks[cpPort],
+			GuestChannel: guestChan,
+			CPChannel:    cpChan,
+		}
+		n.Channels = append(n.Channels, rt)
+		if n.Relayer == nil {
+			n.Relayer = l.Relayer
+			n.CP = cosmos.CP
+			n.Boot = l.bootRes
+			n.GuestApp = rt.GuestApp
+			n.CPApp = rt.CPApp
+		}
+	}
+}
+
+// wireMeshScheduling installs the mesh's recurring activities: host slot
+// production on demand, per-chain BFT block ticks fanning out to each
+// attached link relayer, the crank, the heartbeat, per-link timeout
+// scans, and fisherman polling.
+func (n *Network) wireMeshScheduling() {
+	n.Host.SetSubmitHook(n.ensureSlotScheduled)
+
+	for _, name := range n.Mesh.Order {
+		mc := n.Mesh.Chains[name]
+		if mc.Kind != MeshCosmos {
+			continue
+		}
+		n.Sched.Every(mc.CP.BlockInterval(), func() bool {
+			h := mc.CP.ProduceBlock()
+			for _, rn := range mc.relayerNodes {
+				mc.ep.Send(rn, netsim.KindCPBlock, netsim.MsgCPBlock{Height: h.Height})
+			}
+			return true
+		})
+	}
+
+	n.Sched.Every(time.Second, func() bool {
+		n.maybeCrank()
+		return true
+	})
+	n.Sched.Every(time.Minute, func() bool {
+		n.ensureSlotScheduled()
+		return true
+	})
+	n.Sched.Every(30*time.Second, func() bool {
+		for _, l := range n.Mesh.Links {
+			if l.Relayer != nil {
+				l.Relayer.CheckTimeouts()
+			} else {
+				l.Pair.CheckTimeouts()
+			}
+		}
+		return true
+	})
+	n.Sched.Every(5*time.Second, func() bool {
+		for _, f := range n.Fishermen {
+			_ = f.Poll()
+		}
+		return true
+	})
+}
+
+// RoutedSend reports one routed transfer: the hop sequence, the composed
+// forward plan, and the denom held on each chain along the way
+// (DenomTrace[i] is the denom after hop i; the last entry is what the
+// final receiver gets).
+type RoutedSend struct {
+	Route      []routing.Hop
+	Plan       routing.ForwardPlan
+	DenomTrace []string
+	// Packet is the first-hop packet (cosmos-source sends).
+	Packet *ibc.Packet
+	// Tx is the submitted host transaction (guest-source sends).
+	Tx *host.Transaction
+}
+
+// SendRouted sends amount of denom from sender on chain src to receiver
+// on chain dst, composing the nested forward memo for every intermediate
+// hop. src must be a cosmos chain — guest-side sends go through
+// SendRoutedFromGuest, which signs a host transaction.
+func (n *Network) SendRouted(src, dst, sender, receiver, denom string, amount uint64, memo string, timeout time.Duration) (*RoutedSend, error) {
+	if n.Mesh == nil {
+		return nil, errors.New("core: SendRouted needs a mesh deployment")
+	}
+	mc := n.Mesh.Chains[src]
+	if mc == nil {
+		return nil, fmt.Errorf("core: unknown mesh chain %q", src)
+	}
+	if mc.Kind == MeshGuest {
+		return nil, fmt.Errorf("core: chain %q is the guest chain; use SendRoutedFromGuest", src)
+	}
+	rs, err := n.planRouted(src, dst, receiver, memo)
+	if err != nil {
+		return nil, err
+	}
+	h0 := rs.Route[0]
+	rs.DenomTrace = routing.TraceDenom(rs.Route, denom)
+	app := mc.Apps[h0.Port]
+	if app == nil {
+		return nil, fmt.Errorf("core: chain %q has no app on port %q", src, h0.Port)
+	}
+	data := &transfer.PacketData{
+		Denom:    denom,
+		Amount:   amount,
+		Sender:   sender,
+		Receiver: rs.Plan.Receiver,
+		Memo:     rs.Plan.Memo,
+	}
+	if err := app.PrepareSend(h0.Channel, data); err != nil {
+		return nil, err
+	}
+	var ts time.Time
+	if timeout > 0 {
+		ts = n.Sched.Now().Add(timeout)
+	}
+	p, err := mc.CP.SendPacket(h0.Port, h0.Channel, data.Marshal(), 0, ts)
+	if err != nil {
+		// The packet never entered the chain: undo the escrow.
+		_ = app.CancelSend(h0.Channel, data)
+		return nil, err
+	}
+	rs.Packet = p
+	return rs, nil
+}
+
+// SendRoutedFromGuest sends from a guest-side user towards chain dst,
+// riding InjectTransfer on the guest link the route's first hop names.
+func (n *Network) SendRoutedFromGuest(u *User, dst, receiver, denom string, amount uint64, memo string, policy fees.Policy, timeout time.Duration) (*RoutedSend, error) {
+	if n.Mesh == nil {
+		return nil, errors.New("core: SendRoutedFromGuest needs a mesh deployment")
+	}
+	rs, err := n.planRouted(n.Mesh.GuestName, dst, receiver, memo)
+	if err != nil {
+		return nil, err
+	}
+	h0 := rs.Route[0]
+	rs.DenomTrace = routing.TraceDenom(rs.Route, denom)
+	ch := -1
+	for i, rt := range n.Channels {
+		if rt.Spec.GuestPort == h0.Port && rt.GuestChannel == h0.Channel {
+			ch = i
+			break
+		}
+	}
+	if ch < 0 {
+		return nil, fmt.Errorf("core: no guest link for hop %s/%s", h0.Port, h0.Channel)
+	}
+	tx, err := n.InjectTransfer(TransferReq{
+		Channel:  ch,
+		Sender:   u.Key.Public(),
+		Receiver: rs.Plan.Receiver,
+		Denom:    denom,
+		Amount:   amount,
+		Memo:     rs.Plan.Memo,
+		Policy:   policy,
+		Timeout:  timeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rs.Tx = tx
+	return rs, nil
+}
+
+// planRouted resolves the route and forward plan for one send.
+func (n *Network) planRouted(src, dst, receiver, memo string) (*RoutedSend, error) {
+	route, err := n.Mesh.Table.Route(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	plan := routing.Plan(route, receiver, n.Mesh.ForwardAccount, memo)
+	return &RoutedSend{Route: route, Plan: plan}, nil
+}

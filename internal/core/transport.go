@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/counterparty"
 	"repro/internal/host"
 	"repro/internal/ibc"
 	"repro/internal/lightclient/guestlc"
@@ -27,6 +28,7 @@ import (
 func (n *Network) wireTransport() {
 	n.hostEP = n.Net.Node(netsim.HostNode, nil, n.hostCall)
 	n.cpEP = n.Net.Node(netsim.CPNode, nil, n.cpCall)
+	n.relayerNodes = []netsim.NodeID{netsim.RelayerNode}
 	n.recordedAcks = make(map[string][]byte)
 	// The bus runs callbacks under its lock: record only, never re-enter.
 	n.CP.Handler().Events().Subscribe(func(ev telemetry.Event) {
@@ -83,4 +85,52 @@ func (n *Network) cpCall(_ netsim.NodeID, kind string, payload any) (any, error)
 		return nil, err
 	}
 	return nil, fmt.Errorf("core: cp: unknown call %q", kind)
+}
+
+// meshChainFrontEnd builds the idempotent RPC front-end for one mesh
+// chain. It mirrors cpCall — with a per-chain ack record, since a mesh
+// runs many chains in one process — and adds the timeout path the
+// cosmos↔cosmos pair relayers drive.
+func meshChainFrontEnd(c *counterparty.Chain) netsim.CallHandler {
+	acks := make(map[string][]byte)
+	// The bus runs callbacks under its lock: record only, never re-enter.
+	c.Handler().Events().Subscribe(func(ev telemetry.Event) {
+		if wa, ok := ev.(ibc.EventWriteAck); ok {
+			acks[recvKey(wa.Packet)] = wa.Ack
+		}
+	})
+	return func(_ netsim.NodeID, kind string, payload any) (any, error) {
+		switch m := payload.(type) {
+		case netsim.MsgUpdateClient:
+			err := c.Handler().UpdateClient(m.ClientID, m.Header)
+			if errors.Is(err, guestlc.ErrStaleBlock) || errors.Is(err, tendermint.ErrStaleHeader) {
+				err = nil
+			}
+			return nil, err
+		case netsim.MsgRecvPacket:
+			ack, err := c.Handler().RecvPacket(m.Packet, m.Proof, m.ProofHeight)
+			if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+				if prev, ok := acks[recvKey(m.Packet)]; ok {
+					return netsim.RespRecvPacket{Ack: prev, ProvableAt: c.Height() + 1}, nil
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			return netsim.RespRecvPacket{Ack: ack, ProvableAt: c.Height() + 1}, nil
+		case netsim.MsgAckPacket:
+			err := c.Handler().AcknowledgePacket(m.Packet, m.Ack, m.Proof, m.ProofHeight)
+			if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+				err = nil
+			}
+			return nil, err
+		case netsim.MsgTimeoutPacket:
+			err := c.Handler().TimeoutPacket(m.Packet, m.Proof, m.ProofHeight)
+			if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+				err = nil
+			}
+			return nil, err
+		}
+		return nil, fmt.Errorf("core: chain %s: unknown call %q", c.ChainID(), kind)
+	}
 }

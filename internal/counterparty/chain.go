@@ -78,10 +78,17 @@ func (EventPacketsCommitted) EventKind() string { return "PacketsCommitted" }
 // Option configures the chain.
 type Option func(*Chain)
 
-// WithTelemetry registers the chain's IBC handler metrics (under "cp.ibc.")
-// in the given registry.
+// WithTelemetry registers the chain's IBC handler metrics (under "cp.ibc."
+// unless WithMetricsNamespace overrides it) in the given registry.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(c *Chain) { c.telemetry = reg }
+}
+
+// WithMetricsNamespace overrides the handler metric prefix; mesh
+// deployments give each chain its own so two chains sharing a registry
+// never collide on a key.
+func WithMetricsNamespace(ns string) Option {
+	return func(c *Chain) { c.metricsNS = ns }
 }
 
 // Chain is the simulated counterparty.
@@ -122,6 +129,7 @@ type Chain struct {
 
 	events    []Event
 	telemetry *telemetry.Registry
+	metricsNS string
 }
 
 // New creates the chain and produces its genesis block.
@@ -156,9 +164,12 @@ func New(cfg Config, clock host.Clock, opts ...Option) (*Chain, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	if c.metricsNS == "" {
+		c.metricsNS = "cp.ibc"
+	}
 	c.handler = ibc.NewHandler(c.store, c,
 		ibc.WithTelemetry(c.telemetry),
-		ibc.WithMetricsNamespace("cp.ibc"),
+		ibc.WithMetricsNamespace(c.metricsNS),
 	)
 	c.handler.Events().Subscribe(func(ev telemetry.Event) {
 		c.events = append(c.events, Event{Height: c.height, Payload: ev})

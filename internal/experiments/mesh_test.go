@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func smokeMeshConfig(topology string) MeshConfig {
+	return MeshConfig{
+		Topology:       topology,
+		PacketsPerFlow: 3,
+		Duration:       2 * time.Hour,
+		Seed:           7,
+		Chaos:          true,
+	}
+}
+
+func TestRunMeshLineConservesEveryHop(t *testing.T) {
+	res, err := RunMesh(smokeMeshConfig("line"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved {
+		t.Fatalf("mesh run not conserved:\n%s", res.Fingerprint)
+	}
+	if res.TotalPackets == 0 {
+		t.Fatal("no packets admitted")
+	}
+	for _, f := range res.Flows {
+		if f.Sent == 0 {
+			t.Fatalf("flow %s>%s admitted nothing", f.Src, f.Dst)
+		}
+		if f.Delivered != f.Sent {
+			t.Fatalf("flow %s>%s delivered %d of %d", f.Src, f.Dst, f.Delivered, f.Sent)
+		}
+		if f.E2EP99s < f.E2EP50s || f.E2EP50s <= 0 {
+			t.Fatalf("flow %s>%s latency p50=%.3fs p99=%.3fs", f.Src, f.Dst, f.E2EP50s, f.E2EP99s)
+		}
+		for hi, e := range f.EscrowByHop {
+			if e != f.SentTokens {
+				t.Fatalf("flow %s>%s hop %d escrow %d != %d", f.Src, f.Dst, hi, e, f.SentTokens)
+			}
+		}
+	}
+	if len(res.Links) != 3 {
+		t.Fatalf("line mesh has %d links, want 3", len(res.Links))
+	}
+	for _, l := range res.Links {
+		if l.ClientUpdates == 0 {
+			t.Fatalf("link %s submitted no client updates", l.ID)
+		}
+		if l.Delivered == 0 {
+			t.Fatalf("link %s delivered nothing", l.ID)
+		}
+	}
+}
+
+func TestRunMeshDiamondRoutesAndConserves(t *testing.T) {
+	res, err := RunMesh(smokeMeshConfig("diamond"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved {
+		t.Fatalf("diamond run not conserved:\n%s", res.Fingerprint)
+	}
+	if len(res.Links) != 4 {
+		t.Fatalf("diamond mesh has %d links, want 4", len(res.Links))
+	}
+	// The guest→c flow crosses exactly one forwarding chain, whichever
+	// arm the tie-break picked.
+	f0 := res.Flows[0]
+	if f0.Hops != 2 {
+		t.Fatalf("guest>c crossed %d hops, want 2", f0.Hops)
+	}
+	via := f0.Path[1]
+	if via != "a" && via != "b" {
+		t.Fatalf("guest>c routed via %q", via)
+	}
+}
+
+func TestRunMeshDeterministic(t *testing.T) {
+	a, err := RunMesh(smokeMeshConfig("line"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunMesh(smokeMeshConfig("line"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("same-config mesh runs diverged:\n%s\n---\n%s", a.Fingerprint, b.Fingerprint)
+	}
+}

@@ -20,6 +20,9 @@ const (
 	KindRecvPacket = "cp.recv-packet"
 	// KindAckPacket runs AcknowledgePacket on the counterparty (call).
 	KindAckPacket = "cp.ack-packet"
+	// KindTimeoutPacket runs TimeoutPacket on a chain front-end (call);
+	// mesh link relayers use it to refund expired hops on Cosmos chains.
+	KindTimeoutPacket = "cp.timeout-packet"
 )
 
 // MsgHostBlock is the KindHostBlock payload.
@@ -62,6 +65,14 @@ type RespRecvPacket struct {
 type MsgAckPacket struct {
 	Packet      *ibc.Packet
 	Ack         []byte
+	Proof       []byte
+	ProofHeight ibc.Height
+}
+
+// MsgTimeoutPacket is the KindTimeoutPacket payload. Proof is receipt
+// non-membership (unordered channels) at ProofHeight on the destination.
+type MsgTimeoutPacket struct {
+	Packet      *ibc.Packet
 	Proof       []byte
 	ProofHeight ibc.Height
 }

@@ -43,6 +43,13 @@ const (
 // ValidatorNode names the i-th validator daemon.
 func ValidatorNode(i int) NodeID { return NodeID(fmt.Sprintf("validator-%d", i)) }
 
+// ChainNode names the RPC front-end of a mesh chain. The legacy pair's
+// counterparty keeps the well-known CPNode id.
+func ChainNode(name string) NodeID { return NodeID("chain-" + name) }
+
+// LinkRelayerNode names the relayer daemon serving mesh link id ("a-b").
+func LinkRelayerNode(id string) NodeID { return NodeID("link-" + id) }
+
 // FishermanNode names the i-th fisherman daemon.
 func FishermanNode(i int) NodeID { return NodeID(fmt.Sprintf("fisherman-%d", i)) }
 

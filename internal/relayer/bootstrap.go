@@ -35,6 +35,13 @@ type Bootstrap struct {
 	Ordering  ibc.Ordering
 	Version   string
 
+	// GuestClientID / GuestOnCPClientID override the default client
+	// identifiers ("tendermint-0" / "guest-0"). A mesh bootstraps one
+	// guest↔cosmos link per counterparty, and each link needs its own
+	// client pair on the shared guest chain.
+	GuestClientID     ibc.ClientID
+	GuestOnCPClientID ibc.ClientID
+
 	// Reuse, when set, opens the new channel over an existing
 	// connection (and its clients) instead of creating fresh ones —
 	// IBC multiplexes any number of channels over one connection.
@@ -69,6 +76,12 @@ func (b *Bootstrap) Run() (*Result, error) {
 	}
 	st.BeginDirect(b.HostChain.Now(), uint64(b.HostChain.Slot()))
 	res := &Result{GuestClientID: "tendermint-0", GuestOnCPClientID: "guest-0"}
+	if b.GuestClientID != "" {
+		res.GuestClientID = b.GuestClientID
+	}
+	if b.GuestOnCPClientID != "" {
+		res.GuestOnCPClientID = b.GuestOnCPClientID
+	}
 	if b.Reuse != nil {
 		res.GuestClientID = b.Reuse.GuestClientID
 		res.GuestOnCPClientID = b.Reuse.GuestOnCPClientID

@@ -1,0 +1,231 @@
+package relayer
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/counterparty"
+	"repro/internal/ibc"
+	"repro/internal/lightclient/tendermint"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/transfer"
+)
+
+// pairEnv wires two cosmos chains, their transfer apps, netsim front-ends
+// (the idempotent mini version of core's chain front-end), and one
+// PairRelayer over a link.
+type pairEnv struct {
+	sched *sim.Scheduler
+	net   *netsim.Network
+	tel   *telemetry.Telemetry
+	a, b  *counterparty.Chain
+	appA  *transfer.App
+	appB  *transfer.App
+	res   *PairResult
+	r     *PairRelayer
+}
+
+func newPairEnv(t *testing.T, netCfg netsim.Config) *pairEnv {
+	t.Helper()
+	sched := sim.NewScheduler(time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC))
+	e := &pairEnv{sched: sched, net: netsim.New(sched, netCfg), tel: telemetry.New()}
+
+	mk := func(id string, seed int64) *counterparty.Chain {
+		cfg := counterparty.DefaultConfig()
+		cfg.ChainID = id
+		cfg.NumValidators = 8
+		cfg.Seed = seed
+		c, err := counterparty.New(cfg, sched.Clock())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	e.a = mk("chain-a", 1)
+	e.b = mk("chain-b", 2)
+	e.appA = transfer.New("transfer")
+	e.appB = transfer.New("transfer")
+	if err := e.a.Handler().BindPort("transfer", e.appA); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.b.Handler().BindPort("transfer", e.appB); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := (&PairBootstrap{A: e.a, B: e.b, PortA: "transfer", PortB: "transfer"}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.res = res
+
+	nodeA, nodeB := netsim.ChainNode("a"), netsim.ChainNode("b")
+	e.net.Node(nodeA, nil, pairFrontEnd(e.a))
+	e.net.Node(nodeB, nil, pairFrontEnd(e.b))
+	e.r = NewPair(PairConfig{
+		LinkID: "a-b",
+		Seed:   7,
+		A:      PairSideConfig{Chain: e.a, Node: nodeA, ClientOfPeer: res.ClientBOnA, Port: "transfer", Channel: res.ChanA},
+		B:      PairSideConfig{Chain: e.b, Node: nodeB, ClientOfPeer: res.ClientAOnB, Port: "transfer", Channel: res.ChanB},
+	}, sched, e.net, WithPairTelemetry(e.tel))
+
+	// Block production notifies the link relayer from each chain's node.
+	epA, epB := e.net.Endpoint(nodeA), e.net.Endpoint(nodeB)
+	sched.Every(e.a.BlockInterval(), func() bool {
+		e.a.ProduceBlock()
+		epA.Send(e.r.ep.ID(), netsim.KindCPBlock, netsim.MsgCPBlock{Height: e.a.Height()})
+		return true
+	})
+	sched.Every(e.b.BlockInterval(), func() bool {
+		e.b.ProduceBlock()
+		epB.Send(e.r.ep.ID(), netsim.KindCPBlock, netsim.MsgCPBlock{Height: e.b.Height()})
+		return true
+	})
+	sched.Every(30*time.Second, func() bool {
+		e.r.CheckTimeouts()
+		return true
+	})
+	return e
+}
+
+// pairFrontEnd is the test's idempotent chain front-end (core's mesh
+// front-end mirrors it).
+func pairFrontEnd(c *counterparty.Chain) netsim.CallHandler {
+	acks := make(map[string][]byte)
+	c.Handler().Events().Subscribe(func(ev telemetry.Event) {
+		if wa, ok := ev.(ibc.EventWriteAck); ok {
+			acks[fmt.Sprintf("%s/%s/%d", wa.Packet.DestPort, wa.Packet.DestChannel, wa.Packet.Sequence)] = wa.Ack
+		}
+	})
+	return func(_ netsim.NodeID, kind string, payload any) (any, error) {
+		switch m := payload.(type) {
+		case netsim.MsgUpdateClient:
+			err := c.Handler().UpdateClient(m.ClientID, m.Header)
+			if errors.Is(err, tendermint.ErrStaleHeader) {
+				err = nil
+			}
+			return nil, err
+		case netsim.MsgRecvPacket:
+			ack, err := c.Handler().RecvPacket(m.Packet, m.Proof, m.ProofHeight)
+			if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+				k := fmt.Sprintf("%s/%s/%d", m.Packet.DestPort, m.Packet.DestChannel, m.Packet.Sequence)
+				if prev, ok := acks[k]; ok {
+					return netsim.RespRecvPacket{Ack: prev, ProvableAt: c.Height() + 1}, nil
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			return netsim.RespRecvPacket{Ack: ack, ProvableAt: c.Height() + 1}, nil
+		case netsim.MsgAckPacket:
+			err := c.Handler().AcknowledgePacket(m.Packet, m.Ack, m.Proof, m.ProofHeight)
+			if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+				err = nil
+			}
+			return nil, err
+		case netsim.MsgTimeoutPacket:
+			err := c.Handler().TimeoutPacket(m.Packet, m.Proof, m.ProofHeight)
+			if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
+				err = nil
+			}
+			return nil, err
+		}
+		return nil, fmt.Errorf("pair test: unknown call %q", kind)
+	}
+}
+
+func (e *pairEnv) send(t *testing.T, amount uint64, timeout time.Duration) *ibc.Packet {
+	t.Helper()
+	e.appA.Mint("alice", "TOK", amount)
+	data := &transfer.PacketData{Denom: "TOK", Amount: amount, Sender: "alice", Receiver: "bob"}
+	if err := e.appA.PrepareSend(e.res.ChanA, data); err != nil {
+		t.Fatal(err)
+	}
+	var ts time.Time
+	if timeout > 0 {
+		ts = e.sched.Now().Add(timeout)
+	}
+	p, err := e.a.SendPacket("transfer", e.res.ChanA, data.Marshal(), 0, ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPairRelayerDeliversAndAcks(t *testing.T) {
+	e := newPairEnv(t, netsim.Config{})
+	p := e.send(t, 500, 0)
+	e.sched.RunFor(10 * time.Minute)
+
+	voucher := transfer.VoucherPrefix("transfer", e.res.ChanB) + "TOK"
+	if got := e.appB.Balance("bob", voucher); got != 500 {
+		t.Fatalf("voucher balance = %d, want 500", got)
+	}
+	if got := e.appA.EscrowedAmount(e.res.ChanA, "TOK"); got != 500 {
+		t.Fatalf("escrow = %d, want 500", got)
+	}
+	if e.a.Handler().HasCommitment(p) {
+		t.Fatal("commitment still present: ack never relayed")
+	}
+	snap := e.tel.Metrics.Snapshot()
+	if n := snap.Counters["relayer.link.a-b.delivered"]; n != 1 {
+		t.Fatalf("delivered = %d, want 1", n)
+	}
+	if n := snap.Counters["relayer.link.a-b.acks"]; n != 1 {
+		t.Fatalf("acks = %d, want 1", n)
+	}
+}
+
+func TestPairRelayerUnderChaos(t *testing.T) {
+	e := newPairEnv(t, netsim.Config{
+		Seed:    11,
+		Default: netsim.LinkConfig{Latency: sim.Uniform{Min: 20 * time.Millisecond, Max: 200 * time.Millisecond}, Drop: 0.05, Duplicate: 0.05},
+	})
+	const n, amt = 8, 100
+	for i := 0; i < n; i++ {
+		e.send(t, amt, 0)
+	}
+	e.sched.RunFor(2 * time.Hour)
+
+	voucher := transfer.VoucherPrefix("transfer", e.res.ChanB) + "TOK"
+	if got := e.appB.Balance("bob", voucher); got != n*amt {
+		t.Fatalf("voucher balance = %d, want %d (exactly-once under chaos)", got, n*amt)
+	}
+	if got := e.appA.EscrowedAmount(e.res.ChanA, "TOK"); got != n*amt {
+		t.Fatalf("escrow = %d, want %d", got, n*amt)
+	}
+}
+
+func TestPairRelayerTimesOutExpiredPacket(t *testing.T) {
+	e := newPairEnv(t, netsim.Config{
+		// The relayer is cut off from chain B long enough for the packet
+		// to expire undelivered; the receipt non-membership proof then
+		// refunds it on A.
+		Seed: 3,
+		Partitions: []netsim.PartitionWindow{{
+			A:    []netsim.NodeID{netsim.ChainNode("b")},
+			B:    []netsim.NodeID{netsim.LinkRelayerNode("a-b")},
+			From: 0, Duration: 30 * time.Minute,
+		}},
+	})
+	e.net.ScheduleFaults(e.sched.Now())
+	p := e.send(t, 250, 10*time.Minute)
+	e.sched.RunFor(3 * time.Hour)
+
+	if e.a.Handler().HasCommitment(p) {
+		t.Fatal("commitment still present: timeout never submitted")
+	}
+	if got := e.appA.Balance("alice", "TOK"); got != 250 {
+		t.Fatalf("refund balance = %d, want 250", got)
+	}
+	if got := e.appA.EscrowedAmount(e.res.ChanA, "TOK"); got != 0 {
+		t.Fatalf("escrow = %d, want 0 after refund", got)
+	}
+	voucher := transfer.VoucherPrefix("transfer", e.res.ChanB) + "TOK"
+	if got := e.appB.Balance("bob", voucher); got != 0 {
+		t.Fatalf("voucher balance = %d, want 0", got)
+	}
+}

@@ -1,0 +1,202 @@
+package relayer
+
+import (
+	"fmt"
+
+	"repro/internal/counterparty"
+	"repro/internal/ibc"
+	"repro/internal/lightclient/tendermint"
+)
+
+// PairBootstrap runs the operator-side setup between two Cosmos-style
+// counterparty chains: a tendermint client on each side, the four-step
+// ICS-03 connection handshake, and one ICS-04 channel. It is the
+// symmetric sibling of Bootstrap (guest↔cosmos): both ends verify real
+// membership proofs and validate the peer's view of themselves through
+// ibc.SelfInfo, and both ends' headers advance through the same lazy
+// commit-signature machinery the relayer later pays for.
+//
+// Like Bootstrap it runs directly — a one-off operator action outside the
+// paced packet path.
+type PairBootstrap struct {
+	A, B *counterparty.Chain
+
+	PortA, PortB ibc.PortID
+	Ordering     ibc.Ordering
+	Version      string
+
+	// ClientBOnA / ClientAOnB override the default client identifiers
+	// ("tm-<peer chain id>"); a chain carrying several mesh links needs a
+	// distinct client per peer.
+	ClientBOnA ibc.ClientID // tendermint client of B living on A
+	ClientAOnB ibc.ClientID // tendermint client of A living on B
+}
+
+// PairResult reports the identifiers PairBootstrap created.
+type PairResult struct {
+	ClientBOnA ibc.ClientID
+	ClientAOnB ibc.ClientID
+	ConnA      ibc.ConnectionID
+	ConnB      ibc.ConnectionID
+	ChanA      ibc.ChannelID
+	ChanB      ibc.ChannelID
+}
+
+// Run executes the bootstrap.
+func (b *PairBootstrap) Run() (*PairResult, error) {
+	if b.Ordering == 0 {
+		b.Ordering = ibc.Unordered
+	}
+	if b.Version == "" {
+		b.Version = "ics20-1"
+	}
+	res := &PairResult{ClientBOnA: b.ClientBOnA, ClientAOnB: b.ClientAOnB}
+	if res.ClientBOnA == "" {
+		res.ClientBOnA = ibc.ClientID("tm-" + b.B.ChainID())
+	}
+	if res.ClientAOnB == "" {
+		res.ClientAOnB = ibc.ClientID("tm-" + b.A.ChainID())
+	}
+
+	// --- Clients ---
+	hdrB, valsB := b.B.GenesisUpdate()
+	tmB, err := tendermint.NewClient(b.B.ChainID(), hdrB, valsB)
+	if err != nil {
+		return nil, fmt.Errorf("pairboot: client of %s: %w", b.B.ChainID(), err)
+	}
+	if err := b.A.Handler().CreateClient(res.ClientBOnA, tmB); err != nil {
+		return nil, err
+	}
+	hdrA, valsA := b.A.GenesisUpdate()
+	tmA, err := tendermint.NewClient(b.A.ChainID(), hdrA, valsA)
+	if err != nil {
+		return nil, fmt.Errorf("pairboot: client of %s: %w", b.A.ChainID(), err)
+	}
+	if err := b.B.Handler().CreateClient(res.ClientAOnB, tmA); err != nil {
+		return nil, err
+	}
+
+	// syncA commits A's state into a block and teaches it to B's client of
+	// A (syncB mirrors it), so the next proof verifies on the other side.
+	syncA := func() (uint64, error) {
+		h := b.A.ProduceBlock()
+		upd, err := b.A.UpdateAt(h.Height)
+		if err != nil {
+			return 0, err
+		}
+		return h.Height, b.B.Handler().UpdateClient(res.ClientAOnB, upd.Marshal())
+	}
+	syncB := func() (uint64, error) {
+		h := b.B.ProduceBlock()
+		upd, err := b.B.UpdateAt(h.Height)
+		if err != nil {
+			return 0, err
+		}
+		return h.Height, b.A.Handler().UpdateClient(res.ClientBOnA, upd.Marshal())
+	}
+
+	// --- Connection handshake (ICS-03) ---
+	connA, err := b.A.Handler().ConnOpenInit(res.ClientBOnA, res.ClientAOnB)
+	if err != nil {
+		return nil, fmt.Errorf("pairboot: ConnOpenInit: %w", err)
+	}
+	res.ConnA = connA
+
+	hA, err := syncA()
+	if err != nil {
+		return nil, err
+	}
+	_, proofInit, err := b.A.ProveMembershipAt(hA, ibc.ConnectionPath(connA))
+	if err != nil {
+		return nil, err
+	}
+	connB, err := b.B.Handler().ConnOpenTry(
+		res.ClientAOnB,
+		ibc.Counterparty{ClientID: res.ClientBOnA, ConnectionID: connA},
+		tmB.StateBytes(),
+		proofInit,
+		ibc.Height(hA),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("pairboot: ConnOpenTry: %w", err)
+	}
+	res.ConnB = connB
+
+	hB, err := syncB()
+	if err != nil {
+		return nil, err
+	}
+	_, proofTry, err := b.B.ProveMembershipAt(hB, ibc.ConnectionPath(connB))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.A.Handler().ConnOpenAck(connA, connB, tmA.StateBytes(), proofTry, ibc.Height(hB)); err != nil {
+		return nil, fmt.Errorf("pairboot: ConnOpenAck: %w", err)
+	}
+
+	hA, err = syncA()
+	if err != nil {
+		return nil, err
+	}
+	_, proofAck, err := b.A.ProveMembershipAt(hA, ibc.ConnectionPath(connA))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.B.Handler().ConnOpenConfirm(connB, proofAck, ibc.Height(hA)); err != nil {
+		return nil, fmt.Errorf("pairboot: ConnOpenConfirm: %w", err)
+	}
+
+	// --- Channel handshake (ICS-04) ---
+	chA, err := b.A.Handler().ChanOpenInit(b.PortA, connA, b.PortB, b.Ordering, b.Version)
+	if err != nil {
+		return nil, fmt.Errorf("pairboot: ChanOpenInit: %w", err)
+	}
+	res.ChanA = chA
+
+	hA, err = syncA()
+	if err != nil {
+		return nil, err
+	}
+	_, proofChanInit, err := b.A.ProveMembershipAt(hA, ibc.ChannelPath(b.PortA, chA))
+	if err != nil {
+		return nil, err
+	}
+	chB, err := b.B.Handler().ChanOpenTry(
+		b.PortB,
+		connB,
+		ibc.ChannelCounterparty{PortID: b.PortA, ChannelID: chA},
+		b.Ordering,
+		b.Version,
+		proofChanInit,
+		ibc.Height(hA),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("pairboot: ChanOpenTry: %w", err)
+	}
+	res.ChanB = chB
+
+	hB, err = syncB()
+	if err != nil {
+		return nil, err
+	}
+	_, proofChanTry, err := b.B.ProveMembershipAt(hB, ibc.ChannelPath(b.PortB, chB))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.A.Handler().ChanOpenAck(b.PortA, chA, chB, proofChanTry, ibc.Height(hB)); err != nil {
+		return nil, fmt.Errorf("pairboot: ChanOpenAck: %w", err)
+	}
+
+	hA, err = syncA()
+	if err != nil {
+		return nil, err
+	}
+	_, proofChanAck, err := b.A.ProveMembershipAt(hA, ibc.ChannelPath(b.PortA, chA))
+	if err != nil {
+		return nil, err
+	}
+	if err := b.B.Handler().ChanOpenConfirm(b.PortB, chB, proofChanAck, ibc.Height(hA)); err != nil {
+		return nil, fmt.Errorf("pairboot: ChanOpenConfirm: %w", err)
+	}
+	return res, nil
+}

@@ -51,6 +51,27 @@ type Config struct {
 	// Channels lists every (port, channel) route the relayer serves.
 	// When empty, the legacy single-channel fields below define one.
 	Channels []ChannelRoute
+	// MetricsNamespace prefixes every metric and event key this relayer
+	// writes (default "relayer"). Mesh deployments run one relayer per
+	// link in a single process and give each a distinct per-link prefix
+	// ("relayer.link.<a>-<b>") so no two links ever share a key.
+	MetricsNamespace string
+	// NodeID is this relayer's address on the simulated network (default
+	// netsim.RelayerNode); per-link relayers register as
+	// netsim.LinkRelayerNode(id) so per-link fault profiles apply.
+	NodeID netsim.NodeID
+	// ChainNodeID is the counterparty RPC front-end this relayer calls
+	// (default netsim.CPNode); mesh chains expose netsim.ChainNode(name).
+	ChainNodeID netsim.NodeID
+	// KeyName derives the relayer's fee-paying key (default "relayer").
+	// Per-link relayers need distinct identities on the shared host.
+	KeyName string
+	// StrictRoutes restricts the relayer to packets whose (port, channel)
+	// is in Channels. The default (false) keeps the legacy fallback —
+	// stray packets ride shard 0 — which is right when one relayer serves
+	// the whole deployment; a mesh runs several relayers against the same
+	// guest chain, and each must ignore the others' traffic.
+	StrictRoutes bool
 	// Legacy single-channel fields (filled by Bootstrap); still honoured
 	// when Channels is empty.
 	GuestPort    ibc.PortID
@@ -124,6 +145,11 @@ type PacketTrace struct {
 // channel in Config.Channels (or the legacy single route).
 type Relayer struct {
 	cfg Config
+	// ns is the resolved metrics namespace; nodeID/chainNode the resolved
+	// netsim addresses (Config defaults applied).
+	ns        string
+	nodeID    netsim.NodeID
+	chainNode netsim.NodeID
 
 	hostChain *host.Chain
 	contract  *guest.Contract
@@ -263,7 +289,11 @@ func WithTransport(net *netsim.Network) Option {
 
 // New creates a relayer; its host account must be funded for fees.
 func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counterparty.Chain, sched *sim.Scheduler, opts ...Option) *Relayer {
-	key := cryptoutil.GenerateKey("relayer")
+	keyName := cfg.KeyName
+	if keyName == "" {
+		keyName = "relayer"
+	}
+	key := cryptoutil.GenerateKey(keyName)
 	r := &Relayer{
 		cfg:       cfg,
 		hostChain: hostChain,
@@ -275,6 +305,18 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 		builder:   guest.NewTxBuilderForProfile(contract, key.Public(), hostChain.Profile()),
 		Traces:    make(map[string]*PacketTrace),
 	}
+	r.ns = cfg.MetricsNamespace
+	if r.ns == "" {
+		r.ns = "relayer"
+	}
+	r.nodeID = cfg.NodeID
+	if r.nodeID == "" {
+		r.nodeID = netsim.RelayerNode
+	}
+	r.chainNode = cfg.ChainNodeID
+	if r.chainNode == "" {
+		r.chainNode = netsim.CPNode
+	}
 	r.root = &pacer{r: r, rng: r.rng}
 	r.updates = updateScheduler{r: r}
 	for _, o := range opts {
@@ -285,18 +327,18 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 		reg = r.tel.Metrics
 		r.tracer = r.tel.Tracer
 	}
-	r.mUpdLatency = reg.Histogram("relayer.update.latency_s")
-	r.mUpdTxs = reg.Histogram("relayer.update.txs")
-	r.mUpdCost = reg.Histogram("relayer.update.cost_cents")
-	r.mUpdSigs = reg.Histogram("relayer.update.sigs")
-	r.mRecvTxs = reg.Histogram("relayer.recv.txs")
-	r.mRecvCost = reg.Histogram("relayer.recv.cost_cents")
-	r.mJobLatency = reg.Histogram("relayer.job.latency_s")
-	r.mQueueDepth = reg.Gauge("relayer.queue_depth")
-	r.mClientUpdates = reg.Counter("relayer.client_updates")
-	r.mTimeouts = reg.Counter("relayer.timeouts_submitted")
-	r.mSnapRetries = reg.Counter("relayer.snapshot_pruned_retries")
-	r.mFeesClaimed = reg.Counter("relayer.fees_claimed_tokens")
+	r.mUpdLatency = reg.Histogram(r.ns + ".update.latency_s")
+	r.mUpdTxs = reg.Histogram(r.ns + ".update.txs")
+	r.mUpdCost = reg.Histogram(r.ns + ".update.cost_cents")
+	r.mUpdSigs = reg.Histogram(r.ns + ".update.sigs")
+	r.mRecvTxs = reg.Histogram(r.ns + ".recv.txs")
+	r.mRecvCost = reg.Histogram(r.ns + ".recv.cost_cents")
+	r.mJobLatency = reg.Histogram(r.ns + ".job.latency_s")
+	r.mQueueDepth = reg.Gauge(r.ns + ".queue_depth")
+	r.mClientUpdates = reg.Counter(r.ns + ".client_updates")
+	r.mTimeouts = reg.Counter(r.ns + ".timeouts_submitted")
+	r.mSnapRetries = reg.Counter(r.ns + ".snapshot_pruned_retries")
+	r.mFeesClaimed = reg.Counter(r.ns + ".fees_claimed_tokens")
 	r.byGuest = make(map[chanKey]*shard)
 	r.byCP = make(map[chanKey]*shard)
 	for i, route := range cfg.routes() {
@@ -306,16 +348,36 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 		r.byCP[chanKey{route.CPPort, route.CPChannel}] = s
 	}
 	if r.net != nil {
-		r.ep = r.net.Node(netsim.RelayerNode, r.onNetMessage, nil)
+		r.ep = r.net.Node(r.nodeID, r.onNetMessage, nil)
 		// Start the block cursor at the current slot: bootstrap blocks
 		// predate the daemon loop and were already handled.
 		r.hostCursor = hostChain.Slot()
 		r.retry = netsim.DefaultRetryPolicy()
-		r.mNetRetries = reg.Counter("relayer.net_retries")
-		r.mNetDead = reg.Counter("relayer.net_dead_letters")
-		r.mNetAttempts = reg.Histogram("relayer.net_attempts")
+		r.mNetRetries = reg.Counter(r.ns + ".net_retries")
+		r.mNetDead = reg.Counter(r.ns + ".net_dead_letters")
+		r.mNetAttempts = reg.Histogram(r.ns + ".net_attempts")
 	}
 	return r
+}
+
+// ownsGuest reports whether this relayer serves the guest-side route. In
+// strict mode unknown routes are foreign traffic (another link's relayer
+// serves them); otherwise every route maps to a shard via the fallback.
+func (r *Relayer) ownsGuest(port ibc.PortID, channel ibc.ChannelID) bool {
+	if !r.cfg.StrictRoutes {
+		return true
+	}
+	_, ok := r.byGuest[chanKey{port, channel}]
+	return ok
+}
+
+// ownsCP is ownsGuest for counterparty-side routes.
+func (r *Relayer) ownsCP(port ibc.PortID, channel ibc.ChannelID) bool {
+	if !r.cfg.StrictRoutes {
+		return true
+	}
+	_, ok := r.byCP[chanKey{port, channel}]
+	return ok
 }
 
 // shardForGuest resolves the shard serving a guest-side (port, channel);
@@ -390,7 +452,7 @@ func (r *Relayer) cpPump() {
 		return
 	}
 	op := r.cpQueue[0]
-	r.ep.ReliableCall(netsim.CPNode, op.kind, op.payload, r.retry, r.netObs(), func(resp any, err error) {
+	r.ep.ReliableCall(r.chainNode, op.kind, op.payload, r.retry, r.netObs(), func(resp any, err error) {
 		r.cpQueue = r.cpQueue[1:]
 		op.onDone(resp, err)
 		r.cpPump()
@@ -522,10 +584,16 @@ func (r *Relayer) OnHostBlock(b *host.Block) {
 			// to ride a finalised guest block back to the cp. Dest is the
 			// guest side of the route.
 			p := e.Packet
+			if !r.ownsGuest(p.DestPort, p.DestChannel) {
+				continue
+			}
 			s := r.shardForGuest(p.DestPort, p.DestChannel)
 			s.ackBacklog = append(s.ackBacklog, cpAckBack{packet: p, ack: e.Ack})
 		case ibc.EventSendPacket:
 			p := e.Packet
+			if !r.ownsGuest(p.SourcePort, p.SourceChannel) {
+				continue
+			}
 			r.Traces[traceKey(p)] = &PacketTrace{Packet: p, SentAt: ev.Time}
 			// Send and commit coincide on the guest: the commitment is
 			// written in the same host transaction as SendPacket.
@@ -546,6 +614,9 @@ func (r *Relayer) OnCPBlock(_ uint64) {
 			continue
 		}
 		for _, p := range pc.Packets {
+			if !r.ownsCP(p.SourcePort, p.SourceChannel) {
+				continue
+			}
 			s := r.shardForCP(p.SourcePort, p.SourceChannel)
 			s.inbound = append(s.inbound, cpWork{packet: p, height: ev.Height})
 		}
@@ -563,14 +634,21 @@ func (r *Relayer) OnCPBlock(_ uint64) {
 // covers every channel's packets in the block — guest→cp updates are
 // amortised per (chain, height) exactly like the guest-side scheduler.
 func (r *Relayer) onGuestFinalised(entry *guest.BlockEntry) {
+	owned := 0
 	for _, p := range entry.Packets {
+		if !r.ownsGuest(p.SourcePort, p.SourceChannel) {
+			continue
+		}
+		owned++
 		if tr, ok := r.Traces[traceKey(p)]; ok {
 			tr.FinalisedAt = entry.FinalisedAt
 		}
 		r.tracer.Mark(traceKey(p), telemetry.StageFinalise, entry.FinalisedAt)
 		r.tracer.Mark(traceKey(p), telemetry.StagePickup, r.sched.Now())
 	}
-	if len(entry.Packets) == 0 && entry.Block.NextEpoch == nil {
+	// Epoch rotations gate every client of the guest chain: push the
+	// header even when the block carries no packets this relayer serves.
+	if owned == 0 && entry.Block.NextEpoch == nil {
 		return
 	}
 	r.cpHeaderQueue = append(r.cpHeaderQueue, entry)
@@ -629,6 +707,9 @@ func (r *Relayer) deliverGuestEntry(st *guest.State, entry *guest.BlockEntry) {
 	}
 	for _, p := range entry.Packets {
 		p := p
+		if !r.ownsGuest(p.SourcePort, p.SourceChannel) {
+			continue
+		}
 		s := r.shardForGuest(p.SourcePort, p.SourceChannel)
 		path := ibc.CommitmentPath(p.SourcePort, p.SourceChannel, p.Sequence)
 		proof, provedAt, err := r.proveGuestMembership(st, proveAt, path)

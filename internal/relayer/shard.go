@@ -57,7 +57,7 @@ type shard struct {
 	// timeoutInFlight dedups timeout submissions per packet.
 	timeoutInFlight map[string]bool
 
-	// Per-channel telemetry (relayer.ch.<guest-channel>.*).
+	// Per-channel telemetry (<relayer-ns>.ch.<guest-channel>.*).
 	cDelivered *telemetry.Counter // guest-sent packets received on the cp
 	cRecvs     *telemetry.Counter // cp-sent packets delivered on the guest
 	cAcksGuest *telemetry.Counter // cp acks relayed to the guest
@@ -78,7 +78,7 @@ func newShard(r *Relayer, reg *telemetry.Registry, route ChannelRoute, index int
 		s.rng = rand.New(rand.NewSource(seed))
 		s.pc = &pacer{r: r, rng: rand.New(rand.NewSource(sim.DeriveSeed(seed, "pacing")))}
 	}
-	ns := "relayer.ch." + string(route.GuestChannel) + "."
+	ns := r.ns + ".ch." + string(route.GuestChannel) + "."
 	s.cDelivered = reg.Counter(ns + "delivered_to_cp")
 	s.cRecvs = reg.Counter(ns + "recv_submitted")
 	s.cAcksGuest = reg.Counter(ns + "acks_to_guest")

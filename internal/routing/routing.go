@@ -1,0 +1,184 @@
+// Package routing computes packet routes over a mesh's link graph: which
+// (port, channel) sequence a multi-hop transfer traverses, the nested
+// forward memo the PR-7 forwarding middleware consumes at each
+// intermediate chain, and the ICS-20 denom trace the transfer composes
+// along the way. Routes are static shortest paths; the table is built
+// once from the bootstrapped topology and is deterministic in the link
+// set regardless of declaration order or orientation.
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ibc"
+	"repro/internal/middleware"
+	"repro/internal/transfer"
+)
+
+// Link is one bidirectional mesh link between chains A and B, named by
+// each side's transfer (port, channel) as bootstrap opened them.
+type Link struct {
+	A, B               string
+	PortA, PortB       ibc.PortID
+	ChannelA, ChannelB ibc.ChannelID
+}
+
+// Hop is one step of a route: the sending chain's (Port, Channel) the
+// packet leaves through, and the receiving chain's (DestPort,
+// DestChannel) it arrives on — the pair ICS-20 uses to extend the denom
+// trace.
+type Hop struct {
+	From, To    string
+	Port        ibc.PortID
+	Channel     ibc.ChannelID
+	DestPort    ibc.PortID
+	DestChannel ibc.ChannelID
+}
+
+// edge is a directed view of a Link.
+type edge struct {
+	to  string
+	hop Hop
+}
+
+// Table holds precomputed shortest-path routes between every chain pair.
+type Table struct {
+	chains []string
+	routes map[string][]Hop // "src dst" -> hop sequence
+}
+
+// routeKey indexes routes; chain names never contain a space.
+func routeKey(src, dst string) string { return src + " " + dst }
+
+// NewTable builds the all-pairs route table. Paths are breadth-first
+// shortest; ties break on the lexicographically smallest (neighbor,
+// channel), so the result is a pure function of the link set — two meshes
+// declaring the same links in different order or orientation route
+// identically.
+func NewTable(links []Link) *Table {
+	adj := make(map[string][]edge)
+	addEdge := func(from, to string, h Hop) {
+		adj[from] = append(adj[from], edge{to: to, hop: h})
+	}
+	for _, l := range links {
+		addEdge(l.A, l.B, Hop{From: l.A, To: l.B, Port: l.PortA, Channel: l.ChannelA, DestPort: l.PortB, DestChannel: l.ChannelB})
+		addEdge(l.B, l.A, Hop{From: l.B, To: l.A, Port: l.PortB, Channel: l.ChannelB, DestPort: l.PortA, DestChannel: l.ChannelA})
+	}
+	t := &Table{routes: make(map[string][]Hop)}
+	for name, edges := range adj {
+		t.chains = append(t.chains, name)
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].to != edges[j].to {
+				return edges[i].to < edges[j].to
+			}
+			return edges[i].hop.Channel < edges[j].hop.Channel
+		})
+		adj[name] = edges
+	}
+	sort.Strings(t.chains)
+
+	for _, src := range t.chains {
+		// BFS with sorted expansion: the first path found to each node is
+		// both shortest and canonical.
+		prev := map[string]Hop{}
+		visited := map[string]bool{src: true}
+		queue := []string{src}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range adj[cur] {
+				if visited[e.to] {
+					continue
+				}
+				visited[e.to] = true
+				prev[e.to] = e.hop
+				queue = append(queue, e.to)
+			}
+		}
+		for _, dst := range t.chains {
+			if dst == src || !visited[dst] {
+				continue
+			}
+			var hops []Hop
+			for cur := dst; cur != src; {
+				h := prev[cur]
+				hops = append([]Hop{h}, hops...)
+				cur = h.From
+			}
+			t.routes[routeKey(src, dst)] = hops
+		}
+	}
+	return t
+}
+
+// Chains lists every chain in the graph, sorted.
+func (t *Table) Chains() []string { return t.chains }
+
+// Route returns the hop sequence from src to dst.
+func (t *Table) Route(src, dst string) ([]Hop, error) {
+	if src == dst {
+		return nil, fmt.Errorf("routing: route %s->%s: same chain", src, dst)
+	}
+	hops, ok := t.routes[routeKey(src, dst)]
+	if !ok {
+		return nil, fmt.Errorf("routing: no route %s->%s", src, dst)
+	}
+	return hops, nil
+}
+
+// ForwardPlan is what a routed send needs beyond the first hop's (port,
+// channel): the first-hop receiver and the memo carrying the remaining
+// hops as nested forward instructions.
+type ForwardPlan struct {
+	Receiver string
+	Memo     string
+}
+
+// Plan composes the forward memo for route: single-hop routes address the
+// final receiver directly with the base memo; multi-hop routes address
+// each intermediate chain's forward module account and nest one forward
+// instruction per remaining hop, innermost last — exactly the shape the
+// forwarding middleware unwraps one layer per chain.
+func Plan(route []Hop, finalReceiver, moduleAccount, baseMemo string) ForwardPlan {
+	if len(route) <= 1 {
+		return ForwardPlan{Receiver: finalReceiver, Memo: baseMemo}
+	}
+	memo := baseMemo
+	receiver := finalReceiver
+	// Build inside-out: the instruction for the last forwarding chain
+	// (route[len-1].From) is innermost.
+	for i := len(route) - 1; i >= 1; i-- {
+		h := route[i]
+		memo = middleware.ForwardMemo(middleware.ForwardInfo{
+			Port:     string(h.Port),
+			Channel:  string(h.Channel),
+			Receiver: receiver,
+			Memo:     memo,
+		})
+		receiver = moduleAccount
+	}
+	return ForwardPlan{Receiver: receiver, Memo: memo}
+}
+
+// TraceDenom returns the denom held on each chain along the route:
+// entry 0 is the denom on the source, entry i the denom after hop i.
+// Each hop applies the ICS-20 rule the transfer app implements: a denom
+// prefixed by the sending end's (port, channel) is going home and loses
+// that prefix; anything else gains the receiving end's prefix.
+func TraceDenom(route []Hop, denom string) []string {
+	out := make([]string, 0, len(route)+1)
+	out = append(out, denom)
+	cur := denom
+	for _, h := range route {
+		srcPrefix := transfer.VoucherPrefix(h.Port, h.Channel)
+		if strings.HasPrefix(cur, srcPrefix) {
+			cur = strings.TrimPrefix(cur, srcPrefix)
+		} else {
+			cur = transfer.VoucherPrefix(h.DestPort, h.DestChannel) + cur
+		}
+		out = append(out, cur)
+	}
+	return out
+}

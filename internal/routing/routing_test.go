@@ -1,0 +1,150 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/middleware"
+)
+
+// lineLinks is G-A-B-C with per-side ports/channels as bootstrap names
+// them.
+func lineLinks() []Link {
+	return []Link{
+		{A: "guest", B: "a", PortA: "transfer", PortB: "transfer", ChannelA: "channel-0", ChannelB: "channel-0"},
+		{A: "a", B: "b", PortA: "transfer", PortB: "transfer", ChannelA: "channel-1", ChannelB: "channel-0"},
+		{A: "b", B: "c", PortA: "transfer", PortB: "transfer", ChannelA: "channel-1", ChannelB: "channel-0"},
+	}
+}
+
+func TestRouteLine(t *testing.T) {
+	tab := NewTable(lineLinks())
+	hops, err := tab.Route("guest", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 3 {
+		t.Fatalf("hops = %d, want 3", len(hops))
+	}
+	wantFrom := []string{"guest", "a", "b"}
+	for i, h := range hops {
+		if h.From != wantFrom[i] {
+			t.Fatalf("hop %d from %q, want %q", i, h.From, wantFrom[i])
+		}
+	}
+	if hops[1].Channel != "channel-1" || hops[1].DestChannel != "channel-0" {
+		t.Fatalf("hop 1 channels %s/%s", hops[1].Channel, hops[1].DestChannel)
+	}
+	// Reverse route mirrors the hops.
+	back, err := tab.Route("c", "guest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0].From != "c" || back[2].To != "guest" {
+		t.Fatalf("reverse route %+v", back)
+	}
+}
+
+func TestRouteDeterministicUnderPermutation(t *testing.T) {
+	links := lineLinks()
+	// Permute order and flip every link's orientation.
+	flipped := make([]Link, 0, len(links))
+	for i := len(links) - 1; i >= 0; i-- {
+		l := links[i]
+		flipped = append(flipped, Link{
+			A: l.B, B: l.A,
+			PortA: l.PortB, PortB: l.PortA,
+			ChannelA: l.ChannelB, ChannelB: l.ChannelA,
+		})
+	}
+	t1, t2 := NewTable(links), NewTable(flipped)
+	for _, src := range t1.Chains() {
+		for _, dst := range t1.Chains() {
+			if src == dst {
+				continue
+			}
+			r1, err1 := t1.Route(src, dst)
+			r2, err2 := t2.Route(src, dst)
+			if (err1 == nil) != (err2 == nil) || !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("route %s->%s differs under permutation:\n%+v\n%+v", src, dst, r1, r2)
+			}
+		}
+	}
+}
+
+func TestRouteDiamondPrefersCanonicalTie(t *testing.T) {
+	// guest-a, guest-b, a-c, b-c: two equal-length guest->c paths; the
+	// canonical tie-break picks via "a".
+	links := []Link{
+		{A: "guest", B: "a", PortA: "transfer", PortB: "transfer", ChannelA: "channel-0", ChannelB: "channel-0"},
+		{A: "guest", B: "b", PortA: "transfer", PortB: "transfer", ChannelA: "channel-1", ChannelB: "channel-0"},
+		{A: "a", B: "c", PortA: "transfer", PortB: "transfer", ChannelA: "channel-1", ChannelB: "channel-0"},
+		{A: "b", B: "c", PortA: "transfer", PortB: "transfer", ChannelA: "channel-1", ChannelB: "channel-1"},
+	}
+	tab := NewTable(links)
+	hops, err := tab.Route("guest", "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hops) != 2 || hops[0].To != "a" {
+		t.Fatalf("diamond route %+v, want guest->a->c", hops)
+	}
+	if _, err := tab.Route("guest", "missing"); err == nil {
+		t.Fatal("expected error for unknown destination")
+	}
+	if _, err := tab.Route("guest", "guest"); err == nil {
+		t.Fatal("expected error for self route")
+	}
+}
+
+func TestPlanNestsForwardMemos(t *testing.T) {
+	tab := NewTable(lineLinks())
+	hops, _ := tab.Route("guest", "c")
+	plan := Plan(hops, "carol", "forward-module", "hello")
+	if plan.Receiver != "forward-module" {
+		t.Fatalf("first-hop receiver %q, want module account", plan.Receiver)
+	}
+	// Outer layer: chain a forwards over its a-b end (channel-1) to the
+	// module account on b.
+	outer := middleware.ParseForwardMemo(plan.Memo)
+	if outer == nil {
+		t.Fatalf("outer memo not a forward instruction: %q", plan.Memo)
+	}
+	if outer.Port != "transfer" || outer.Channel != "channel-1" || outer.Receiver != "forward-module" {
+		t.Fatalf("outer forward %+v", outer)
+	}
+	inner := middleware.ParseForwardMemo(outer.Memo)
+	if inner == nil {
+		t.Fatalf("inner memo not a forward instruction: %q", outer.Memo)
+	}
+	if inner.Channel != "channel-1" || inner.Receiver != "carol" || inner.Memo != "hello" {
+		t.Fatalf("inner forward %+v", inner)
+	}
+	// Single-hop: no nesting.
+	one, _ := tab.Route("guest", "a")
+	p1 := Plan(one, "carol", "forward-module", "m")
+	if p1.Receiver != "carol" || p1.Memo != "m" {
+		t.Fatalf("single-hop plan %+v", p1)
+	}
+}
+
+func TestTraceDenomComposesAndUnwinds(t *testing.T) {
+	tab := NewTable(lineLinks())
+	out, _ := tab.Route("guest", "c")
+	trace := TraceDenom(out, "TOK")
+	want := []string{
+		"TOK",
+		"transfer/channel-0/TOK",
+		"transfer/channel-0/transfer/channel-0/TOK",
+		"transfer/channel-0/transfer/channel-0/transfer/channel-0/TOK",
+	}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	// Sending the terminal voucher back unwinds to the native denom.
+	back, _ := tab.Route("c", "guest")
+	backTrace := TraceDenom(back, trace[len(trace)-1])
+	if backTrace[len(backTrace)-1] != "TOK" {
+		t.Fatalf("round trip ends at %q, want TOK", backTrace[len(backTrace)-1])
+	}
+}
