@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-deprecated test race bench bench-json mesh-smoke cover verify-figs api-check api-update ci
+.PHONY: all build vet lint lint-deprecated test race bench bench-json mesh-smoke recover-smoke cover verify-figs api-check api-update ci
 
 all: test
 
@@ -51,8 +51,8 @@ bench:
 # hottest micro-benchmarks with their recorded pre-optimisation baselines.
 # The self-check fails the target when the output is schema-invalid.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr8.json
-	$(GO) run ./cmd/benchjson -check BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr9.json
+	$(GO) run ./cmd/benchjson -check BENCH_pr9.json
 
 # Mesh smoke gate: both acceptance topologies (4-chain line and diamond)
 # under per-link chaos must deliver every routed transfer with exact
@@ -62,6 +62,14 @@ mesh-smoke:
 	$(GO) run ./cmd/guestsim -mesh -mesh-topology line >/dev/null
 	$(GO) run ./cmd/guestsim -mesh -mesh-topology diamond >/dev/null
 	@echo "mesh smoke: line + diamond conserve under chaos"
+
+# Kill-and-recover smoke gate: a disk-backed guest is power-cut mid-stall
+# (WAL truncated to the last fsync), reopened cold, and must recover
+# exactly the last finalised root with byte-identical historical proofs.
+# guestsim exits non-zero when either verdict fails.
+recover-smoke:
+	$(GO) run ./cmd/guestsim -recover >/dev/null
+	@echo "recover smoke: power cut recovers the last finalised root"
 
 # Coverage across every package, with the combined profile left in
 # cover.out for `go tool cover -html=cover.out`.
@@ -80,12 +88,13 @@ verify-figs:
 	@rm -f bench_figs_28d.txt.new
 	@echo "bench_figs_28d.txt reproduces byte-identically"
 
-# API-stability gate: the exported surface of the packet-pipeline
-# packages (internal/ibc, internal/middleware) must match the committed
+# API-stability gate: the exported surface of the packet-pipeline and
+# persistence packages (internal/ibc, internal/middleware,
+# internal/routing, internal/nodestore) must match the committed
 # api/ibc.txt. Regenerate deliberately with `make api-update` when an API
 # change is intended.
 api-check:
-	@$(GO) run ./cmd/apidump internal/ibc internal/middleware internal/routing > api/ibc.txt.new
+	@$(GO) run ./cmd/apidump internal/ibc internal/middleware internal/routing internal/nodestore > api/ibc.txt.new
 	@if ! diff -u api/ibc.txt api/ibc.txt.new; then \
 		echo "exported API drift: run 'make api-update' if the change is intended"; \
 		rm -f api/ibc.txt.new; exit 1; \
@@ -94,10 +103,10 @@ api-check:
 	@echo "exported API surface matches api/ibc.txt"
 
 api-update:
-	$(GO) run ./cmd/apidump internal/ibc internal/middleware internal/routing > api/ibc.txt
+	$(GO) run ./cmd/apidump internal/ibc internal/middleware internal/routing internal/nodestore > api/ibc.txt
 
 # The pre-merge gate: vet + lint (including the retired-API grep), the
 # whole suite under the race detector, the coverage summary, the
-# figure-drift check, the exported-API stability check, and the mesh
-# smoke run.
-ci: vet lint race cover verify-figs api-check mesh-smoke
+# figure-drift check, the exported-API stability check, and the mesh and
+# kill-and-recover smoke runs.
+ci: vet lint race cover verify-figs api-check mesh-smoke recover-smoke

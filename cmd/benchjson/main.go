@@ -1,13 +1,16 @@
 // Command benchjson emits the machine-checkable benchmark trajectory
-// (BENCH_pr8.json): packet-latency percentiles and sustained throughput
+// (BENCH_pr9.json): packet-latency percentiles and sustained throughput
 // from a pinned open-loop load run, ns/op and allocs/op of the hottest
 // micro-benchmarks alongside their recorded pre-optimisation baselines,
-// the middleware-chain recv overhead (stacked vs bare dispatch), and the
+// the middleware-chain recv overhead (stacked vs bare dispatch), the
 // mesh section — per-flow end-to-end latency and per-link client-update
-// amortisation from a pinned 4-chain line run under chaos. With -check
-// it validates an existing file instead of generating one, exiting
-// non-zero when the file is missing, empty, or schema-invalid — that
-// mode is the CI bench-smoke gate.
+// amortisation from a pinned 4-chain line run under chaos — and the
+// persistence section: cold-open recovery time, group-fsync p99, node
+// read cost memory vs disk, and heap per retained version pinned vs
+// evicted, from the kill-and-recover chaos run. With -check it validates
+// an existing file instead of generating one, exiting non-zero when the
+// file is missing, empty, or schema-invalid — that mode is the CI
+// bench-smoke gate.
 //
 // The load configuration is pinned (not flag-tunable) so successive JSON
 // files differ only when the code's behaviour does.
@@ -19,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -27,12 +31,13 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/ibc"
 	"repro/internal/middleware"
+	"repro/internal/nodestore"
 	"repro/internal/transfer"
 	"repro/internal/trie"
 )
 
 // Schema identifies the document layout; bump on breaking changes.
-const Schema = "bench/pr8/v1"
+const Schema = "bench/pr9/v1"
 
 // LoadSection reports the pinned open-loop run.
 type LoadSection struct {
@@ -119,18 +124,44 @@ type MeshSection struct {
 	Links     []MeshLink `json:"links"`
 }
 
-// Doc is the whole BENCH_pr8.json document.
+// PersistenceSection records the disk-backed node store's cost profile
+// (PR 9): crash-recovery outcome and cold-open time from the
+// kill-and-recover chaos run, the group-fsync tail pre-crash, the
+// per-node read cost against the in-memory and WAL-backed stores, and
+// heap per retained store version with history pinned vs evicted to
+// disk.
+type PersistenceSection struct {
+	// Kill-and-recover chaos run outcome.
+	ColdOpenMs        float64 `json:"cold_open_ms"`
+	FlushP99Ms        float64 `json:"flush_p99_ms"`
+	RootMatch         bool    `json:"root_match"`
+	ProofsIdentical   bool    `json:"proofs_identical"`
+	RecoveredVersions int     `json:"recovered_versions"`
+	LostBlocks        int     `json:"lost_blocks"`
+
+	// Node read micro-benchmarks: same trie, memory map vs WAL pread.
+	NodeReadMemNs  float64 `json:"node_read_mem_ns"`
+	NodeReadDiskNs float64 `json:"node_read_disk_ns"`
+
+	// Heap growth per retained version: every snapshot pinned in heap vs
+	// cold snapshots evicted to the store.
+	HeapPerVersionPinnedBytes  float64 `json:"heap_per_version_pinned_bytes"`
+	HeapPerVersionEvictedBytes float64 `json:"heap_per_version_evicted_bytes"`
+}
+
+// Doc is the whole BENCH_pr9.json document.
 type Doc struct {
-	Schema        string            `json:"schema"`
-	Load          LoadSection       `json:"load"`
-	HotBenchmarks []HotBench        `json:"hot_benchmarks"`
-	Middleware    MiddlewareSection `json:"middleware"`
-	Mesh          MeshSection       `json:"mesh"`
+	Schema        string             `json:"schema"`
+	Load          LoadSection        `json:"load"`
+	HotBenchmarks []HotBench         `json:"hot_benchmarks"`
+	Middleware    MiddlewareSection  `json:"middleware"`
+	Mesh          MeshSection        `json:"mesh"`
+	Persistence   PersistenceSection `json:"persistence"`
 }
 
 func main() {
 	check := flag.String("check", "", "validate an existing BENCH json and exit (no generation)")
-	out := flag.String("out", "BENCH_pr8.json", "output path")
+	out := flag.String("out", "BENCH_pr9.json", "output path")
 	flag.Parse()
 
 	if *check != "" {
@@ -254,7 +285,127 @@ func generate() (*Doc, error) {
 			UpdatesPerPacket: l.UpdatesPerPacket, NetRetries: l.NetRetries,
 		})
 	}
+
+	// Persistence: the pinned kill-and-recover chaos run plus the memory
+	// vs disk cost micro-measurements.
+	recDir, err := os.MkdirTemp("", "benchjson-recover-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(recDir)
+	rec, err := experiments.RunRecover(1, recDir)
+	if err != nil {
+		return nil, err
+	}
+	doc.Persistence = PersistenceSection{
+		ColdOpenMs:        rec.ColdOpenMs,
+		FlushP99Ms:        rec.FlushP99Ms,
+		RootMatch:         rec.RootMatch,
+		ProofsIdentical:   rec.ProofsIdentical,
+		RecoveredVersions: rec.RetainedRecovered,
+		LostBlocks:        rec.LostBlocks,
+	}
+	mem := testing.Benchmark(func(b *testing.B) { benchNodeRead(b, nodestore.NewMem()) })
+	doc.Persistence.NodeReadMemNs = float64(mem.T.Nanoseconds()) / float64(mem.N)
+	diskDir, err := os.MkdirTemp("", "benchjson-disk-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(diskDir)
+	dsk, err := nodestore.Open(diskDir, nodestore.DiskConfig{})
+	if err != nil {
+		return nil, err
+	}
+	defer dsk.Close()
+	diskRes := testing.Benchmark(func(b *testing.B) { benchNodeRead(b, dsk) })
+	doc.Persistence.NodeReadDiskNs = float64(diskRes.T.Nanoseconds()) / float64(diskRes.N)
+
+	pinned, err := heapPerVersion(false)
+	if err != nil {
+		return nil, err
+	}
+	evicted, err := heapPerVersion(true)
+	if err != nil {
+		return nil, err
+	}
+	doc.Persistence.HeapPerVersionPinnedBytes = pinned
+	doc.Persistence.HeapPerVersionEvictedBytes = evicted
 	return doc, nil
+}
+
+// benchNodeRead measures NodeGet against a pre-populated store: the same
+// node population for every backend, read in a scattered order.
+func benchNodeRead(b *testing.B, s nodestore.Store) {
+	const nodes = 4096
+	hashes := make([]cryptoutil.Hash, nodes)
+	enc := make([]byte, 120)
+	for i := range hashes {
+		hashes[i] = cryptoutil.HashUint64('n', uint64(i))
+		copy(enc, hashes[i][:])
+		if err := s.NodePut(hashes[i], enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := s.NodeGet(hashes[(i*31)%nodes]); !ok || err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// heapPerVersion measures live heap growth per retained store version:
+// the same committed history with every version pinned in heap vs cold
+// versions evicted to a disk store. The gap is the memory the eviction
+// policy buys back per retained snapshot.
+func heapPerVersion(evict bool) (float64, error) {
+	dir, err := os.MkdirTemp("", "benchjson-heap-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dir)
+	ns, err := nodestore.Open(dir, nodestore.DiskConfig{})
+	if err != nil {
+		return 0, err
+	}
+	s, err := ibc.NewStoreWithBackend(ns)
+	if err != nil {
+		return 0, err
+	}
+	defer s.CloseBackend()
+
+	const versions, writes = 96, 64
+	baseline := liveHeap()
+	var committed []ibc.Version
+	for v := 0; v < versions; v++ {
+		for w := 0; w < writes; w++ {
+			p := fmt.Sprintf("bench/%d/%d", v, w%256)
+			if err := s.Set(p, []byte(fmt.Sprintf("value-%d-%d", v, w))); err != nil {
+				return 0, err
+			}
+		}
+		committed = append(committed, s.CommitAt(uint64(v+1)))
+		if evict && len(committed) > 8 {
+			s.Evict(committed[len(committed)-9])
+		}
+	}
+	grown := liveHeap()
+	delta := float64(grown) - float64(baseline)
+	if delta < 0 {
+		delta = 0
+	}
+	return delta / versions, nil
+}
+
+// liveHeap returns the live heap after a full GC.
+func liveHeap() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
 }
 
 func recvBenchApp() (*transfer.App, ibc.Packet) {
@@ -429,6 +580,20 @@ func Validate(doc *Doc) error {
 		if l.Delivered == 0 || l.ClientUpdates == 0 {
 			return fmt.Errorf("mesh link %s idle: updates=%d delivered=%d", l.ID, l.ClientUpdates, l.Delivered)
 		}
+	}
+	p := doc.Persistence
+	if !p.RootMatch || !p.ProofsIdentical {
+		return fmt.Errorf("kill-and-recover failed in recorded run: root_match=%v proofs_identical=%v", p.RootMatch, p.ProofsIdentical)
+	}
+	if p.ColdOpenMs <= 0 || p.RecoveredVersions == 0 {
+		return fmt.Errorf("persistence recovery not measured: %+v", p)
+	}
+	if p.NodeReadMemNs <= 0 || p.NodeReadDiskNs <= 0 {
+		return fmt.Errorf("persistence node-read benchmarks missing: %+v", p)
+	}
+	if p.HeapPerVersionPinnedBytes <= p.HeapPerVersionEvictedBytes {
+		return fmt.Errorf("eviction saved no heap: pinned %.0f <= evicted %.0f bytes/version",
+			p.HeapPerVersionPinnedBytes, p.HeapPerVersionEvictedBytes)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"repro/internal/counterparty"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/ibc"
 	"repro/internal/middleware"
 	"repro/internal/netsim"
+	"repro/internal/nodestore"
 	"repro/internal/relayer"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -83,8 +85,30 @@ type Config struct {
 	// Open-loop load runs set it so overload sheds instead of queueing
 	// without bound.
 	MempoolLimit int
+	// Store configures disk-backed state persistence. The zero value
+	// keeps every provable store purely in-heap (the byte-identical
+	// default); see StoreSpec.
+	Store StoreSpec
 	// Seed drives all randomness.
 	Seed int64
+}
+
+// StoreSpec configures the nodestore persistence layer behind the provable
+// stores. An empty Dir disables persistence entirely.
+type StoreSpec struct {
+	// Dir is the directory holding the write-ahead logs ("guest" and,
+	// with Counterparty set, "cp" subdirectories). Opening a non-empty
+	// directory recovers the state it holds.
+	Dir string
+	// SyncEvery adds a group-fsync every N root commits on top of the
+	// finalisation-driven syncs (0 = finalisation only).
+	SyncEvery int
+	// ColdRetention, when > 0 and GuestParams.ColdRetention is unset,
+	// evicts guest snapshots older than this many blocks to disk.
+	ColdRetention int
+	// Counterparty also persists the counterparty chain's store (legacy
+	// pair path only; mesh counterparties stay in-heap).
+	Counterparty bool
 }
 
 // ChannelSpec declares one channel of the topology: the application
@@ -183,6 +207,13 @@ type Network struct {
 	// (§V-D: ≈ $14.6k).
 	Deposit host.Lamports
 
+	// GuestNodeStore / CPNodeStore are the disk persistence backends when
+	// Config.Store.Dir is set (nil otherwise). Close them via CloseStores
+	// when tearing the network down gracefully; crash tests instead call
+	// the Disk Crash hook directly.
+	GuestNodeStore nodestore.Store
+	CPNodeStore    nodestore.Store
+
 	cfg           Config
 	payer         *cryptoutil.PrivKey
 	crank         *guest.TxBuilder
@@ -271,7 +302,18 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	contract := n.Contract
 
-	cp, err := counterparty.New(cfg.CP, n.Sched.Clock(), counterparty.WithTelemetry(n.Tel.Metrics))
+	cpOpts := []counterparty.Option{counterparty.WithTelemetry(n.Tel.Metrics)}
+	if cfg.Store.Dir != "" && cfg.Store.Counterparty {
+		ns, err := nodestore.Open(filepath.Join(cfg.Store.Dir, "cp"), nodestore.DiskConfig{
+			SyncEvery: cfg.Store.SyncEvery,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: open counterparty node store: %w", err)
+		}
+		n.CPNodeStore = ns
+		cpOpts = append(cpOpts, counterparty.WithNodeStore(ns))
+	}
+	cp, err := counterparty.New(cfg.CP, n.Sched.Clock(), cpOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: counterparty: %w", err)
 	}
@@ -512,11 +554,26 @@ func (n *Network) setupFoundation() error {
 		return errors.New("core: no genesis validator (need one with JoinAt == 0)")
 	}
 
+	params := cfg.GuestParams
+	if cfg.Store.Dir != "" {
+		ns, err := nodestore.Open(filepath.Join(cfg.Store.Dir, "guest"), nodestore.DiskConfig{
+			SyncEvery: cfg.Store.SyncEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("core: open guest node store: %w", err)
+		}
+		n.GuestNodeStore = ns
+		if params.ColdRetention == 0 {
+			params.ColdRetention = cfg.Store.ColdRetention
+		}
+	}
+
 	contract, deposit, err := guest.Deploy(n.Host, guest.Config{
-		Params:            cfg.GuestParams,
+		Params:            params,
 		Payer:             n.payer.Public(),
 		GenesisValidators: genesis,
 		Telemetry:         n.Tel.Metrics,
+		NodeStore:         n.GuestNodeStore,
 	})
 	if err != nil {
 		return fmt.Errorf("core: deploy guest contract: %w", err)
@@ -524,6 +581,23 @@ func (n *Network) setupFoundation() error {
 	n.Contract = contract
 	n.Deposit = deposit
 	return nil
+}
+
+// CloseStores syncs and closes the disk persistence backends, making
+// everything appended so far durable. No-op without Config.Store.Dir.
+func (n *Network) CloseStores() error {
+	var first error
+	if n.GuestNodeStore != nil {
+		if err := n.GuestNodeStore.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if n.CPNodeStore != nil {
+		if err := n.CPNodeStore.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // seedBlockCadence seeds the guest-block cadence histograms with the

@@ -16,6 +16,7 @@ import (
 	"repro/internal/host"
 	"repro/internal/ibc"
 	"repro/internal/lightclient/tendermint"
+	"repro/internal/nodestore"
 	"repro/internal/telemetry"
 )
 
@@ -91,6 +92,15 @@ func WithMetricsNamespace(ns string) Option {
 	return func(c *Chain) { c.metricsNS = ns }
 }
 
+// WithNodeStore persists the chain's provable store through the given
+// backend (see ibc.NewStoreWithBackend). Durability points follow the
+// backend's own sync cadence plus explicit SyncStore calls; the chain has
+// instant finality, so there is no per-block finalisation hook like the
+// guest's.
+func WithNodeStore(ns nodestore.Store) Option {
+	return func(c *Chain) { c.nodeStore = ns }
+}
+
 // Chain is the simulated counterparty.
 type Chain struct {
 	cfg   Config
@@ -130,6 +140,7 @@ type Chain struct {
 	events    []Event
 	telemetry *telemetry.Registry
 	metricsNS string
+	nodeStore nodestore.Store
 }
 
 // New creates the chain and produces its genesis block.
@@ -144,7 +155,6 @@ func New(cfg Config, clock host.Clock, opts ...Option) (*Chain, error) {
 		cfg:         cfg,
 		clock:       clock,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		store:       ibc.NewStore(),
 		snapshots:   make(map[uint64]ibc.Version),
 		versionRefs: make(map[ibc.Version]int),
 		commitCache: make(map[uint64][]tendermint.CommitSig),
@@ -164,6 +174,11 @@ func New(cfg Config, clock host.Clock, opts ...Option) (*Chain, error) {
 	for _, o := range opts {
 		o(c)
 	}
+	store, err := ibc.NewStoreWithBackend(c.nodeStore)
+	if err != nil {
+		return nil, fmt.Errorf("counterparty: open provable store: %w", err)
+	}
+	c.store = store
 	if c.metricsNS == "" {
 		c.metricsNS = "cp.ibc"
 	}
@@ -183,6 +198,13 @@ func (c *Chain) Handler() *ibc.Handler { return c.handler }
 
 // Store exposes the provable store.
 func (c *Chain) Store() *ibc.Store { return c.store }
+
+// SyncStore forces a durability point on the persistent backend (no-op
+// without one).
+func (c *Chain) SyncStore() error { return c.store.SyncBackend() }
+
+// CloseStore syncs and closes the persistent backend (no-op without one).
+func (c *Chain) CloseStore() error { return c.store.CloseBackend() }
 
 // ChainID returns the chain identifier.
 func (c *Chain) ChainID() string { return c.cfg.ChainID }
@@ -258,7 +280,7 @@ func (c *Chain) produceBlockLocked() *tendermint.Header {
 				c.store.Release(old)
 			}
 		}
-		c.lastVersion = c.store.Commit()
+		c.lastVersion = c.store.CommitAt(c.height)
 		c.lastRoot = c.store.Root()
 	}
 	c.snapshots[c.height] = c.lastVersion

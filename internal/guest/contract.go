@@ -9,6 +9,7 @@ import (
 	"repro/internal/guestblock"
 	"repro/internal/host"
 	"repro/internal/ibc"
+	"repro/internal/nodestore"
 	"repro/internal/telemetry"
 	"repro/internal/trie"
 	"repro/internal/wire"
@@ -40,6 +41,12 @@ type Config struct {
 	// Telemetry, when set, registers the embedded IBC handler's metrics
 	// (under "guest.ibc.") in the given registry.
 	Telemetry *telemetry.Registry
+	// NodeStore, when set, persists the provable store through the given
+	// backend: commits append to its log, finalisation group-fsyncs it,
+	// and a backend reopened after a crash resumes the state from the
+	// last finalised root instead of re-syncing from genesis. nil keeps
+	// the store purely in-heap (byte-identical legacy behaviour).
+	NodeStore nodestore.Store
 }
 
 // Deploy registers the Guest Contract on the chain, allocates its provable
@@ -59,7 +66,10 @@ func Deploy(chain *host.Chain, cfg Config) (*Contract, host.Lamports, error) {
 		stateKey:  cryptoutil.GenerateKey("guest-contract-state").Public(),
 	}
 
-	store := ibc.NewStore(trie.WithCapacityBytes(cfg.Params.StateSize))
+	store, err := ibc.NewStoreWithBackend(cfg.NodeStore, trie.WithCapacityBytes(cfg.Params.StateSize))
+	if err != nil {
+		return nil, 0, fmt.Errorf("guest: open provable store: %w", err)
+	}
 	st := &State{
 		Params:       cfg.Params,
 		Account:      c.stateKey,

@@ -16,13 +16,13 @@ import (
 
 // Errors returned by the Guest Contract.
 var (
-	ErrHeadNotFinalised  = errors.New("guest: head block is not finalised")
-	ErrNothingToCommit   = errors.New("guest: state unchanged and head younger than delta")
-	ErrUnknownHeight     = errors.New("guest: unknown block height")
+	ErrHeadNotFinalised = errors.New("guest: head block is not finalised")
+	ErrNothingToCommit  = errors.New("guest: state unchanged and head younger than delta")
+	ErrUnknownHeight    = errors.New("guest: unknown block height")
 	// ErrSnapshotPruned marks a height that existed but whose store version
 	// fell out of the retention window. Distinct from ErrUnknownHeight so a
 	// relayer can tell "retry against a newer root" from "bogus height".
-	ErrSnapshotPruned = errors.New("guest: snapshot pruned from retention window")
+	ErrSnapshotPruned    = errors.New("guest: snapshot pruned from retention window")
 	ErrNotValidator      = errors.New("guest: signer is not an epoch validator")
 	ErrAlreadySigned     = errors.New("guest: validator already signed this block")
 	ErrBadSignature      = errors.New("guest: signature not verified by runtime")
@@ -144,6 +144,8 @@ type State struct {
 	// per-block snapshot cost no longer scales with state size.
 	snapshots      map[uint64]ibc.Version
 	oldestSnapshot uint64
+	coldCursor     uint64
+	persistErr     error
 
 	// Execution context mirror: the handler's SelfInfo reads these.
 	nowTime time.Time
@@ -350,8 +352,9 @@ func (s *State) generateBlockCore(now time.Time, slot uint64) (*BlockEntry, erro
 	}
 	s.PendingPackets = nil
 	s.Entries = append(s.Entries, entry)
-	s.snapshots[block.Height] = s.Store.Commit()
+	s.snapshots[block.Height] = s.Store.CommitAt(block.Height)
 	s.pruneSnapshots()
+	s.evictColdSnapshots(block.Height)
 
 	if block.NextEpoch != nil {
 		s.CurrentEpoch = block.NextEpoch
@@ -367,7 +370,41 @@ func (s *State) generateBlockCore(now time.Time, slot uint64) (*BlockEntry, erro
 func (s *State) applySignature(entry *BlockEntry, pub cryptoutil.PubKey, sig cryptoutil.Signature, now time.Time) []*BlockEntry {
 	entry.Signatures[pub] = sig
 	entry.SignedStake += entry.Epoch.StakeOf(pub)
-	return s.cascadeFinalise(now)
+	done := s.cascadeFinalise(now)
+	if len(done) > 0 && s.Store.Persistent() {
+		// Finalised ⇒ durable: one group fsync covers every record the
+		// finalised blocks' commits appended, so a crash can never roll
+		// the chain back behind a finalised block.
+		if err := s.Store.SyncBackend(); err != nil && s.persistErr == nil {
+			s.persistErr = err
+		}
+	}
+	return done
+}
+
+// PersistError returns the first persistence failure the finalisation
+// path recorded, or nil. A non-nil value means durability is no longer
+// guaranteed and the operator should treat the node as failed.
+func (s *State) PersistError() error { return s.persistErr }
+
+// evictColdSnapshots spills retained snapshots older than ColdRetention
+// blocks to the persistent node store: their heap node pointers and value
+// history are dropped, and historical reads fault back in from disk. The
+// cursor makes the scan O(evicted), not O(retained).
+func (s *State) evictColdSnapshots(height uint64) {
+	cr := s.Params.ColdRetention
+	if cr <= 0 || !s.Store.Persistent() {
+		return
+	}
+	if s.coldCursor == 0 {
+		s.coldCursor = 1
+	}
+	for h := s.coldCursor; h+uint64(cr) <= height; h++ {
+		if v, ok := s.snapshots[h]; ok {
+			s.Store.Evict(v)
+		}
+		s.coldCursor = h + 1
+	}
 }
 
 // cascadeFinalise finalises, in height order, every tail entry whose quorum

@@ -1,0 +1,172 @@
+package ibc
+
+import (
+	"fmt"
+
+	"repro/internal/nodestore"
+	"repro/internal/trie"
+)
+
+// Persistence integration: an optional nodestore backend behind the store.
+//
+// With a backend attached, every Commit flushes the delta — new trie nodes
+// in post-order, the generation's value writes, then a root record — into
+// the backend's log. Durability is still explicit: the guest chain calls
+// SyncBackend on block finalisation, so the group-fsync boundary coincides
+// with "finalised", and a crash recovers exactly the last finalised root.
+// With no backend (the default) nothing here runs and the store behaves
+// byte-identically to the pure in-heap version.
+
+// NewStoreWithBackend returns a store wired to a nodestore backend. When
+// the backend holds recovered state (a reopened disk store), the trie
+// resumes from the last durable root: the head and every retained version
+// start fully evicted and fault nodes back in on demand, so cold-open cost
+// is O(log) replay plus lazy reads, not a full state rebuild.
+func NewStoreWithBackend(b nodestore.Store, opts ...trie.Option) (*Store, error) {
+	s := NewStore(opts...)
+	if b == nil {
+		return s, nil
+	}
+	s.backend = b
+	s.trie.SetNodeSource(b)
+	rec := b.Recovered()
+	if rec == nil {
+		return s, nil
+	}
+	s.trie.RestoreHead(rec.Head.Root, rec.Head.Sealed, trie.RestoredCounts{
+		Nodes:       rec.Head.Nodes,
+		Leaves:      rec.Head.Leaves,
+		SealedRefs:  rec.Head.SealedRefs,
+		TotalAllocs: rec.Head.TotalAllocs,
+		TotalFrees:  rec.Head.TotalFrees,
+	}, rec.Head.Version+1)
+	for _, rr := range rec.Retained {
+		s.trie.RestoreVersion(trie.Version(rr.Version), rr.Root, rr.Sealed)
+		s.retained[trie.Version(rr.Version)] = struct{}{}
+	}
+	s.head = Version(rec.Head.Version) + 1
+	s.recoveredHeight = rec.Head.Height
+	return s, nil
+}
+
+// Backend returns the attached nodestore backend, or nil.
+func (s *Store) Backend() nodestore.Store { return s.backend }
+
+// Persistent reports whether a backend is attached.
+func (s *Store) Persistent() bool { return s.backend != nil }
+
+// RecoveredHeight returns the chain height recorded with the recovered
+// head root, or 0 for a fresh store.
+func (s *Store) RecoveredHeight() uint64 { return s.recoveredHeight }
+
+// CommitAt is Commit with the producing chain height attached to the root
+// record, so recovery can report which block the durable state belongs to.
+func (s *Store) CommitAt(height uint64) Version {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := s.trie.Snapshot()
+	s.retained[v] = struct{}{}
+	s.head = v + 1
+	if s.backend != nil {
+		if err := s.flushLocked(v, height); err != nil && s.flushErr == nil {
+			s.flushErr = err
+		}
+	}
+	return v
+}
+
+// flushLocked appends version v's delta to the backend: new nodes
+// (post-order, content-deduped), the generation's value writes, then the
+// closing root record. Called with mu held.
+func (s *Store) flushLocked(v Version, height uint64) error {
+	if _, err := s.trie.FlushRoot(s.backend); err != nil {
+		return fmt.Errorf("ibc: flush version %d: %w", v, err)
+	}
+	for _, p := range s.writeLog[v] {
+		h := s.values[p]
+		for i := len(h) - 1; i >= 0; i-- {
+			if h[i].ver == v {
+				if err := s.backend.ValuePut(uint64(v), p, h[i].val, h[i].val == nil); err != nil {
+					return fmt.Errorf("ibc: flush value %q: %w", p, err)
+				}
+				break
+			}
+		}
+	}
+	t := s.trie
+	err := s.backend.CommitRoot(nodestore.RootRecord{
+		Version:     uint64(v),
+		Root:        t.Root(),
+		Height:      height,
+		Nodes:       t.NodeCount(),
+		Leaves:      t.Len(),
+		SealedRefs:  t.SealedCount(),
+		TotalAllocs: t.TotalAllocs(),
+		TotalFrees:  t.TotalFrees(),
+	})
+	if err != nil {
+		return fmt.Errorf("ibc: commit root %d: %w", v, err)
+	}
+	return nil
+}
+
+// SyncBackend forces a durability point (group fsync) and surfaces any
+// error a background flush recorded. The guest calls it on finalisation.
+func (s *Store) SyncBackend() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backend == nil {
+		return nil
+	}
+	if s.flushErr != nil {
+		err := s.flushErr
+		s.flushErr = nil
+		return err
+	}
+	return s.backend.Sync()
+}
+
+// CloseBackend syncs and closes the backend. The store keeps serving
+// in-heap reads afterwards, but evicted versions become unreadable.
+func (s *Store) CloseBackend() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backend == nil {
+		return nil
+	}
+	return s.backend.Close()
+}
+
+// Evict spills a retained version to the backend: its in-heap node
+// pointers and this generation's in-heap value history are dropped, and
+// reads of the version fault everything back from the backend on demand.
+// The version must already be flushed (any version produced by Commit with
+// a backend attached is). Evicting with no backend is a no-op: the heap is
+// the only copy.
+func (s *Store) Evict(v Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.backend == nil {
+		return
+	}
+	if _, ok := s.retained[v]; !ok {
+		return
+	}
+	s.trie.EvictVersion(v)
+	for _, p := range s.writeLog[v] {
+		h := s.values[p]
+		i := 0
+		for i < len(h) && h[i].ver <= v {
+			i++
+		}
+		if i == 0 {
+			continue
+		}
+		if i == len(h) {
+			delete(s.values, p)
+		} else {
+			s.values[p] = h[i:]
+		}
+	}
+	delete(s.writeLog, v)
+}

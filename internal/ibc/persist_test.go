@@ -1,0 +1,238 @@
+package ibc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/nodestore"
+)
+
+func openBacked(t *testing.T, dir string) *Store {
+	t.Helper()
+	ns, err := nodestore.Open(dir, nodestore.DiskConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStoreWithBackend(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPersistentStoreColdReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := openBacked(t, dir)
+	if !s.Persistent() {
+		t.Fatal("backend not attached")
+	}
+
+	type sample struct {
+		ver   Version
+		value []byte
+		proof []byte
+	}
+	var versions []Version
+	samples := map[string]sample{}
+	for i := 0; i < 6; i++ {
+		p := fmt.Sprintf("acks/ports/transfer/channels/channel-0/sequences/%d", i)
+		if err := s.Set(p, []byte(fmt.Sprintf("ack-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Set("clients/c0/clientState", []byte(fmt.Sprintf("cs-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		v := s.CommitAt(uint64(100 + i))
+		versions = append(versions, v)
+		ro, err := s.At(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val, proof, err := ro.ProveMembership(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples[p] = sample{ver: v, value: val, proof: proof}
+	}
+	// Seal one region and commit it too.
+	if err := s.Set("sealed/entry", []byte("sv")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Seal("sealed/entry"); err != nil {
+		t.Fatal(err)
+	}
+	lastVer := s.CommitAt(200)
+	wantRoot := s.Root()
+	if err := s.SyncBackend(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CloseBackend(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold reopen: replay the WAL and restore the store.
+	re := openBacked(t, dir)
+	defer re.CloseBackend()
+	if re.Root() != wantRoot {
+		t.Fatalf("recovered root %v, want %v", re.Root(), wantRoot)
+	}
+	if re.RecoveredHeight() != 200 {
+		t.Fatalf("recovered height %d, want 200", re.RecoveredHeight())
+	}
+	// Head reads fault in through the backend, values included.
+	got, err := re.Get("clients/c0/clientState")
+	if err != nil || string(got) != "cs-5" {
+		t.Fatalf("recovered head Get = %q, %v", got, err)
+	}
+	if !re.IsSealed("sealed/entry") {
+		t.Fatal("seal lost across reopen")
+	}
+	// Historical proofs are byte-identical to the pre-restart ones.
+	for p, want := range samples {
+		ro, err := re.At(want.ver)
+		if err != nil {
+			t.Fatalf("At(%d) after reopen: %v", want.ver, err)
+		}
+		val, proof, err := ro.ProveMembership(p)
+		if err != nil {
+			t.Fatalf("recovered proof %q: %v", p, err)
+		}
+		if !bytes.Equal(val, want.value) || !bytes.Equal(proof, want.proof) {
+			t.Fatalf("proof %q diverged across reopen", p)
+		}
+	}
+	// The version counter resumes past the recovered head: committing new
+	// work does not collide with restored versions.
+	if err := re.Set("new/path", []byte("nv")); err != nil {
+		t.Fatal(err)
+	}
+	next := re.CommitAt(201)
+	if next <= lastVer {
+		t.Fatalf("post-recovery commit version %d not after %d", next, lastVer)
+	}
+	if err := re.SyncBackend(); err != nil {
+		t.Fatal(err)
+	}
+	_ = versions
+}
+
+func TestEvictReadsThroughBackend(t *testing.T) {
+	s := openBacked(t, t.TempDir())
+	defer s.CloseBackend()
+	if err := s.Set("a/b", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v1 := s.CommitAt(1)
+	if err := s.Set("a/b", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("c/d", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	v2 := s.CommitAt(2)
+
+	ro, err := s.At(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVal, wantProof, err := ro.ProveMembership("a/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Evict(v1)
+
+	// The evicted version reads and proves identically, faulting nodes
+	// and values back from the backend.
+	ro, err = s.At(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ro.Get("a/b")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("evicted Get = %q, %v", got, err)
+	}
+	val, proof, err := ro.ProveMembership("a/b")
+	if err != nil || !bytes.Equal(val, wantVal) || !bytes.Equal(proof, wantProof) {
+		t.Fatalf("evicted proof diverged: %v", err)
+	}
+	// Head and the newer version are untouched.
+	if got, err := s.Get("a/b"); err != nil || string(got) != "v2" {
+		t.Fatalf("head Get after evict = %q, %v", got, err)
+	}
+	ro2, err := s.At(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ro2.Get("c/d"); err != nil || string(got) != "w" {
+		t.Fatalf("v2 Get after evict = %q, %v", got, err)
+	}
+	if err := s.SyncBackend(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictedConcurrentReaders is the -race gate at the store layer:
+// goroutines read and prove against evicted disk-backed versions while
+// the head keeps writing and committing.
+func TestEvictedConcurrentReaders(t *testing.T) {
+	s := openBacked(t, t.TempDir())
+	defer s.CloseBackend()
+	for i := 0; i < 32; i++ {
+		if err := s.Set(fmt.Sprintf("k/%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := s.CommitAt(1)
+	s.Evict(v)
+	ro, err := s.At(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p := fmt.Sprintf("k/%d", (g*7+i)%32)
+				if got, err := ro.Get(p); err != nil || string(got) != fmt.Sprintf("v%d", (g*7+i)%32) {
+					errc <- fmt.Errorf("reader %d: Get %q = %q, %v", g, p, got, err)
+					return
+				}
+				if _, _, err := ro.ProveMembership(p); err != nil {
+					errc <- fmt.Errorf("reader %d: prove %q: %v", g, p, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Set(fmt.Sprintf("k/%d", i%32), []byte(fmt.Sprintf("w%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if i%8 == 7 {
+			s.CommitAt(uint64(2 + i/8))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if err := s.SyncBackend(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cryptoutil"
+	"repro/internal/nodestore"
 	"repro/internal/trie"
 )
 
@@ -58,6 +59,15 @@ type Store struct {
 	head     Version
 	retained map[Version]struct{}
 	writeLog map[Version][]string
+
+	// backend is the optional persistence layer (see persist.go): nil
+	// keeps the store purely in-heap with byte-identical behaviour.
+	// flushErr latches the first background flush failure until
+	// SyncBackend surfaces it. recoveredHeight is the chain height of a
+	// recovered head root, 0 for fresh stores.
+	backend         nodestore.Store
+	flushErr        error
+	recoveredHeight uint64
 }
 
 // NewStore returns an empty provable store. Trie options (such as the
@@ -79,17 +89,11 @@ func (s *Store) Root() cryptoutil.Hash { return s.trie.Root() }
 func (s *Store) Trie() *trie.Trie { return s.trie }
 
 // Commit freezes the current contents as a new retained version and returns
-// its handle. O(1): nothing is copied — the trie snapshots structurally and
-// the value side-table entries stamped with this version simply become
-// immutable history.
-func (s *Store) Commit() Version {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v := s.trie.Snapshot()
-	s.retained[v] = struct{}{}
-	s.head = v + 1
-	return v
-}
+// its handle. O(1) for the in-heap store: nothing is copied — the trie
+// snapshots structurally and the value side-table entries stamped with this
+// version simply become immutable history. With a backend attached the
+// version's delta is additionally appended to the log (see CommitAt).
+func (s *Store) Commit() Version { return s.CommitAt(0) }
 
 // At returns a read-only view of a committed, retained version.
 func (s *Store) At(v Version) (*ReadOnlyStore, error) {
@@ -117,6 +121,11 @@ func (s *Store) Release(v Version) {
 	delete(s.retained, v)
 	s.trie.Release(v)
 	s.pruneValuesLocked()
+	if s.backend != nil {
+		if err := s.backend.ReleaseVersion(uint64(v)); err != nil && s.flushErr == nil {
+			s.flushErr = err
+		}
+	}
 }
 
 // RetainedVersions returns how many committed versions are currently held.
@@ -182,7 +191,10 @@ func (s *Store) appendValueLocked(path string, val []byte) {
 }
 
 // valueAt resolves path's bytes as of version v (the head sees v = current
-// pending version). A tombstone or missing history reads as absent.
+// pending version). A tombstone or missing history reads as absent. When
+// the in-heap history has no entry at or below v — which happens for
+// recovered stores and for generations evicted to the backend — the
+// backend's durable value log answers instead.
 func (s *Store) valueAt(path string, v Version) ([]byte, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -190,6 +202,11 @@ func (s *Store) valueAt(path string, v Version) ([]byte, bool) {
 	for i := len(h) - 1; i >= 0; i-- {
 		if h[i].ver <= v {
 			return h[i].val, h[i].val != nil
+		}
+	}
+	if s.backend != nil {
+		if val, ok, err := s.backend.ValueAt(path, uint64(v)); err == nil && ok {
+			return val, true
 		}
 	}
 	return nil, false

@@ -79,14 +79,17 @@ const (
 // on the key's presence. It fails with ErrSealed if the descent crosses a
 // sealed reference: sealed data can neither be proven present nor absent.
 func (t *Trie) Prove(key [KeySize]byte) (*Proof, error) {
-	return proveRef(&t.root, key)
+	return proveRef(t.loader(), t.root, key)
 }
 
 // proveRef builds the proof from an arbitrary root reference. It is the
 // shared read-only walker behind Trie.Prove and View.Prove, so proofs for a
 // retained version are byte-identical to the ones the head produced when
-// that version was current.
-func proveRef(root *ref, key [KeySize]byte) (*Proof, error) {
+// that version was current — including after the version was evicted to a
+// node backend, because the faulted nodes re-hash to the same commitments.
+// Refs are walked by value; faulted nodes are never installed into shared
+// state, keeping concurrent Views race-free.
+func proveRef(rs resolver, root ref, key [KeySize]byte) (*Proof, error) {
 	remaining := keyToPath(key)
 	cur := root
 	proof := &Proof{}
@@ -95,7 +98,7 @@ func proveRef(root *ref, key [KeySize]byte) (*Proof, error) {
 		if cur.sealed {
 			return nil, ErrSealed
 		}
-		if cur.node == nil {
+		if cur.node == nil && cur.hash.IsZero() {
 			// Provably absent: empty trie or — impossible in a compressed
 			// trie below the root — an empty slot.
 			proof.Membership = false
@@ -103,7 +106,10 @@ func proveRef(root *ref, key [KeySize]byte) (*Proof, error) {
 			reverseItems(proof.Items)
 			return proof, nil
 		}
-		n := cur.node
+		n, err := rs.resolve(cur)
+		if err != nil {
+			return nil, err
+		}
 		switch n.kind {
 		case kindLeaf:
 			if n.path.equal(remaining) {
@@ -142,7 +148,7 @@ func proveRef(root *ref, key [KeySize]byte) (*Proof, error) {
 				PathLen: len(n.path),
 			})
 			remaining = remaining[c:]
-			cur = &n.child
+			cur = n.child
 		case kindBranch:
 			b := remaining[0]
 			proof.Items = append(proof.Items, AscentItem{
@@ -151,7 +157,7 @@ func proveRef(root *ref, key [KeySize]byte) (*Proof, error) {
 				Sibling: n.children[1-b].hash,
 			})
 			remaining = remaining[1:]
-			cur = &n.children[b]
+			cur = n.children[b]
 		default:
 			return nil, fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
 		}

@@ -28,26 +28,32 @@ func (t *Trie) MarshalBinary() ([]byte, error) {
 	w.U64(uint64(t.maxNodes))
 	w.U64(uint64(t.totalAllocs))
 	w.U64(uint64(t.totalFrees))
-	if err := encodeRef(w, &t.root); err != nil {
+	if err := encodeRef(w, t.loader(), t.root); err != nil {
 		return nil, err
 	}
 	return w.Bytes(), nil
 }
 
-func encodeRef(w *wire.Writer, r *ref) error {
+func encodeRef(w *wire.Writer, rs resolver, r ref) error {
 	if r.sealed {
 		w.U8(serTagSealed)
 		w.Hash(r.hash)
 		return nil
 	}
-	if r.node == nil {
-		if !r.hash.IsZero() {
-			return fmt.Errorf("trie: encode: dangling hash without node")
-		}
+	if r.node == nil && r.hash.IsZero() {
 		w.U8(serTagEmpty)
 		return nil
 	}
-	n := r.node
+	// An evicted ref (hash without node) is resolved through the node
+	// source; with none attached this is the historical "dangling hash"
+	// corruption and still fails loudly.
+	n, err := rs.resolve(r)
+	if err != nil {
+		if rs.ns == nil {
+			return fmt.Errorf("trie: encode: dangling hash without node")
+		}
+		return err
+	}
 	switch n.kind {
 	case kindLeaf:
 		w.U8(serTagLeaf)
@@ -63,15 +69,15 @@ func encodeRef(w *wire.Writer, r *ref) error {
 		return nil
 	case kindBranch:
 		w.U8(serTagBranch)
-		if err := encodeRef(w, &n.children[0]); err != nil {
+		if err := encodeRef(w, rs, n.children[0]); err != nil {
 			return err
 		}
-		return encodeRef(w, &n.children[1])
+		return encodeRef(w, rs, n.children[1])
 	case kindExt:
 		w.U8(serTagExt)
 		w.U16(uint16(len(n.path)))
 		w.Bytes16(n.path.pack())
-		return encodeRef(w, &n.child)
+		return encodeRef(w, rs, n.child)
 	default:
 		return fmt.Errorf("trie: encode: invalid node kind %d", n.kind)
 	}

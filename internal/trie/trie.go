@@ -77,6 +77,11 @@ type Trie struct {
 	// them, so concurrent Views of retained versions stay safe.
 	pathScratch  [keyBits]byte
 	stackScratch []*ref
+
+	// ns is the optional content-addressed node backend (see nodesource.go).
+	// nil means every node lives on the heap and evicted refs are
+	// impossible — the original, byte-identical behaviour.
+	ns NodeSource
 }
 
 // Option configures a Trie.
@@ -221,9 +226,13 @@ func (t *Trie) Set(key [KeySize]byte, value cryptoutil.Hash) error {
 		if cur.sealed {
 			return ErrSealed
 		}
+		if err := t.materialise(cur); err != nil {
+			return err
+		}
 		if cur.node == nil {
 			if !cur.hash.IsZero() {
-				// Defensive: a non-zero hash without a node must be sealed.
+				// Defensive: a non-zero hash without a node must be sealed
+				// (unreachable once materialise has run with a source).
 				return ErrSealed
 			}
 			leaf, err := t.alloc(&node{kind: kindLeaf, path: remaining.clone(), value: value})
@@ -374,23 +383,27 @@ func (t *Trie) splitExt(cur *ref, old *node, remaining path, value cryptoutil.Ha
 // is provably absent and ErrSealed if the lookup would need to traverse a
 // sealed reference.
 func (t *Trie) Get(key [KeySize]byte) (cryptoutil.Hash, error) {
-	return lookupRef(&t.root, key)
+	return lookupRef(t.loader(), t.root, key)
 }
 
 // lookupRef resolves key starting from an arbitrary root reference. It is
-// purely read-only, which is what lets Views of retained versions share it
-// with the live head.
-func lookupRef(root *ref, key [KeySize]byte) (cryptoutil.Hash, error) {
+// purely read-only — refs are walked by value and faulted nodes are never
+// installed into shared state — which is what lets Views of retained
+// versions share it with the live head, race-free.
+func lookupRef(rs resolver, root ref, key [KeySize]byte) (cryptoutil.Hash, error) {
 	remaining := keyToPath(key)
 	cur := root
 	for {
 		if cur.sealed {
 			return cryptoutil.ZeroHash, ErrSealed
 		}
-		if cur.node == nil {
+		if cur.node == nil && cur.hash.IsZero() {
 			return cryptoutil.ZeroHash, ErrNotFound
 		}
-		n := cur.node
+		n, err := rs.resolve(cur)
+		if err != nil {
+			return cryptoutil.ZeroHash, err
+		}
 		switch n.kind {
 		case kindLeaf:
 			if n.path.equal(remaining) {
@@ -406,11 +419,11 @@ func lookupRef(root *ref, key [KeySize]byte) (cryptoutil.Hash, error) {
 				return cryptoutil.ZeroHash, ErrNotFound
 			}
 			remaining = remaining[c:]
-			cur = &n.child
+			cur = n.child
 		case kindBranch:
 			b := remaining[0]
 			remaining = remaining[1:]
-			cur = &n.children[b]
+			cur = n.children[b]
 		default:
 			return cryptoutil.ZeroHash, fmt.Errorf("trie: internal: invalid node kind %d", n.kind)
 		}
@@ -446,6 +459,9 @@ func (t *Trie) Seal(key [KeySize]byte) error {
 	for {
 		if cur.sealed {
 			return ErrSealed
+		}
+		if err := t.materialise(cur); err != nil {
+			return err
 		}
 		if cur.node == nil {
 			return ErrNotFound
@@ -502,7 +518,17 @@ func (t *Trie) collapseSaturated(stack []*ref) {
 	for i := len(stack) - 1; i >= 0; i-- {
 		r := stack[i]
 		n := r.node
-		if n.kind != kindBranch || !saturated(&n.children[0]) || !saturated(&n.children[1]) {
+		if n.kind != kindBranch {
+			return
+		}
+		// An evicted sibling may hide a saturated stub; fault it in before
+		// deciding. A load failure only skips the (optional) collapse.
+		for j := range n.children {
+			if t.materialise(&n.children[j]) != nil {
+				return
+			}
+		}
+		if !saturated(&n.children[0]) || !saturated(&n.children[1]) {
 			return
 		}
 		for j := range n.children {
@@ -533,6 +559,9 @@ func (t *Trie) Delete(key [KeySize]byte) error {
 	for {
 		if cur.sealed {
 			return ErrSealed
+		}
+		if err := t.materialise(cur); err != nil {
+			return err
 		}
 		if cur.node == nil {
 			return ErrNotFound
@@ -601,6 +630,9 @@ func (t *Trie) deleteLeaf(cur *ref, stack []*ref) error {
 	if pn.children[1-sideBit].sealed {
 		return ErrSealed
 	}
+	if err := t.materialise(&pn.children[1-sideBit]); err != nil {
+		return err
+	}
 	t.ensureOwned(&pn.children[1-sideBit])
 	sib := pn.children[1-sideBit]
 
@@ -659,6 +691,9 @@ func (t *Trie) mergeDown(bit byte, sib ref) (ref, error) {
 // itself an extension or a leaf, concatenating paths.
 func (t *Trie) mergeExtChild(gp *ref) error {
 	ext := gp.node
+	if err := t.materialise(&ext.child); err != nil {
+		return err
+	}
 	child := t.ensureOwned(&ext.child)
 	if child == nil {
 		return nil
@@ -699,7 +734,7 @@ func (t *Trie) At(v Version) (*View, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownVersion, v)
 	}
-	return &View{version: v, root: r}, nil
+	return &View{version: v, root: r, rs: t.loader()}, nil
 }
 
 // VersionRoot returns the root commitment frozen by version v.
@@ -739,17 +774,20 @@ func (t *Trie) SharedNodeRatio() float64 {
 // Keys returns all live keys in the trie, in depth-first order. Intended
 // for tests and debugging.
 func (t *Trie) Keys() [][KeySize]byte {
-	return keysFrom(&t.root)
+	return keysFrom(t.loader(), t.root)
 }
 
-func keysFrom(root *ref) [][KeySize]byte {
+func keysFrom(rs resolver, root ref) [][KeySize]byte {
 	var out [][KeySize]byte
-	var walk func(r *ref, prefix path)
-	walk = func(r *ref, prefix path) {
-		if r.node == nil {
+	var walk func(r ref, prefix path)
+	walk = func(r ref, prefix path) {
+		if r.sealed || (r.node == nil && r.hash.IsZero()) {
 			return
 		}
-		n := r.node
+		n, err := rs.resolve(r)
+		if err != nil {
+			return
+		}
 		switch n.kind {
 		case kindLeaf:
 			if n.sealed {
@@ -758,10 +796,10 @@ func keysFrom(root *ref) [][KeySize]byte {
 			full := append(prefix.clone(), n.path...)
 			out = append(out, pathToKey(full))
 		case kindExt:
-			walk(&n.child, append(prefix.clone(), n.path...))
+			walk(n.child, append(prefix.clone(), n.path...))
 		case kindBranch:
-			walk(&n.children[0], append(prefix.clone(), 0))
-			walk(&n.children[1], append(prefix.clone(), 1))
+			walk(n.children[0], append(prefix.clone(), 0))
+			walk(n.children[1], append(prefix.clone(), 1))
 		}
 	}
 	walk(root, nil)

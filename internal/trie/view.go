@@ -18,6 +18,7 @@ import (
 type View struct {
 	version Version
 	root    ref
+	rs      resolver
 }
 
 // Version returns the snapshot handle this view reads.
@@ -30,7 +31,7 @@ func (v *View) Root() cryptoutil.Hash { return v.root.hash }
 // happened at the head after the snapshot is invisible here: the frozen
 // nodes still carry their values.
 func (v *View) Get(key [KeySize]byte) (cryptoutil.Hash, error) {
-	return lookupRef(&v.root, key)
+	return lookupRef(v.rs, v.root, key)
 }
 
 // Has reports whether key is present (and was unsealed) in this version.
@@ -49,11 +50,11 @@ func (v *View) Has(key [KeySize]byte) (bool, error) {
 // Prove constructs a membership or non-membership proof for key against
 // this version's root.
 func (v *View) Prove(key [KeySize]byte) (*Proof, error) {
-	return proveRef(&v.root, key)
+	return proveRef(v.rs, v.root, key)
 }
 
 // Keys returns all live keys in this version, in depth-first order.
 // Intended for tests and debugging.
 func (v *View) Keys() [][KeySize]byte {
-	return keysFrom(&v.root)
+	return keysFrom(v.rs, v.root)
 }
