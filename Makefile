@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-deprecated test race bench bench-json mesh-smoke recover-smoke cover verify-figs api-check api-update ci
+.PHONY: all build vet lint lint-deprecated test race bench bench-json mesh-smoke recover-smoke route-smoke cover verify-figs api-check api-update ci
 
 all: test
 
@@ -51,8 +51,8 @@ bench:
 # hottest micro-benchmarks with their recorded pre-optimisation baselines.
 # The self-check fails the target when the output is schema-invalid.
 bench-json:
-	$(GO) run ./cmd/benchjson -out BENCH_pr9.json
-	$(GO) run ./cmd/benchjson -check BENCH_pr9.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr10.json
+	$(GO) run ./cmd/benchjson -check BENCH_pr10.json
 
 # Mesh smoke gate: both acceptance topologies (4-chain line and diamond)
 # under per-link chaos must deliver every routed transfer with exact
@@ -70,6 +70,15 @@ mesh-smoke:
 recover-smoke:
 	$(GO) run ./cmd/guestsim -recover >/dev/null
 	@echo "recover smoke: power cut recovers the last finalised root"
+
+# Adaptive-routing smoke gate: the degraded diamond must migrate >= 90%
+# of post-grace flows to the healthy arm, beat the same-seed static
+# control's post-degradation p99, conserve escrow at every hop under
+# rerouting, and the competing-relayer race must deliver exactly once
+# with conserved fee totals. guestsim exits non-zero on any violation.
+route-smoke:
+	$(GO) run ./cmd/guestsim -adaptive-routing >/dev/null
+	@echo "route smoke: adaptive plane migrates, conserves, races exactly-once"
 
 # Coverage across every package, with the combined profile left in
 # cover.out for `go tool cover -html=cover.out`.
@@ -107,6 +116,6 @@ api-update:
 
 # The pre-merge gate: vet + lint (including the retired-API grep), the
 # whole suite under the race detector, the coverage summary, the
-# figure-drift check, the exported-API stability check, and the mesh and
-# kill-and-recover smoke runs.
-ci: vet lint race cover verify-figs api-check mesh-smoke recover-smoke
+# figure-drift check, the exported-API stability check, and the mesh,
+# kill-and-recover, and adaptive-routing smoke runs.
+ci: vet lint race cover verify-figs api-check mesh-smoke recover-smoke route-smoke

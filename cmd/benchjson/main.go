@@ -1,16 +1,20 @@
 // Command benchjson emits the machine-checkable benchmark trajectory
-// (BENCH_pr9.json): packet-latency percentiles and sustained throughput
+// (BENCH_pr10.json): packet-latency percentiles and sustained throughput
 // from a pinned open-loop load run, ns/op and allocs/op of the hottest
 // micro-benchmarks alongside their recorded pre-optimisation baselines,
 // the middleware-chain recv overhead (stacked vs bare dispatch), the
 // mesh section — per-flow end-to-end latency and per-link client-update
-// amortisation from a pinned 4-chain line run under chaos — and the
+// amortisation from a pinned 4-chain line run under chaos — the
 // persistence section: cold-open recovery time, group-fsync p99, node
 // read cost memory vs disk, and heap per retained version pinned vs
-// evicted, from the kill-and-recover chaos run. With -check it validates
-// an existing file instead of generating one, exiting non-zero when the
-// file is missing, empty, or schema-invalid — that mode is the CI
-// bench-smoke gate.
+// evicted, from the kill-and-recover chaos run — and the routing
+// section: the adaptive-plane trajectory from the pinned degraded
+// diamond (migration fraction, view recomputes, post-degradation p99
+// adaptive vs the same-seed static control) plus the competing-relayer
+// race totals (exactly-once delivery, lost races, fee conservation).
+// With -check it validates an existing file instead of generating one,
+// exiting non-zero when the file is missing, empty, or schema-invalid —
+// that mode is the CI bench-smoke gate.
 //
 // The load configuration is pinned (not flag-tunable) so successive JSON
 // files differ only when the code's behaviour does.
@@ -37,7 +41,7 @@ import (
 )
 
 // Schema identifies the document layout; bump on breaking changes.
-const Schema = "bench/pr9/v1"
+const Schema = "bench/pr10/v1"
 
 // LoadSection reports the pinned open-loop run.
 type LoadSection struct {
@@ -149,7 +153,36 @@ type PersistenceSection struct {
 	HeapPerVersionEvictedBytes float64 `json:"heap_per_version_evicted_bytes"`
 }
 
-// Doc is the whole BENCH_pr9.json document.
+// RoutingSection records the pinned adaptive-routing run (PR 10): the
+// degraded-diamond migration trajectory with its static same-seed
+// control, and the competing-relayer race outcome.
+type RoutingSection struct {
+	// Degraded diamond: one arm's fault profile ramps mid-run; the
+	// adaptive view must move post-grace flows onto the healthy arm.
+	Packets           int     `json:"packets"`
+	MigrationFraction float64 `json:"migration_fraction"`
+	Recomputes        int     `json:"recomputes"`
+
+	// Post-degradation end-to-end latency, adaptive plane vs the
+	// same-seed static table (seconds of virtual time).
+	AdaptiveP50s float64 `json:"adaptive_p50_s"`
+	AdaptiveP99s float64 `json:"adaptive_p99_s"`
+	StaticP50s   float64 `json:"static_p50_s"`
+	StaticP99s   float64 `json:"static_p99_s"`
+	P99Improved  bool    `json:"p99_improved"`
+	Conserved    bool    `json:"conserved"`
+
+	// Competing-relayer race on one link: exactly-once delivery with
+	// per-packet fee income going to whichever competitor won.
+	RaceRelayers      int    `json:"race_relayers"`
+	RaceSent          int    `json:"race_sent"`
+	RaceLost          uint64 `json:"race_lost"`
+	RaceExactlyOnce   bool   `json:"race_exactly_once"`
+	RaceFeesClaimed   uint64 `json:"race_fees_claimed"`
+	RaceFeesConserved bool   `json:"race_fees_conserved"`
+}
+
+// Doc is the whole BENCH_pr10.json document.
 type Doc struct {
 	Schema        string             `json:"schema"`
 	Load          LoadSection        `json:"load"`
@@ -157,11 +190,12 @@ type Doc struct {
 	Middleware    MiddlewareSection  `json:"middleware"`
 	Mesh          MeshSection        `json:"mesh"`
 	Persistence   PersistenceSection `json:"persistence"`
+	Routing       RoutingSection     `json:"routing"`
 }
 
 func main() {
 	check := flag.String("check", "", "validate an existing BENCH json and exit (no generation)")
-	out := flag.String("out", "BENCH_pr9.json", "output path")
+	out := flag.String("out", "BENCH_pr10.json", "output path")
 	flag.Parse()
 
 	if *check != "" {
@@ -330,6 +364,30 @@ func generate() (*Doc, error) {
 	}
 	doc.Persistence.HeapPerVersionPinnedBytes = pinned
 	doc.Persistence.HeapPerVersionEvictedBytes = evicted
+
+	// Routing: the pinned degraded-diamond adaptive run with its static
+	// same-seed control, plus the competing-relayer race.
+	ares, err := experiments.RunAdaptiveRouting(experiments.DefaultAdaptiveRoutingConfig())
+	if err != nil {
+		return nil, err
+	}
+	doc.Routing = RoutingSection{
+		Packets:           ares.Sent,
+		MigrationFraction: ares.MigrationFraction,
+		Recomputes:        ares.Recomputes,
+		AdaptiveP50s:      ares.AdaptiveP50s,
+		AdaptiveP99s:      ares.AdaptiveP99s,
+		StaticP50s:        ares.StaticP50s,
+		StaticP99s:        ares.StaticP99s,
+		P99Improved:       ares.P99Improved,
+		Conserved:         ares.Conserved && ares.StaticConserved,
+		RaceRelayers:      ares.Race.Relayers,
+		RaceSent:          ares.Race.Sent,
+		RaceLost:          ares.Race.LostRace,
+		RaceExactlyOnce:   ares.Race.ExactlyOnce,
+		RaceFeesClaimed:   ares.Race.Claimed,
+		RaceFeesConserved: ares.Race.FeesConserved,
+	}
 	return doc, nil
 }
 
@@ -594,6 +652,29 @@ func Validate(doc *Doc) error {
 	if p.HeapPerVersionPinnedBytes <= p.HeapPerVersionEvictedBytes {
 		return fmt.Errorf("eviction saved no heap: pinned %.0f <= evicted %.0f bytes/version",
 			p.HeapPerVersionPinnedBytes, p.HeapPerVersionEvictedBytes)
+	}
+	r := doc.Routing
+	if r.Packets == 0 || r.Recomputes == 0 {
+		return fmt.Errorf("routing section empty: %+v", r)
+	}
+	if r.MigrationFraction < 0.9 {
+		return fmt.Errorf("adaptive migration %.3f < 0.9 in recorded run", r.MigrationFraction)
+	}
+	if !r.P99Improved || r.AdaptiveP99s >= r.StaticP99s {
+		return fmt.Errorf("adaptive post-degradation p99 %.3fs does not beat static %.3fs",
+			r.AdaptiveP99s, r.StaticP99s)
+	}
+	if !r.Conserved {
+		return fmt.Errorf("escrow conservation violated under rerouting in recorded run")
+	}
+	if r.RaceRelayers < 2 || r.RaceSent == 0 || !r.RaceExactlyOnce {
+		return fmt.Errorf("relayer race not exactly-once: %+v", r)
+	}
+	if r.RaceLost != uint64(r.RaceSent)*uint64(r.RaceRelayers-1) {
+		return fmt.Errorf("race lost %d, want sent %d x losers %d", r.RaceLost, r.RaceSent, r.RaceRelayers-1)
+	}
+	if !r.RaceFeesConserved || r.RaceFeesClaimed == 0 {
+		return fmt.Errorf("race fee totals not conserved: %+v", r)
 	}
 	return nil
 }

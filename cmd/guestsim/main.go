@@ -49,6 +49,7 @@ func main() {
 	meshTopology := flag.String("mesh-topology", "line", "mesh scenario: link graph, line (guest-a-b-c) or diamond (guest-{a,b}-c)")
 	meshPackets := flag.Int("mesh-packets", 6, "mesh scenario: transfers per flow")
 	meshChaos := flag.Bool("mesh-chaos", true, "mesh scenario: 5% drop + asymmetric latency on every link")
+	adaptiveRouting := flag.Bool("adaptive-routing", false, "run the adaptive-routing scenario (degraded diamond static-vs-adaptive + competing-relayer race) instead of the closed-loop deployment")
 	storeDir := flag.String("store-dir", "", "persist guest state to a WAL-backed node store under this directory (empty = in-memory)")
 	storeSync := flag.Int("store-sync-interval", 0, "group-fsync cadence in committed roots on top of the per-finalisation fsync (0 = finalisation only)")
 	recoverRun := flag.Bool("recover", false, "run the kill-and-recover chaos scenario (power-cut the WAL mid-stall, reopen, verify roots and proofs) instead of the closed-loop deployment")
@@ -56,6 +57,11 @@ func main() {
 
 	if *recoverRun {
 		runRecoverScenario(*seed, *storeDir)
+		return
+	}
+
+	if *adaptiveRouting {
+		runAdaptiveScenario(*seed)
 		return
 	}
 
@@ -319,6 +325,49 @@ func runMeshScenario(seed int64, topology string, packets int, chaos bool) {
 	}
 	if !res.Conserved {
 		log.Fatal("mesh scenario conservation violated")
+	}
+}
+
+// runAdaptiveScenario runs the health-aware routing acceptance pair: the
+// degraded diamond under static and adaptive routing (same seed), and the
+// competing-relayer race with ICS-29 fee attribution. It exits non-zero
+// when any acceptance criterion fails, so `make route-smoke` gates CI.
+func runAdaptiveScenario(seed int64) {
+	cfg := experiments.DefaultAdaptiveRoutingConfig()
+	cfg.Seed = seed
+	start := time.Now()
+	res, err := experiments.RunAdaptiveRouting(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("adaptive routing: %d transfers over %v, a-c arm degrades at %v, simulated in %v\n\n",
+		res.Sent, cfg.Window, cfg.DegradeAt, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("pre-degradation arms:   %v\n", res.PreArms)
+	fmt.Printf("post-grace arms:        %v (migration %.0f%%)\n", res.PostArms, 100*res.MigrationFraction)
+	fmt.Printf("view recomputes:        %d\n", res.Recomputes)
+	fmt.Printf("post-degradation p99:   adaptive %.1fs vs static %.1fs (p50 %.1fs vs %.1fs)\n",
+		res.AdaptiveP99s, res.StaticP99s, res.AdaptiveP50s, res.StaticP50s)
+	fmt.Printf("delivered:              %d/%d, escrow conserved=%v (static %v)\n\n",
+		res.Delivered, res.Sent, res.Conserved, res.StaticConserved)
+	r := res.Race
+	fmt.Printf("relayer race:           %d packets, %d competitors, lost_race=%d\n", r.Sent, r.Relayers, r.LostRace)
+	fmt.Printf("  exactly-once:         %v (received %d tokens)\n", r.ExactlyOnce, r.Received)
+	fmt.Printf("  fees:                 escrowed=%d paid=%d refunded=%d claimed=%d conserved=%v\n",
+		r.Escrowed, r.Paid, r.Refunded, r.Claimed, r.FeesConserved)
+	for payee, fee := range r.FeeByPayee {
+		fmt.Printf("  payee %s...: claimed %d\n", payee[:12], fee)
+	}
+	switch {
+	case res.MigrationFraction < 0.9:
+		log.Fatalf("migration fraction %.3f < 0.9", res.MigrationFraction)
+	case !res.P99Improved:
+		log.Fatal("adaptive p99 does not beat static")
+	case !res.Conserved || !res.StaticConserved:
+		log.Fatal("escrow conservation violated")
+	case !r.ExactlyOnce || !r.FeesConserved:
+		log.Fatal("relayer race: delivery or fee invariant violated")
+	case r.LostRace != uint64(r.Sent):
+		log.Fatalf("lost_race %d != sent %d", r.LostRace, r.Sent)
 	}
 }
 

@@ -225,6 +225,10 @@ type Network struct {
 	hostEP       *netsim.Endpoint
 	cpEP         *netsim.Endpoint
 	recordedAcks map[string][]byte
+	// cpDeliveredBy records which node first delivered each packet to the
+	// counterparty, so replays by a competing relayer are flagged as lost
+	// races while a relayer's own retries still look like its delivery.
+	cpDeliveredBy map[string]netsim.NodeID
 	// relayerNodes are the addresses host-block notifications fan out to:
 	// the single RelayerNode on pair deployments, one node per guest link
 	// on a mesh.
@@ -991,6 +995,18 @@ func (n *Network) SnapshotTelemetry() telemetry.Snapshot {
 		n.Tel.Metrics.Gauge("guest.state.retained_versions").Set(int64(st.RetainedSnapshots()))
 		// Ratio in basis points (gauges are integral).
 		n.Tel.Metrics.Gauge("guest.state.shared_node_ratio_bp").Set(int64(tr.SharedNodeRatio() * 10_000))
+	}
+	// Mesh deployments surface each link's live health next to the
+	// counters its relayers already emit: the work backlog the adaptive
+	// view scores, and the delivery-latency EWMA in milliseconds. (The
+	// relayer.link.<id>.net_dead_letters counters register at wiring.)
+	if n.Mesh != nil {
+		for _, l := range n.Mesh.Links {
+			h := l.Health()
+			ns := "relayer.link." + l.ID
+			n.Tel.Metrics.Gauge(ns + ".backlog").Set(int64(h.Backlog))
+			n.Tel.Metrics.Gauge(ns + ".health_latency_ms").Set(int64(h.Latency * 1000))
+		}
 	}
 	return n.Tel.Snapshot()
 }

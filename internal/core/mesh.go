@@ -72,7 +72,26 @@ type MeshLinkSpec struct {
 	// directions), NetB likewise for chain B. Zero profiles inherit
 	// Config.Net.Default.
 	NetA, NetB netsim.LinkConfig
+	// Relayers is the number of competing relayers racing on this link
+	// (0 and 1 both mean the classic single relayer). Every competitor
+	// serves the same channel; the idempotent chain front-ends make the
+	// duplicate deliveries safe, first-to-deliver claims the ICS-29 fee,
+	// and the losers count relayer.link.<id>.lost_race.
+	Relayers int
 }
+
+// MeshRoutingMode selects how routed sends pick their path.
+type MeshRoutingMode string
+
+const (
+	// RoutingStatic (the zero value) routes over the boot-time shortest
+	// path table — byte-identical to the pre-adaptive deployments.
+	RoutingStatic MeshRoutingMode = ""
+	// RoutingAdaptive routes over the live health-scored view: per-link
+	// costs from relayer telemetry, hysteresis-gated recomputes, and
+	// equal-cost multi-path splitting by flow hash.
+	RoutingAdaptive MeshRoutingMode = "adaptive"
+)
 
 // MeshSpec describes the whole topology.
 type MeshSpec struct {
@@ -85,6 +104,20 @@ type MeshSpec struct {
 	// hop the forwarding middleware emits — the knob multi-hop timeout
 	// experiments turn. 0 means onward hops never expire.
 	ForwardTimeout time.Duration
+	// Routing selects static table routing (the zero value; byte-identical
+	// to pre-adaptive deployments) or the health-aware adaptive view.
+	Routing MeshRoutingMode
+	// Cost parameterises the adaptive view's per-link scoring; zero
+	// fields inherit routing.DefaultCostModel. Ignored when static.
+	Cost routing.CostModel
+	// HealthInterval is the cadence at which relayer health feeds the
+	// adaptive view (default 30s). Ignored when static.
+	HealthInterval time.Duration
+	// Fees, when enabled, wraps every mesh port in the ICS-29 fee
+	// middleware: senders escrow the schedule per packet, and the relayer
+	// that delivers it claims the recv+ack legs (first-to-deliver wins
+	// under competing relayers). Onward forwarding hops are exempt.
+	Fees middleware.FeeSchedule
 }
 
 // enabled reports whether the config asks for a mesh deployment.
@@ -108,6 +141,11 @@ type MeshChain struct {
 	ep *netsim.Endpoint
 	// relayerNodes are the link relayers notified of this chain's blocks.
 	relayerNodes []netsim.NodeID
+	// deliveredBy records which relayer node first delivered each inbound
+	// packet (cosmos chains only): the front-end flags later deliveries
+	// from other nodes as lost races, and the fee payee resolver pays the
+	// recorded winner.
+	deliveredBy map[string]netsim.NodeID
 }
 
 // MeshLink is one wired link: canonical ends, the channel the handshake
@@ -119,11 +157,17 @@ type MeshLink struct {
 	// PortA/ChanA are A's end of the channel; PortB/ChanB are B's.
 	PortA, PortB ibc.PortID
 	ChanA, ChanB ibc.ChannelID
-	// Relayer serves guest↔cosmos links, Pair cosmos↔cosmos ones.
-	Relayer *relayer.Relayer
-	Pair    *relayer.PairRelayer
-	// Node is the link relayer's network address.
-	Node netsim.NodeID
+	// Relayer serves guest↔cosmos links, Pair cosmos↔cosmos ones. With
+	// competing relayers these alias the first (primary) competitor;
+	// Relayers / Pairs list the whole fleet.
+	Relayer  *relayer.Relayer
+	Pair     *relayer.PairRelayer
+	Relayers []*relayer.Relayer
+	Pairs    []*relayer.PairRelayer
+	// Node is the primary link relayer's network address; Nodes lists
+	// every competitor's (Nodes[0] == Node).
+	Node  netsim.NodeID
+	Nodes []netsim.NodeID
 
 	// bootRes / pairRes hold the bootstrap identifiers (exactly one set,
 	// matching Relayer / Pair).
@@ -131,10 +175,37 @@ type MeshLink struct {
 	pairRes *relayer.PairResult
 }
 
+// Health aggregates the link's live health across its relayer fleet:
+// mean delivery-latency EWMA, summed dead letters, summed backlog.
+func (l *MeshLink) Health() relayer.LinkHealth {
+	var agg relayer.LinkHealth
+	var lat float64
+	n := 0
+	report := func(h relayer.LinkHealth) {
+		lat += h.Latency
+		agg.DeadLetters += h.DeadLetters
+		agg.Backlog += h.Backlog
+		n++
+	}
+	for _, r := range l.Relayers {
+		report(r.Health())
+	}
+	for _, pr := range l.Pairs {
+		report(pr.Health())
+	}
+	if n > 0 {
+		agg.Latency = lat / float64(n)
+	}
+	return agg
+}
+
 // MeshRuntime is the mesh-specific view of a Network.
 type MeshRuntime struct {
 	Spec  MeshSpec
 	Table *routing.Table
+	// View is the health-scored adaptive routing view (nil when the spec
+	// routes statically). Routed sends consult it at send time.
+	View *routing.View
 	// Chains indexes runtime state by chain name; Order lists the names
 	// sorted.
 	Chains map[string]*MeshChain
@@ -145,6 +216,9 @@ type MeshRuntime struct {
 	// ForwardAccount is the module account routed sends address on
 	// intermediate chains.
 	ForwardAccount string
+
+	// flowSeq numbers routed sends for the ECMP flow hash.
+	flowSeq uint64
 }
 
 // Chain returns one chain's runtime state (nil when absent).
@@ -178,6 +252,14 @@ func normalizeMesh(spec MeshSpec) (MeshSpec, error) {
 	}
 	if spec.ForwardAccount == "" {
 		spec.ForwardAccount = "forward-module"
+	}
+	switch spec.Routing {
+	case RoutingStatic, RoutingAdaptive:
+	default:
+		return spec, fmt.Errorf("core: unknown mesh routing mode %q", spec.Routing)
+	}
+	if spec.HealthInterval == 0 {
+		spec.HealthInterval = 30 * time.Second
 	}
 
 	chains := append([]MeshChainSpec(nil), spec.Chains...)
@@ -236,6 +318,12 @@ func normalizeMesh(spec MeshSpec) (MeshSpec, error) {
 		}
 		if l.A == l.B {
 			return spec, fmt.Errorf("core: mesh link %q-%q joins a chain to itself", l.A, l.B)
+		}
+		if l.Relayers < 0 {
+			return spec, fmt.Errorf("core: mesh link %s-%s: negative relayer count %d", l.A, l.B, l.Relayers)
+		}
+		if l.Relayers == 0 {
+			l.Relayers = 1
 		}
 		if _, ok := byName[l.A]; !ok {
 			return spec, fmt.Errorf("core: mesh link references unknown chain %q", l.A)
@@ -400,8 +488,17 @@ func newMeshNetwork(cfg Config) (*Network, error) {
 			if spec.ForwardTimeout > 0 {
 				fwdOpts = append(fwdOpts, middleware.WithForwardTimeout(spec.ForwardTimeout, n.Sched.Now))
 			}
-			stack := middleware.NewStack(app,
-				middleware.NewForward(spec.ForwardAccount, resolve, sender, fwdOpts...))
+			var mws []middleware.Middleware
+			if spec.Fees.Enabled() {
+				// Fees sit outside forwarding so the sender's escrow is
+				// charged before the packet commits; onward hops the
+				// forward module emits are exempt (the first hop paid).
+				mws = append(mws, middleware.NewFees(app, spec.Fees,
+					middleware.WithFeesTelemetry(n.Tel.Metrics, base+".fees"),
+					middleware.WithFeesExemptSender(spec.ForwardAccount)))
+			}
+			mws = append(mws, middleware.NewForward(spec.ForwardAccount, resolve, sender, fwdOpts...))
+			stack := middleware.NewStack(app, mws...)
 			if mc.Kind == MeshGuest {
 				if err := n.Contract.BindPort(n.Host, port, stack); err != nil {
 					return nil, fmt.Errorf("core: mesh chain %s: bind %s: %w", name, port, err)
@@ -487,7 +584,8 @@ func newMeshNetwork(cfg Config) (*Network, error) {
 	for _, name := range mesh.Order {
 		mc := mesh.Chains[name]
 		if mc.Kind == MeshCosmos {
-			mc.ep = n.Net.Node(mc.Node, nil, meshChainFrontEnd(mc.CP))
+			mc.deliveredBy = make(map[string]netsim.NodeID)
+			mc.ep = n.Net.Node(mc.Node, nil, meshChainFrontEnd(mc.CP, mc.deliveredBy))
 		}
 	}
 	for i, l := range mesh.Links {
@@ -500,52 +598,86 @@ func newMeshNetwork(cfg Config) (*Network, error) {
 		}
 	}
 
-	// --- Relayer fleet: one per link ---
+	// --- Relayer fleet: one or more competitors per link ---
+	// Competitor 0 reuses exactly the single-relayer identifiers (seed
+	// stream "link/<id>", key "relayer/link/<id>", node address), so a
+	// spec with Relayers <= 1 wires byte-identically to the pre-race
+	// deployments. Extra competitors derive "/r<i>"-suffixed variants and
+	// share the link's metrics namespace: delivery counters aggregate per
+	// link, and the lost_race counter splits winners from losers.
 	base := cfg.RelayerConfig
 	if base.TxGap == nil {
 		base = relayer.DefaultConfig()
 	}
-	for _, l := range mesh.Links {
+	for i, l := range mesh.Links {
+		ls := spec.Links[i]
+		count := ls.Relayers
+		if count < 1 {
+			count = 1
+		}
 		ca, cb := mesh.Chains[l.A], mesh.Chains[l.B]
-		if l.bootRes != nil {
-			cosmos := cb
-			guestPort, cpPort := l.PortA, l.PortB
-			if cb.Kind == MeshGuest {
-				cosmos = ca
-				guestPort, cpPort = l.PortB, l.PortA
+		for ri := 0; ri < count; ri++ {
+			suffix := ""
+			node := l.Node
+			if ri > 0 {
+				suffix = fmt.Sprintf("/r%d", ri)
+				node = netsim.LinkRelayerNode(l.ID + suffix)
+				// Competitors share the link's fault profile.
+				if linkCfgSet(ls.NetA) {
+					n.Net.SetLinkBoth(node, meshEndNode(ca), ls.NetA)
+				}
+				if linkCfgSet(ls.NetB) {
+					n.Net.SetLinkBoth(node, meshEndNode(cb), ls.NetB)
+				}
 			}
-			res := l.bootRes
-			rcfg := base
-			rcfg.Seed = sim.DeriveSeed(cfg.Seed, "link/"+l.ID)
-			rcfg.GuestClientID = res.GuestClientID
-			rcfg.GuestOnCPClientID = res.GuestOnCPClientID
-			rcfg.Channels = []relayer.ChannelRoute{{
-				GuestPort: guestPort, GuestChannel: res.GuestChannel,
-				CPPort: cpPort, CPChannel: res.CPChannel,
-			}}
-			rcfg.MetricsNamespace = "relayer.link." + l.ID
-			rcfg.NodeID = l.Node
-			rcfg.ChainNodeID = cosmos.Node
-			rcfg.KeyName = "relayer/link/" + l.ID
-			rcfg.StrictRoutes = true
-			r := relayer.New(rcfg, n.Host, n.Contract, cosmos.CP, n.Sched,
-				relayer.WithTelemetry(n.Tel), relayer.WithTransport(n.Net))
-			n.Host.Fund(r.Key().Public(), 10_000*host.LamportsPerSOL)
-			l.Relayer = r
-			n.relayerNodes = append(n.relayerNodes, l.Node)
-			cosmos.relayerNodes = append(cosmos.relayerNodes, l.Node)
-		} else {
-			res := l.pairRes
-			pr := relayer.NewPair(relayer.PairConfig{
-				LinkID: l.ID,
-				Seed:   sim.DeriveSeed(cfg.Seed, "link/"+l.ID),
-				NodeID: l.Node,
-				A:      relayer.PairSideConfig{Chain: ca.CP, Node: ca.Node, ClientOfPeer: res.ClientBOnA, Port: l.PortA, Channel: l.ChanA},
-				B:      relayer.PairSideConfig{Chain: cb.CP, Node: cb.Node, ClientOfPeer: res.ClientAOnB, Port: l.PortB, Channel: l.ChanB},
-			}, n.Sched, n.Net, relayer.WithPairTelemetry(n.Tel))
-			l.Pair = pr
-			ca.relayerNodes = append(ca.relayerNodes, l.Node)
-			cb.relayerNodes = append(cb.relayerNodes, l.Node)
+			if l.bootRes != nil {
+				cosmos := cb
+				guestPort, cpPort := l.PortA, l.PortB
+				if cb.Kind == MeshGuest {
+					cosmos = ca
+					guestPort, cpPort = l.PortB, l.PortA
+				}
+				res := l.bootRes
+				rcfg := base
+				rcfg.Seed = sim.DeriveSeed(cfg.Seed, "link/"+l.ID+suffix)
+				rcfg.GuestClientID = res.GuestClientID
+				rcfg.GuestOnCPClientID = res.GuestOnCPClientID
+				rcfg.Channels = []relayer.ChannelRoute{{
+					GuestPort: guestPort, GuestChannel: res.GuestChannel,
+					CPPort: cpPort, CPChannel: res.CPChannel,
+				}}
+				rcfg.MetricsNamespace = "relayer.link." + l.ID
+				rcfg.NodeID = node
+				rcfg.ChainNodeID = cosmos.Node
+				rcfg.KeyName = "relayer/link/" + l.ID + suffix
+				rcfg.StrictRoutes = true
+				r := relayer.New(rcfg, n.Host, n.Contract, cosmos.CP, n.Sched,
+					relayer.WithTelemetry(n.Tel), relayer.WithTransport(n.Net))
+				n.Host.Fund(r.Key().Public(), 10_000*host.LamportsPerSOL)
+				if ri == 0 {
+					l.Relayer = r
+				}
+				l.Relayers = append(l.Relayers, r)
+				n.relayerNodes = append(n.relayerNodes, node)
+				cosmos.relayerNodes = append(cosmos.relayerNodes, node)
+			} else {
+				res := l.pairRes
+				pr := relayer.NewPair(relayer.PairConfig{
+					LinkID: l.ID,
+					Seed:   sim.DeriveSeed(cfg.Seed, "link/"+l.ID+suffix),
+					NodeID: node,
+					Payee:  "pair:" + l.ID + suffix,
+					A:      relayer.PairSideConfig{Chain: ca.CP, Node: ca.Node, ClientOfPeer: res.ClientBOnA, Port: l.PortA, Channel: l.ChanA},
+					B:      relayer.PairSideConfig{Chain: cb.CP, Node: cb.Node, ClientOfPeer: res.ClientAOnB, Port: l.PortB, Channel: l.ChanB},
+				}, n.Sched, n.Net, relayer.WithPairTelemetry(n.Tel))
+				if ri == 0 {
+					l.Pair = pr
+				}
+				l.Pairs = append(l.Pairs, pr)
+				ca.relayerNodes = append(ca.relayerNodes, node)
+				cb.relayerNodes = append(cb.relayerNodes, node)
+			}
+			l.Nodes = append(l.Nodes, node)
 		}
 	}
 
@@ -559,12 +691,96 @@ func newMeshNetwork(cfg Config) (*Network, error) {
 		})
 	}
 	mesh.Table = routing.NewTable(rlinks)
+	if spec.Routing == RoutingAdaptive {
+		mesh.View = routing.NewView(rlinks, spec.Cost, sim.DeriveSeed(cfg.Seed, "routing/view"))
+	}
 	n.aliasGuestLinks()
+	n.wireMeshFees()
 
 	n.seedBlockCadence()
 	n.startDaemons()
 	n.wireMeshScheduling()
 	return n, nil
+}
+
+// wireMeshFees points every mesh fee middleware at the relayer fleet:
+// the payee resolver pays whichever competitor the destination chain
+// recorded as first deliverer, the primary relayer of the source end's
+// link is the static fallback (timeouts), and every relayer sweeps every
+// escrow it can earn from. No-op without a fee schedule.
+func (n *Network) wireMeshFees() {
+	mesh := n.Mesh
+	if !mesh.Spec.Fees.Enabled() {
+		return
+	}
+	// Relayer node -> payee identity, across every link's fleet.
+	payeeOf := make(map[netsim.NodeID]string)
+	for _, l := range mesh.Links {
+		for ri, r := range l.Relayers {
+			payeeOf[l.Nodes[ri]] = r.PayeeID()
+		}
+		for ri, pr := range l.Pairs {
+			payeeOf[l.Nodes[ri]] = pr.PayeeID()
+		}
+	}
+	// Per chain: (source port, source channel) -> peer chain and the
+	// link's primary payee, so a settling packet finds the delivery
+	// registry its destination chain keeps.
+	type linkEnd struct {
+		peer         *MeshChain
+		primaryPayee string
+	}
+	endKey := func(port ibc.PortID, ch ibc.ChannelID) string {
+		return string(port) + "/" + string(ch)
+	}
+	ends := make(map[string]map[string]linkEnd) // chain -> endKey -> linkEnd
+	addEnd := func(chain string, port ibc.PortID, ch ibc.ChannelID, peer *MeshChain, payee string) {
+		if ends[chain] == nil {
+			ends[chain] = make(map[string]linkEnd)
+		}
+		ends[chain][endKey(port, ch)] = linkEnd{peer: peer, primaryPayee: payee}
+	}
+	for _, l := range mesh.Links {
+		primary := payeeOf[l.Node]
+		addEnd(l.A, l.PortA, l.ChanA, mesh.Chains[l.B], primary)
+		addEnd(l.B, l.PortB, l.ChanB, mesh.Chains[l.A], primary)
+	}
+	for _, name := range mesh.Order {
+		mc := mesh.Chains[name]
+		chainEnds := ends[name]
+		for _, stack := range mc.Stacks {
+			fm, ok := stack.Middleware("fees").(*middleware.Fees)
+			if !ok || fm == nil {
+				continue
+			}
+			fm.SetPayeeResolver(func(p ibc.Packet) string {
+				end, ok := chainEnds[endKey(p.SourcePort, p.SourceChannel)]
+				if !ok {
+					return ""
+				}
+				if end.peer != nil && end.peer.deliveredBy != nil {
+					if winner, ok := end.peer.deliveredBy[recvKey(&p)]; ok {
+						if payee := payeeOf[winner]; payee != "" {
+							return payee
+						}
+					}
+				}
+				// No recorded delivery (e.g. a timeout settlement): the
+				// link's primary relayer did the proof work.
+				return end.primaryPayee
+			})
+			// Every competitor sweeps: Claim is payee-keyed, so
+			// over-registration never pays the wrong relayer.
+			for _, l := range mesh.Links {
+				for _, r := range l.Relayers {
+					r.RegisterFeeClaimer(fm)
+				}
+				for _, pr := range l.Pairs {
+					pr.RegisterFeeClaimer(fm)
+				}
+			}
+		}
+	}
 }
 
 // meshEndNode is a chain's address for per-link fault profiles: the host
@@ -645,10 +861,11 @@ func (n *Network) wireMeshScheduling() {
 	})
 	n.Sched.Every(30*time.Second, func() bool {
 		for _, l := range n.Mesh.Links {
-			if l.Relayer != nil {
-				l.Relayer.CheckTimeouts()
-			} else {
-				l.Pair.CheckTimeouts()
+			for _, r := range l.Relayers {
+				r.CheckTimeouts()
+			}
+			for _, pr := range l.Pairs {
+				pr.CheckTimeouts()
 			}
 		}
 		return true
@@ -659,6 +876,77 @@ func (n *Network) wireMeshScheduling() {
 		}
 		return true
 	})
+
+	// Health telemetry feeds the adaptive view on the spec's cadence.
+	// Static meshes schedule nothing extra, keeping them byte-identical.
+	if n.Mesh.View != nil {
+		view := n.Mesh.View
+		cRecomputes := n.Tel.Metrics.Counter("mesh.routing.recomputes")
+		costGauge := make(map[string]*telemetry.Gauge, len(n.Mesh.Links))
+		for _, l := range n.Mesh.Links {
+			costGauge[l.ID] = n.Tel.Metrics.Gauge("mesh.routing.cost_milli." + l.ID)
+		}
+		n.Sched.Every(n.Mesh.Spec.HealthInterval, func() bool {
+			for _, l := range n.Mesh.Links {
+				h := l.Health()
+				view.Observe(l.ID, routing.LinkHealth{
+					Latency:     h.Latency,
+					DeadLetters: h.DeadLetters,
+					Backlog:     h.Backlog,
+				})
+			}
+			if view.Refresh() {
+				cRecomputes.Inc()
+			}
+			for _, l := range n.Mesh.Links {
+				costGauge[l.ID].Set(int64(view.Cost(l.ID) * 1000))
+			}
+			return true
+		})
+	}
+
+	// ICS-29 fee sweeping across the fleet, only when the mesh escrows.
+	if n.Mesh.Spec.Fees.Enabled() {
+		n.Sched.Every(10*time.Minute, func() bool {
+			n.ClaimMeshFees()
+			return true
+		})
+	}
+}
+
+// ClaimMeshFees makes every link relayer sweep its accrued ICS-29 fees
+// (experiments also call it once at drain).
+func (n *Network) ClaimMeshFees() {
+	if n.Mesh == nil {
+		return
+	}
+	for _, l := range n.Mesh.Links {
+		for _, r := range l.Relayers {
+			r.ClaimFees()
+		}
+		for _, pr := range l.Pairs {
+			pr.ClaimFees()
+		}
+	}
+}
+
+// DegradeMeshLink reshapes the fault profile between the link's relayer
+// fleet and both chain ends at runtime — the knob adaptive-routing
+// experiments turn mid-run to make an arm unhealthy (and later heal it).
+func (n *Network) DegradeMeshLink(a, b string, lc netsim.LinkConfig) error {
+	if n.Mesh == nil {
+		return errors.New("core: DegradeMeshLink needs a mesh deployment")
+	}
+	l := n.Mesh.Link(a, b)
+	if l == nil {
+		return fmt.Errorf("core: no mesh link %s-%s", a, b)
+	}
+	endA, endB := meshEndNode(n.Mesh.Chains[l.A]), meshEndNode(n.Mesh.Chains[l.B])
+	for _, node := range l.Nodes {
+		n.Net.SetLinkBoth(node, endA, lc)
+		n.Net.SetLinkBoth(node, endB, lc)
+	}
+	return nil
 }
 
 // RoutedSend reports one routed transfer: the hop sequence, the composed
@@ -690,7 +978,7 @@ func (n *Network) SendRouted(src, dst, sender, receiver, denom string, amount ui
 	if mc.Kind == MeshGuest {
 		return nil, fmt.Errorf("core: chain %q is the guest chain; use SendRoutedFromGuest", src)
 	}
-	rs, err := n.planRouted(src, dst, receiver, memo)
+	rs, err := n.planRouted(src, dst, sender, receiver, memo)
 	if err != nil {
 		return nil, err
 	}
@@ -730,7 +1018,7 @@ func (n *Network) SendRoutedFromGuest(u *User, dst, receiver, denom string, amou
 	if n.Mesh == nil {
 		return nil, errors.New("core: SendRoutedFromGuest needs a mesh deployment")
 	}
-	rs, err := n.planRouted(n.Mesh.GuestName, dst, receiver, memo)
+	rs, err := n.planRouted(n.Mesh.GuestName, dst, u.Key.Public().String(), receiver, memo)
 	if err != nil {
 		return nil, err
 	}
@@ -763,9 +1051,20 @@ func (n *Network) SendRoutedFromGuest(u *User, dst, receiver, denom string, amou
 	return rs, nil
 }
 
-// planRouted resolves the route and forward plan for one send.
-func (n *Network) planRouted(src, dst, receiver, memo string) (*RoutedSend, error) {
-	route, err := n.Mesh.Table.Route(src, dst)
+// planRouted resolves the route and forward plan for one send. Static
+// meshes read the boot-time table; adaptive ones consult the live view,
+// hashing (sender, flow sequence) over the equal-cost path set so flows
+// split deterministically across healthy arms.
+func (n *Network) planRouted(src, dst, sender, receiver, memo string) (*RoutedSend, error) {
+	var route []routing.Hop
+	var err error
+	if n.Mesh.View != nil {
+		seq := n.Mesh.flowSeq
+		n.Mesh.flowSeq++
+		route, err = n.Mesh.View.RouteFlow(src, dst, sender, seq)
+	} else {
+		route, err = n.Mesh.Table.Route(src, dst)
+	}
 	if err != nil {
 		return nil, err
 	}

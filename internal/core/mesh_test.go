@@ -263,3 +263,118 @@ func TestMeshRelayerNamespacesNeverCollide(t *testing.T) {
 		}
 	}
 }
+
+// TestMeshStaticDefaultHasNoView checks the zero Routing value wires the
+// classic static table and nothing else: no adaptive view, one relayer
+// per link under the pre-race identifiers.
+func TestMeshStaticDefaultHasNoView(t *testing.T) {
+	n := meshNetwork(t, Config{Behaviours: fastFleet(4), Seed: 11, Mesh: lineMesh()})
+	if n.Mesh.View != nil {
+		t.Fatal("static mesh built an adaptive view")
+	}
+	for _, l := range n.Mesh.Links {
+		if len(l.Nodes) != 1 || l.Nodes[0] != l.Node {
+			t.Fatalf("link %s: want single node %v, got %v", l.ID, l.Node, l.Nodes)
+		}
+		if got := len(l.Relayers) + len(l.Pairs); got != 1 {
+			t.Fatalf("link %s: want 1 relayer, got %d", l.ID, got)
+		}
+	}
+}
+
+// TestMeshRoutingSpecValidation rejects unknown routing modes and
+// negative competitor counts.
+func TestMeshRoutingSpecValidation(t *testing.T) {
+	bad := lineMesh()
+	bad.Routing = "fastest"
+	if _, err := NewNetwork(Config{Behaviours: fastFleet(4), Seed: 1, Mesh: bad}); err == nil {
+		t.Fatal("unknown routing mode accepted")
+	}
+	neg := lineMesh()
+	neg.Links[0].Relayers = -1
+	if _, err := NewNetwork(Config{Behaviours: fastFleet(4), Seed: 1, Mesh: neg}); err == nil {
+		t.Fatal("negative relayer count accepted")
+	}
+}
+
+// TestMeshCompetingRelayersShareLink checks the competing-relayer fleet
+// wiring: N distinct relayer identities (keys, nodes) racing on one
+// channel, with competitor 0 keeping the classic identifiers.
+func TestMeshCompetingRelayersShareLink(t *testing.T) {
+	spec := lineMesh()
+	spec.Links[0].Relayers = 2 // guest—a
+	n := meshNetwork(t, Config{Behaviours: fastFleet(4), Seed: 11, Mesh: spec})
+	l := n.Mesh.Link("guest", "a")
+	if len(l.Relayers) != 2 || len(l.Nodes) != 2 {
+		t.Fatalf("want 2 competitors, got %d relayers %d nodes", len(l.Relayers), len(l.Nodes))
+	}
+	if l.Relayer != l.Relayers[0] {
+		t.Fatal("primary alias is not competitor 0")
+	}
+	if l.Nodes[0] != netsim.LinkRelayerNode(l.ID) {
+		t.Fatalf("competitor 0 node changed: %v", l.Nodes[0])
+	}
+	if l.Nodes[1] == l.Nodes[0] {
+		t.Fatal("competitors share a network address")
+	}
+	if l.Relayers[0].PayeeID() == l.Relayers[1].PayeeID() {
+		t.Fatal("competitors share a payee identity")
+	}
+
+	// The race still delivers exactly once through the idempotent
+	// front-end: duplicates are flagged, tokens arrive once.
+	alice := n.NewUser("alice", 10*host.LamportsPerSOL, "GUEST", 1_000)
+	rs, err := n.SendRoutedFromGuest(alice, "a", "bob", "GUEST", 400, "", fees.PriorityPolicy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(30 * time.Minute)
+	h0 := rs.Route[0]
+	final := rs.DenomTrace[len(rs.DenomTrace)-1]
+	if got := n.Mesh.Chain("a").Apps[h0.DestPort].Balance("bob", final); got != 400 {
+		t.Fatalf("receiver got %d, want exactly 400", got)
+	}
+	snap := n.SnapshotTelemetry()
+	if lost := snap.Counter("relayer.link." + l.ID + ".lost_race"); lost != 1 {
+		t.Fatalf("lost_race = %d, want 1 (one packet, one loser)", lost)
+	}
+	if snap.Gauges["relayer.link."+l.ID+".backlog"] < 0 {
+		t.Fatal("backlog gauge missing from snapshot")
+	}
+}
+
+// TestMeshAdaptiveRouteFlowSticky checks an adaptive mesh resolves routed
+// sends through the live view and that the per-flow ECMP pick is a pure
+// function of (sender, flow sequence).
+func TestMeshAdaptiveRouteFlowSticky(t *testing.T) {
+	spec := MeshSpec{
+		Chains: []MeshChainSpec{
+			{Name: "guest", Kind: MeshGuest},
+			{Name: "a"}, {Name: "b"}, {Name: "c"},
+		},
+		Links: []MeshLinkSpec{
+			{A: "guest", B: "a"},
+			{A: "guest", B: "b"},
+			{A: "a", B: "c"},
+			{A: "b", B: "c"},
+		},
+		Routing: RoutingAdaptive,
+	}
+	n := meshNetwork(t, Config{Behaviours: fastFleet(4), Seed: 11, Mesh: spec})
+	if n.Mesh.View == nil {
+		t.Fatal("adaptive mesh has no view")
+	}
+	// The view and table agree on reachability from a cold start.
+	if _, err := n.Mesh.View.Route("guest", "c"); err != nil {
+		t.Fatal(err)
+	}
+	// RouteFlow is deterministic per (sender, seq).
+	r1, err := n.Mesh.View.RouteFlow("guest", "c", "alice", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := n.Mesh.View.RouteFlow("guest", "c", "alice", 7)
+	if fmt.Sprint(r1) != fmt.Sprint(r2) {
+		t.Fatal("RouteFlow not sticky for identical flow keys")
+	}
+}

@@ -30,6 +30,7 @@ func (n *Network) wireTransport() {
 	n.cpEP = n.Net.Node(netsim.CPNode, nil, n.cpCall)
 	n.relayerNodes = []netsim.NodeID{netsim.RelayerNode}
 	n.recordedAcks = make(map[string][]byte)
+	n.cpDeliveredBy = make(map[string]netsim.NodeID)
 	// The bus runs callbacks under its lock: record only, never re-enter.
 	n.CP.Handler().Events().Subscribe(func(ev telemetry.Event) {
 		if wa, ok := ev.(ibc.EventWriteAck); ok {
@@ -57,7 +58,7 @@ func (n *Network) hostCall(_ netsim.NodeID, kind string, payload any) (any, erro
 }
 
 // cpCall serves wire calls addressed to the counterparty's front-end.
-func (n *Network) cpCall(_ netsim.NodeID, kind string, payload any) (any, error) {
+func (n *Network) cpCall(from netsim.NodeID, kind string, payload any) (any, error) {
 	switch m := payload.(type) {
 	case netsim.MsgUpdateClient:
 		err := n.CP.Handler().UpdateClient(m.ClientID, m.Header)
@@ -70,12 +71,20 @@ func (n *Network) cpCall(_ netsim.NodeID, kind string, payload any) (any, error)
 		ack, err := n.CP.Handler().RecvPacket(m.Packet, m.Proof, m.ProofHeight)
 		if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
 			if prev, ok := n.recordedAcks[recvKey(m.Packet)]; ok {
-				return netsim.RespRecvPacket{Ack: prev, ProvableAt: n.CP.Height() + 1}, nil
+				// Duplicate only when a different node delivered first: a
+				// relayer's own retry must look like its one delivery,
+				// while a competing relayer's replay is a lost race.
+				winner, recorded := n.cpDeliveredBy[recvKey(m.Packet)]
+				return netsim.RespRecvPacket{
+					Ack: prev, ProvableAt: n.CP.Height() + 1,
+					Duplicate: recorded && winner != from,
+				}, nil
 			}
 		}
 		if err != nil {
 			return nil, err
 		}
+		n.cpDeliveredBy[recvKey(m.Packet)] = from
 		return netsim.RespRecvPacket{Ack: ack, ProvableAt: n.CP.Height() + 1}, nil
 	case netsim.MsgAckPacket:
 		err := n.CP.Handler().AcknowledgePacket(m.Packet, m.Ack, m.Proof, m.ProofHeight)
@@ -90,16 +99,23 @@ func (n *Network) cpCall(_ netsim.NodeID, kind string, payload any) (any, error)
 // meshChainFrontEnd builds the idempotent RPC front-end for one mesh
 // chain. It mirrors cpCall — with a per-chain ack record, since a mesh
 // runs many chains in one process — and adds the timeout path the
-// cosmos↔cosmos pair relayers drive.
-func meshChainFrontEnd(c *counterparty.Chain) netsim.CallHandler {
+// cosmos↔cosmos pair relayers drive. deliveredBy (caller-owned, may be
+// nil) records which node first delivered each packet: the replay path
+// flags deliveries from any other node as Duplicate (a lost race), and
+// the fee payee resolver reads the same registry so first-to-deliver
+// claims the ICS-29 fee.
+func meshChainFrontEnd(c *counterparty.Chain, deliveredBy map[string]netsim.NodeID) netsim.CallHandler {
 	acks := make(map[string][]byte)
+	if deliveredBy == nil {
+		deliveredBy = make(map[string]netsim.NodeID)
+	}
 	// The bus runs callbacks under its lock: record only, never re-enter.
 	c.Handler().Events().Subscribe(func(ev telemetry.Event) {
 		if wa, ok := ev.(ibc.EventWriteAck); ok {
 			acks[recvKey(wa.Packet)] = wa.Ack
 		}
 	})
-	return func(_ netsim.NodeID, kind string, payload any) (any, error) {
+	return func(from netsim.NodeID, kind string, payload any) (any, error) {
 		switch m := payload.(type) {
 		case netsim.MsgUpdateClient:
 			err := c.Handler().UpdateClient(m.ClientID, m.Header)
@@ -111,12 +127,17 @@ func meshChainFrontEnd(c *counterparty.Chain) netsim.CallHandler {
 			ack, err := c.Handler().RecvPacket(m.Packet, m.Proof, m.ProofHeight)
 			if errors.Is(err, ibc.ErrPacketAlreadyDelivered) {
 				if prev, ok := acks[recvKey(m.Packet)]; ok {
-					return netsim.RespRecvPacket{Ack: prev, ProvableAt: c.Height() + 1}, nil
+					winner, recorded := deliveredBy[recvKey(m.Packet)]
+					return netsim.RespRecvPacket{
+						Ack: prev, ProvableAt: c.Height() + 1,
+						Duplicate: recorded && winner != from,
+					}, nil
 				}
 			}
 			if err != nil {
 				return nil, err
 			}
+			deliveredBy[recvKey(m.Packet)] = from
 			return netsim.RespRecvPacket{Ack: ack, ProvableAt: c.Height() + 1}, nil
 		case netsim.MsgAckPacket:
 			err := c.Handler().AcknowledgePacket(m.Packet, m.Ack, m.Proof, m.ProofHeight)

@@ -1,0 +1,471 @@
+// Adaptive-routing experiment: a diamond mesh whose arms are equal until
+// one degrades mid-run. The health-aware routing view must notice the
+// degradation through relayer telemetry alone, migrate flows to the
+// healthy arm, and beat the static table's tail latency — while every
+// hop's escrow stays exactly conserved under rerouting. A second scenario
+// races competing relayers on one link and checks exactly-once delivery
+// plus ICS-29 fee attribution to the first deliverer.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fees"
+	"repro/internal/host"
+	"repro/internal/ibc"
+	"repro/internal/middleware"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/transfer"
+)
+
+// AdaptiveRoutingConfig parameterises the scenario pair.
+type AdaptiveRoutingConfig struct {
+	// Packets is the number of guest→c transfers spread across Window.
+	Packets int
+	// Window is the send window; DegradeAt (inside it) is when the a–c
+	// arm's fault profile ramps to the degraded regime.
+	Window    time.Duration
+	DegradeAt time.Duration
+	// Grace is the settling time after DegradeAt before the migration
+	// assertion applies: the view needs degraded samples to observe and
+	// one hysteresis-gated recompute to react.
+	Grace time.Duration
+	// Drain runs past the window so in-flight multi-hop transfers land.
+	Drain time.Duration
+	// RacePackets is the competing-relayer scenario's transfer count.
+	RacePackets int
+	// Seed drives both runs (static and adaptive use the same seed, so
+	// the comparison isolates the routing plane).
+	Seed int64
+}
+
+// DefaultAdaptiveRoutingConfig is the acceptance scenario: 36 transfers
+// over 6 h, the a–c arm degrading at 2.5 h, and a 12-packet relayer race.
+func DefaultAdaptiveRoutingConfig() AdaptiveRoutingConfig {
+	return AdaptiveRoutingConfig{
+		Packets:     36,
+		Window:      6 * time.Hour,
+		DegradeAt:   2*time.Hour + 30*time.Minute,
+		Grace:       time.Hour,
+		Drain:       3 * time.Hour,
+		RacePackets: 12,
+		Seed:        1,
+	}
+}
+
+// RaceResult is the competing-relayer scenario outcome.
+type RaceResult struct {
+	// Relayers is the competitor count on the raced link.
+	Relayers int
+	// Sent / Received count transfers and the receiver's voucher sum.
+	Sent     int
+	Received uint64
+	// LostRace is the relayer.link.<id>.lost_race total: every packet is
+	// delivered by exactly one competitor, so with two relayers the
+	// losers' duplicate observations must equal Sent.
+	LostRace uint64
+	// FeeByPayee is each competitor's claimed FEE income; every payee
+	// with a positive balance won at least one race.
+	FeeByPayee map[string]uint64
+	// Escrowed / Paid / Refunded / Claimed are the fee middleware's
+	// conservation totals after the drain sweep.
+	Escrowed, Paid, Refunded, Claimed uint64
+	// ExactlyOnce reports the receiver got each token exactly once
+	// (voucher sum == sent tokens == source escrow).
+	ExactlyOnce bool
+	// FeesConserved reports Escrowed == Paid + Refunded, Claimed == Paid,
+	// and Paid == Sent × (RecvFee + AckFee).
+	FeesConserved bool
+}
+
+// AdaptiveRoutingResult aggregates the scenario pair.
+type AdaptiveRoutingResult struct {
+	// PreArms / PostArms count adaptive-run sends per first-hop arm,
+	// before DegradeAt and after DegradeAt+Grace.
+	PreArms, PostArms map[string]int
+	// MigrationFraction is the share of post-grace sends that took the
+	// healthy arm (acceptance: >= 0.9).
+	MigrationFraction float64
+	// Recomputes counts hysteresis-passing view rebuilds.
+	Recomputes int
+	// Post-degradation end-to-end latency percentiles, adaptive vs the
+	// same-seed static run (seconds of virtual time).
+	AdaptiveP50s, AdaptiveP99s float64
+	StaticP50s, StaticP99s     float64
+	// P99Improved reports AdaptiveP99s < StaticP99s.
+	P99Improved bool
+	// Sent / Delivered / Conserved cover the adaptive run: every send
+	// acknowledged end-to-end and every hop escrow exact under rerouting.
+	Sent, Delivered int
+	Conserved       bool
+	// StaticConserved is the same check for the static control run.
+	StaticConserved bool
+	Race            RaceResult
+	// Fingerprint digests the run for determinism checks.
+	Fingerprint string
+}
+
+// degradedArmProfile is the fault regime the a–c arm ramps to: seconds of
+// latency per message plus 10% drop. Retries are infinite, so packets
+// still land — late — and escrow conservation stays exact.
+func degradedArmProfile() netsim.LinkConfig {
+	return netsim.LinkConfig{
+		Latency: sim.Uniform{Min: 3 * time.Second, Max: 8 * time.Second},
+		Drop:    0.10,
+	}
+}
+
+// armRun is one diamond run's outcome (shared by the static control and
+// the adaptive arm).
+type armRun struct {
+	sent, delivered int
+	// armBySend / sendOffset record each send's first-hop arm and its
+	// virtual submission offset.
+	armBySend  []string
+	sendOffset []time.Duration
+	// postLatencies are e2e latencies of sends submitted at or after
+	// DegradeAt (the regime the comparison cares about).
+	postLatencies []float64
+	allLatencies  []float64
+	conserved     bool
+	recomputes    int
+}
+
+// runDiamondArm executes one degraded-diamond run. adaptive selects the
+// routing plane; everything else — seed, workload, degradation schedule —
+// is identical, so the pair isolates exactly the routing decision.
+func runDiamondArm(cfg AdaptiveRoutingConfig, adaptive bool) (*armRun, error) {
+	spec := DiamondMeshTopology()
+	if adaptive {
+		spec.Routing = core.RoutingAdaptive
+		// A generous ECMP spread keeps both (initially symmetric) arms in
+		// the equal-cost set, so the pre-degradation split is visible and
+		// the post-degradation migration is a real routing decision.
+		spec.Cost = routing.CostModel{ECMPSpread: 0.25, Hysteresis: 0.2}
+		spec.HealthInterval = 30 * time.Second
+	}
+	net, err := core.NewNetwork(core.Config{
+		Seed:       cfg.Seed,
+		Mesh:       spec,
+		Behaviours: HealthyBehaviours(8),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	run := &armRun{
+		armBySend:  make([]string, cfg.Packets),
+		sendOffset: make([]time.Duration, cfg.Packets),
+	}
+	const denom = "ADPT"
+	const receiver = "adaptive-recv"
+	user := net.NewUser("adaptive-sender", 10_000*host.LamportsPerSOL, denom, 1<<40)
+	// A diamond has two guest links and the route picks one at send time:
+	// fund the sender on every guest-side app.
+	for _, rt := range net.Channels {
+		rt.GuestApp.Mint(user.Key.Public().String(), denom, 1<<40)
+	}
+
+	// Expected escrow per (chain, port, channel, hop denom), accumulated
+	// from each send's actual route — under rerouting different sends
+	// legitimately escrow on different arms, so conservation is asserted
+	// hop-by-hop against what was actually routed.
+	type hopKey struct {
+		chain   string
+		port    ibc.PortID
+		channel ibc.ChannelID
+		denom   string
+	}
+	expectedEscrow := make(map[hopKey]uint64)
+	expectedFinal := make(map[string]uint64) // final voucher denom → tokens
+	routes := make(map[string][]routing.Hop) // one representative route per path string
+
+	epoch := net.Sched.Now()
+	sendAt := make(map[string]time.Duration)
+	latencyOf := make(map[string]float64)
+	mc := net.Mesh.Chain("c")
+	mc.CP.Handler().Events().Subscribe(func(ev telemetry.Event) {
+		wa, ok := ev.(ibc.EventWriteAck)
+		if !ok || !transfer.IsSuccessAck(wa.Ack) {
+			return
+		}
+		d, err := transfer.UnmarshalPacketData(wa.Packet.Data)
+		if err != nil {
+			return
+		}
+		at, ok := sendAt[d.Memo]
+		if !ok {
+			return
+		}
+		latencyOf[d.Memo] = (net.Sched.Now().Sub(epoch) - at).Seconds()
+		delete(sendAt, d.Memo)
+	})
+
+	for j := 0; j < cfg.Packets; j++ {
+		j := j
+		offset := cfg.Window * time.Duration(j) / time.Duration(cfg.Packets)
+		amount := uint64(10 + j)
+		tag := fmt.Sprintf("adaptive/%d", j)
+		net.Sched.After(offset, func() {
+			rs, err := net.SendRoutedFromGuest(user, "c", receiver, denom, amount, tag, fees.BundlePolicy, 0)
+			if err != nil {
+				return
+			}
+			run.sent++
+			run.armBySend[j] = rs.Route[0].To
+			run.sendOffset[j] = offset
+			sendAt[tag] = net.Sched.Now().Sub(epoch)
+			for hi, h := range rs.Route {
+				expectedEscrow[hopKey{h.From, h.Port, h.Channel, rs.DenomTrace[hi]}] += amount
+			}
+			expectedFinal[rs.DenomTrace[len(rs.DenomTrace)-1]] += amount
+			routes[routePath(rs.Route)] = rs.Route
+		})
+	}
+
+	// The degradation: the a–c arm's profile ramps mid-run.
+	net.Sched.After(cfg.DegradeAt, func() {
+		_ = net.DegradeMeshLink("a", "c", degradedArmProfile())
+	})
+
+	net.Run(cfg.Window + cfg.Drain)
+
+	for j := 0; j < cfg.Packets; j++ {
+		tag := fmt.Sprintf("adaptive/%d", j)
+		lat, ok := latencyOf[tag]
+		if !ok {
+			continue
+		}
+		run.delivered++
+		run.allLatencies = append(run.allLatencies, lat)
+		if run.sendOffset[j] >= cfg.DegradeAt {
+			run.postLatencies = append(run.postLatencies, lat)
+		}
+	}
+
+	// Conservation: every escrow exact, the receiver's vouchers sum to
+	// the sent tokens per final denom, and forwarding chains end flat.
+	run.conserved = true
+	for k, want := range expectedEscrow {
+		app := net.Mesh.Chain(k.chain).Apps[k.port]
+		if app == nil || app.EscrowedAmount(k.channel, k.denom) != want {
+			run.conserved = false
+		}
+	}
+	for fd, want := range expectedFinal {
+		if mc.Apps["transfer"].Balance(receiver, fd) != want {
+			run.conserved = false
+		}
+	}
+	for _, route := range routes {
+		for hi, h := range route {
+			if h.From == net.Mesh.GuestName {
+				continue
+			}
+			app := net.Mesh.Chain(h.From).Apps[h.Port]
+			if app.Balance(net.Mesh.ForwardAccount, tracePrefix(route, hi)) != 0 {
+				run.conserved = false
+			}
+		}
+	}
+	if net.Mesh.View != nil {
+		run.recomputes = net.Mesh.View.Recomputes()
+	}
+	return run, nil
+}
+
+// routePath renders a route's chain sequence ("guest>a>c").
+func routePath(route []routing.Hop) string {
+	var b strings.Builder
+	b.WriteString(route[0].From)
+	for _, h := range route {
+		b.WriteString(">")
+		b.WriteString(h.To)
+	}
+	return b.String()
+}
+
+// tracePrefix is the denom held on hop i's source chain for the ADPT
+// flow's route.
+func tracePrefix(route []routing.Hop, i int) string {
+	return routing.TraceDenom(route, "ADPT")[i]
+}
+
+// runRelayerRace executes the competing-relayer scenario: two relayers
+// race on a single guest link with an ICS-29 fee schedule. The idempotent
+// front-end makes duplicate deliveries safe, the winner's payee claims
+// the delivery fee, and the loser counts a lost race per packet.
+func runRelayerRace(cfg AdaptiveRoutingConfig) (*RaceResult, error) {
+	schedule := middleware.FeeSchedule{Denom: "FEE", RecvFee: 2, AckFee: 1, TimeoutFee: 1}
+	spec := core.MeshSpec{
+		Chains: []core.MeshChainSpec{
+			{Name: "guest", Kind: core.MeshGuest},
+			{Name: "a"},
+		},
+		Links: []core.MeshLinkSpec{
+			{A: "guest", B: "a", Relayers: 2},
+		},
+		Fees: schedule,
+	}
+	net, err := core.NewNetwork(core.Config{
+		Seed:       cfg.Seed,
+		Mesh:       spec,
+		Behaviours: HealthyBehaviours(8),
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	const denom = "RACE"
+	const receiver = "race-recv"
+	user := net.NewUser("race-sender", 10_000*host.LamportsPerSOL, denom, 1<<40)
+	guestApp := net.Mesh.Chain("guest").Apps["transfer"]
+	// The fee escrow debits the sender's FEE balance on the guest app.
+	guestApp.Mint(user.Key.Public().String(), "FEE", 1<<30)
+
+	res := &RaceResult{Relayers: 2, FeeByPayee: make(map[string]uint64)}
+	var sentTokens uint64
+	var firstRoute []routing.Hop
+	for j := 0; j < cfg.RacePackets; j++ {
+		amount := uint64(5 + j)
+		tag := fmt.Sprintf("race/%d", j)
+		net.Sched.After(time.Duration(j+1)*10*time.Minute, func() {
+			rs, err := net.SendRoutedFromGuest(user, "a", receiver, denom, amount, tag, fees.BundlePolicy, 0)
+			if err != nil {
+				return
+			}
+			res.Sent++
+			sentTokens += amount
+			firstRoute = rs.Route
+		})
+	}
+
+	net.Run(time.Duration(cfg.RacePackets+1)*10*time.Minute + 2*time.Hour)
+	net.ClaimMeshFees()
+
+	snap := net.SnapshotTelemetry()
+	link := net.Mesh.Link("guest", "a")
+	res.LostRace = snap.Counter("relayer.link." + link.ID + ".lost_race")
+
+	// Exactly-once: the receiver's voucher balance and the source escrow
+	// both equal the sent token sum — no duplicate mint survived the race.
+	if firstRoute != nil {
+		h0 := firstRoute[0]
+		trace := routing.TraceDenom(firstRoute, denom)
+		final := trace[len(trace)-1]
+		res.Received = net.Mesh.Chain("a").Apps[h0.DestPort].Balance(receiver, final)
+		escrow := guestApp.EscrowedAmount(h0.Channel, denom)
+		res.ExactlyOnce = res.Received == sentTokens && escrow == sentTokens
+	}
+
+	// Fee attribution: first-to-deliver claims RecvFee+AckFee per packet,
+	// the sender gets the unused TimeoutFee back, and the totals conserve.
+	if fm, ok := net.Mesh.Chain("guest").Stacks["transfer"].Middleware("fees").(*middleware.Fees); ok {
+		res.Escrowed = fm.EscrowedTotal
+		res.Paid = fm.PaidTotal
+		res.Refunded = fm.RefundedTotal
+		res.Claimed = fm.ClaimedTotal
+		res.FeesConserved = fm.PendingCount() == 0 &&
+			res.Escrowed == res.Paid+res.Refunded &&
+			res.Claimed == res.Paid &&
+			res.Paid == uint64(res.Sent)*(schedule.RecvFee+schedule.AckFee) &&
+			res.Refunded == uint64(res.Sent)*schedule.TimeoutFee
+	}
+	for _, r := range link.Relayers {
+		res.FeeByPayee[r.PayeeID()] = guestApp.Balance(r.PayeeID(), "FEE")
+	}
+	return res, nil
+}
+
+// RunAdaptiveRouting executes the full experiment: the static control,
+// the adaptive run, and the relayer race.
+func RunAdaptiveRouting(cfg AdaptiveRoutingConfig) (*AdaptiveRoutingResult, error) {
+	if cfg.Packets <= 0 {
+		cfg = DefaultAdaptiveRoutingConfig()
+	}
+	static, err := runDiamondArm(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: static arm: %w", err)
+	}
+	adaptive, err := runDiamondArm(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: adaptive arm: %w", err)
+	}
+	race, err := runRelayerRace(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: relayer race: %w", err)
+	}
+
+	res := &AdaptiveRoutingResult{
+		PreArms:         make(map[string]int),
+		PostArms:        make(map[string]int),
+		Recomputes:      adaptive.recomputes,
+		Sent:            adaptive.sent,
+		Delivered:       adaptive.delivered,
+		Conserved:       adaptive.conserved,
+		StaticConserved: static.conserved,
+		Race:            *race,
+	}
+	post := 0
+	healthy := 0
+	for j, arm := range adaptive.armBySend {
+		if arm == "" {
+			continue
+		}
+		switch {
+		case adaptive.sendOffset[j] < cfg.DegradeAt:
+			res.PreArms[arm]++
+		case adaptive.sendOffset[j] >= cfg.DegradeAt+cfg.Grace:
+			res.PostArms[arm]++
+			post++
+			if arm == "b" {
+				healthy++
+			}
+		}
+	}
+	if post > 0 {
+		res.MigrationFraction = float64(healthy) / float64(post)
+	}
+	if len(adaptive.postLatencies) > 0 {
+		res.AdaptiveP50s = stats.QuantileUnsorted(adaptive.postLatencies, 0.50)
+		res.AdaptiveP99s = stats.QuantileUnsorted(adaptive.postLatencies, 0.99)
+	}
+	if len(static.postLatencies) > 0 {
+		res.StaticP50s = stats.QuantileUnsorted(static.postLatencies, 0.50)
+		res.StaticP99s = stats.QuantileUnsorted(static.postLatencies, 0.99)
+	}
+	res.P99Improved = res.AdaptiveP99s < res.StaticP99s
+
+	var fp strings.Builder
+	fmt.Fprintf(&fp, "pre=%s post=%s migration=%.3f recomputes=%d ",
+		armString(res.PreArms), armString(res.PostArms), res.MigrationFraction, res.Recomputes)
+	fmt.Fprintf(&fp, "adaptive_p99=%.3f static_p99=%.3f sent=%d delivered=%d conserved=%v ",
+		res.AdaptiveP99s, res.StaticP99s, res.Sent, res.Delivered, res.Conserved && res.StaticConserved)
+	fmt.Fprintf(&fp, "race: sent=%d recv=%d lost=%d fees=%d/%d/%d/%d once=%v conserved=%v",
+		race.Sent, race.Received, race.LostRace, race.Escrowed, race.Paid, race.Refunded, race.Claimed,
+		race.ExactlyOnce, race.FeesConserved)
+	res.Fingerprint = fp.String()
+	return res, nil
+}
+
+// armString renders an arm-count map deterministically ("a:3,b:15").
+func armString(m map[string]int) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, m[k]))
+	}
+	return strings.Join(parts, ",")
+}

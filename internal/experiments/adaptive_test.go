@@ -1,0 +1,79 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveRoutingAcceptance runs the full scenario pair and checks
+// the PR's acceptance criteria: post-degradation flows migrate to the
+// healthy arm (>= 90%), the adaptive plane beats the static table's
+// post-degradation p99, every hop escrow conserves exactly under
+// rerouting, and the competing-relayer race delivers exactly once with
+// fee totals attributed to the winners.
+func TestAdaptiveRoutingAcceptance(t *testing.T) {
+	res, err := RunAdaptiveRouting(DefaultAdaptiveRoutingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Delivered != res.Sent {
+		t.Fatalf("adaptive run: sent %d delivered %d (want all delivered)", res.Sent, res.Delivered)
+	}
+	if res.MigrationFraction < 0.9 {
+		t.Errorf("migration fraction %.3f < 0.9 (post arms %v)", res.MigrationFraction, res.PostArms)
+	}
+	if len(res.PreArms) < 2 {
+		t.Errorf("pre-degradation ECMP split missing: only arms %v used", res.PreArms)
+	}
+	if res.Recomputes == 0 {
+		t.Error("adaptive view never recomputed despite the degradation")
+	}
+	if !res.P99Improved {
+		t.Errorf("adaptive post-degradation p99 %.3fs does not beat static %.3fs",
+			res.AdaptiveP99s, res.StaticP99s)
+	}
+	if !res.Conserved || !res.StaticConserved {
+		t.Errorf("escrow conservation: adaptive=%v static=%v", res.Conserved, res.StaticConserved)
+	}
+
+	race := res.Race
+	if !race.ExactlyOnce {
+		t.Errorf("race: received %d tokens, not exactly once", race.Received)
+	}
+	if race.LostRace != uint64(race.Sent) {
+		t.Errorf("race: lost_race %d != sent %d (each packet has exactly one loser)",
+			race.LostRace, race.Sent)
+	}
+	if !race.FeesConserved {
+		t.Errorf("race: fee totals not conserved: escrowed=%d paid=%d refunded=%d claimed=%d",
+			race.Escrowed, race.Paid, race.Refunded, race.Claimed)
+	}
+	if len(race.FeeByPayee) != 2 {
+		t.Fatalf("race: want 2 competitor payees, got %v", race.FeeByPayee)
+	}
+	var total uint64
+	for payee, fee := range race.FeeByPayee {
+		if fee == 0 {
+			t.Errorf("race: competitor %s never won a race", payee)
+		}
+		total += fee
+	}
+	if total != race.Claimed {
+		t.Errorf("race: payee fee sum %d != claimed %d", total, race.Claimed)
+	}
+}
+
+// TestAdaptiveRoutingDeterministic re-runs the scenario and compares
+// fingerprints: the adaptive plane (health sampling, hysteresis,
+// flow-hash ECMP) must stay on the simulation's deterministic rails.
+func TestAdaptiveRoutingDeterministic(t *testing.T) {
+	cfg := DefaultAdaptiveRoutingConfig()
+	a, err := RunAdaptiveRouting(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAdaptiveRouting(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint != b.Fingerprint {
+		t.Fatalf("fingerprint mismatch:\n  %s\n  %s", a.Fingerprint, b.Fingerprint)
+	}
+}

@@ -5,7 +5,7 @@ import (
 )
 
 // BenchmarkRecvBare measures the unwrapped application recv path — the
-// baseline for the middleware-overhead gate in BENCH_pr9.json.
+// baseline for the middleware-overhead gate in BENCH_pr10.json.
 func BenchmarkRecvBare(b *testing.B) {
 	app := &quietApp{ack: []byte(`{"result":"AQ=="}`)}
 	p := testPacket()

@@ -44,6 +44,16 @@ type Fees struct {
 	bank     Bank
 	schedule FeeSchedule
 	payee    string
+	// payeeFor, when set, resolves the payee per packet at settlement —
+	// the competing-relayer seam: the deployment records which relayer
+	// delivered each packet and first-to-deliver claims the fee. An
+	// empty result falls back to the static payee.
+	payeeFor func(ibc.Packet) string
+	// exempt lists module accounts whose sends escrow nothing: onward
+	// hops emitted by the forwarding middleware ride the fee the original
+	// sender escrowed on the first hop, so charging the forward module
+	// again would double-bill (and the module holds no fee denom).
+	exempt map[string]bool
 
 	// pending[(port, channel, seq)] remembers who paid and under which
 	// schedule, so settlement uses the terms in force at send time.
@@ -84,6 +94,18 @@ func WithFeesTelemetry(reg *telemetry.Registry, ns string) FeesOption {
 	return func(f *Fees) { f.telemetry, f.metricsNS = reg, ns }
 }
 
+// WithFeesExemptSender marks a module account whose sends escrow no fee —
+// the forwarding module's onward hops, which the original sender already
+// paid for on the first hop.
+func WithFeesExemptSender(account string) FeesOption {
+	return func(f *Fees) {
+		if f.exempt == nil {
+			f.exempt = make(map[string]bool)
+		}
+		f.exempt[account] = true
+	}
+}
+
 // NewFees creates the fees middleware escrowing schedule against bank.
 func NewFees(bank Bank, schedule FeeSchedule, opts ...FeesOption) *Fees {
 	f := &Fees{
@@ -109,6 +131,14 @@ func (f *Fees) Name() string { return "fees" }
 // SetPayee registers the relayer identity fee payouts accrue to.
 func (f *Fees) SetPayee(payee string) { f.payee = payee }
 
+// SetPayeeResolver registers a per-packet payee resolver consulted at
+// settlement time. With competing relayers on one channel the escrow
+// cannot know the winner at send time; the deployment wires a resolver
+// over its delivery registry so the fee pays whichever relayer actually
+// delivered the packet. Returning "" falls back to the static payee
+// (e.g. for timeout settlements, where no delivery happened).
+func (f *Fees) SetPayeeResolver(r func(ibc.Packet) string) { f.payeeFor = r }
+
 // Schedule returns the fee schedule in force.
 func (f *Fees) Schedule() FeeSchedule { return f.schedule }
 
@@ -130,6 +160,9 @@ func (f *Fees) SendPacket(next SendFn, port ibc.PortID, ch ibc.ChannelID, data [
 	}
 	d, err := transfer.UnmarshalPacketData(data)
 	if err != nil {
+		return next(port, ch, data, th, tt)
+	}
+	if f.exempt[d.Sender] {
 		return next(port, ch, data, th, tt)
 	}
 	total := f.schedule.Total()
@@ -162,7 +195,13 @@ func (f *Fees) accrue(payee, denom string, amount uint64) {
 
 // settle pays the earned legs to the payee and refunds the rest.
 func (f *Fees) settle(p ibc.Packet, earned, refunded uint64, pf pendingFee) {
-	f.accrue(f.payee, pf.fee.Denom, earned)
+	payee := f.payee
+	if f.payeeFor != nil {
+		if resolved := f.payeeFor(p); resolved != "" {
+			payee = resolved
+		}
+	}
+	f.accrue(payee, pf.fee.Denom, earned)
 	f.PaidTotal += earned
 	f.chCounter(f.chPaid, p.SourceChannel, "paid_tokens").Add(earned)
 	if refunded > 0 {

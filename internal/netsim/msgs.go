@@ -59,6 +59,13 @@ type RespRecvPacket struct {
 	Ack []byte
 	// ProvableAt is the first receiver height whose root commits the ack.
 	ProvableAt uint64
+	// Duplicate marks a replayed delivery: the packet had already been
+	// received (by a retry of the same relayer, or by a competing relayer
+	// that won the race) and Ack is the recorded acknowledgement. The
+	// idempotent front-end reports success either way; Duplicate lets the
+	// losing relayer count the lost race instead of double-counting a
+	// delivery.
+	Duplicate bool
 }
 
 // MsgAckPacket is the KindAckPacket payload.

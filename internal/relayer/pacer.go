@@ -65,6 +65,7 @@ func (p *pacer) pump() {
 			finished := r.sched.Now()
 			if !started.IsZero() {
 				r.mJobLatency.Observe(finished.Sub(started).Seconds())
+				r.observeHealthLatency(finished.Sub(started).Seconds())
 			}
 			if done != nil {
 				done(started, finished)

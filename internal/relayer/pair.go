@@ -41,6 +41,10 @@ type PairConfig struct {
 	// NodeID is the relayer's network address (default
 	// netsim.LinkRelayerNode(LinkID)).
 	NodeID netsim.NodeID
+	// Payee is this relayer's identity in ICS-29 fee escrows (default
+	// "pair:<LinkID>"). Competing relayers on one link need distinct
+	// payees so first-to-deliver fee claims attribute correctly.
+	Payee string
 
 	A, B PairSideConfig
 }
@@ -113,6 +117,15 @@ type PairRelayer struct {
 	mNetRetries  *telemetry.Counter
 	mNetDead     *telemetry.Counter
 	mNetAttempts *telemetry.Histogram
+	mLostRace    *telemetry.Counter
+	mFeesClaimed *telemetry.Counter
+
+	// healthLat is the EWMA hop-delivery latency behind Health().
+	healthLat  float64
+	healthSeen bool
+
+	// feeEscrows are the fee middlewares this relayer earns from.
+	feeEscrows []FeeClaimer
 }
 
 // PairOption configures a PairRelayer.
@@ -164,8 +177,41 @@ func NewPair(cfg PairConfig, sched *sim.Scheduler, net *netsim.Network, opts ...
 	r.mNetRetries = reg.Counter(r.ns + ".net_retries")
 	r.mNetDead = reg.Counter(r.ns + ".net_dead_letters")
 	r.mNetAttempts = reg.Histogram(r.ns + ".net_attempts")
+	r.mLostRace = reg.Counter(r.ns + ".lost_race")
+	r.mFeesClaimed = reg.Counter(r.ns + ".fees_claimed_tokens")
 	r.ep = net.Node(nodeID, r.onNetMessage, nil)
 	return r
+}
+
+// PayeeID is the relayer's identity in fee escrows (ICS-29 payee).
+func (r *PairRelayer) PayeeID() string {
+	if r.cfg.Payee != "" {
+		return r.cfg.Payee
+	}
+	return "pair:" + r.cfg.LinkID
+}
+
+// RegisterFeeClaimer adds a fee escrow this relayer earns from.
+func (r *PairRelayer) RegisterFeeClaimer(c FeeClaimer) {
+	if c != nil {
+		r.feeEscrows = append(r.feeEscrows, c)
+	}
+}
+
+// ClaimFees sweeps accrued packet fees from every registered escrow and
+// returns the total claimed per denom.
+func (r *PairRelayer) ClaimFees() map[string]uint64 {
+	var total map[string]uint64
+	for _, esc := range r.feeEscrows {
+		for denom, amt := range esc.Claim(r.PayeeID()) {
+			if total == nil {
+				total = make(map[string]uint64)
+			}
+			total[denom] += amt
+			r.mFeesClaimed.Add(amt)
+		}
+	}
+	return total
 }
 
 // Node is the relayer's address on the simulated network; mesh wiring
@@ -325,7 +371,7 @@ func (r *PairRelayer) flush(s *pairSide) {
 		key := traceKey(w.packet)
 		r.enqueue(s, netsim.KindRecvPacket,
 			netsim.MsgRecvPacket{Packet: w.packet, Proof: proof, ProofHeight: ibc.Height(s.pushed)},
-			func(_ any, err error) {
+			func(resp any, err error) {
 				if err != nil {
 					// Application rejection (e.g. expired packet); the
 					// timeout scan refunds it. Transport loss retries
@@ -333,10 +379,23 @@ func (r *PairRelayer) flush(s *pairSide) {
 					r.mRecvFailed.Inc()
 					return
 				}
+				if rr, ok := resp.(netsim.RespRecvPacket); ok && rr.Duplicate {
+					// A competing relayer won this packet; mark it
+					// delivered so the timeout scan stands down and count
+					// the lost race — the winner owns the delivery stats,
+					// the ack, and the fee.
+					r.mLostRace.Inc()
+					if tr, ok := r.traces[key]; ok {
+						tr.delivered = true
+					}
+					return
+				}
 				r.mDelivered.Inc()
 				if tr, ok := r.traces[key]; ok {
 					tr.delivered = true
-					r.mHopLatency.Observe(r.sched.Now().Sub(tr.sentAt).Seconds())
+					lat := r.sched.Now().Sub(tr.sentAt).Seconds()
+					r.mHopLatency.Observe(lat)
+					r.observeHealthLatency(lat)
 				}
 				// The peer's ack comes back through the peer side's event
 				// scan (EventWriteAck) at its next block.

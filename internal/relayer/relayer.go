@@ -233,6 +233,12 @@ type Relayer struct {
 	mNetDead       *telemetry.Counter
 	mNetAttempts   *telemetry.Histogram
 	mFeesClaimed   *telemetry.Counter
+	mLostRace      *telemetry.Counter
+
+	// healthLat is the EWMA delivery latency (seconds) behind Health();
+	// healthSeen marks the first observation.
+	healthLat  float64
+	healthSeen bool
 
 	// feeEscrows are the fee middlewares this relayer earns from
 	// (registered by the deployment wiring); ClaimFees sweeps them.
@@ -356,6 +362,9 @@ func New(cfg Config, hostChain *host.Chain, contract *guest.Contract, cp *counte
 		r.mNetRetries = reg.Counter(r.ns + ".net_retries")
 		r.mNetDead = reg.Counter(r.ns + ".net_dead_letters")
 		r.mNetAttempts = reg.Histogram(r.ns + ".net_attempts")
+		// Races only happen over the transport: a competing relayer's
+		// duplicate delivery surfaces as RespRecvPacket.Duplicate.
+		r.mLostRace = reg.Counter(r.ns + ".lost_race")
 	}
 	return r
 }
@@ -486,26 +495,29 @@ func (r *Relayer) cpUpdateClient(header []byte, onDone func(error)) {
 }
 
 // cpRecvPacket delivers a guest-sent packet on the counterparty; onDone
-// receives the written ack and the first cp height whose root commits it.
-func (r *Relayer) cpRecvPacket(p *ibc.Packet, proof []byte, provedAt uint64, onDone func(ack []byte, provableAt uint64, err error)) {
+// receives the written ack, the first cp height whose root commits it,
+// and whether the delivery was a replay (a competing relayer or a retry
+// got there first — the front-end reports success with the recorded ack
+// and Duplicate set).
+func (r *Relayer) cpRecvPacket(p *ibc.Packet, proof []byte, provedAt uint64, onDone func(ack []byte, provableAt uint64, duplicate bool, err error)) {
 	if r.ep == nil {
 		ack, err := r.cp.Handler().RecvPacket(p, proof, ibc.Height(provedAt))
-		onDone(ack, r.cp.Height()+1, err)
+		onDone(ack, r.cp.Height()+1, false, err)
 		return
 	}
 	r.cpEnqueue(netsim.KindRecvPacket,
 		netsim.MsgRecvPacket{Packet: p, Proof: proof, ProofHeight: ibc.Height(provedAt)},
 		func(resp any, err error) {
 			if err != nil {
-				onDone(nil, 0, err)
+				onDone(nil, 0, false, err)
 				return
 			}
 			rr, ok := resp.(netsim.RespRecvPacket)
 			if !ok {
-				onDone(nil, 0, fmt.Errorf("relayer: unexpected recv response %T", resp))
+				onDone(nil, 0, false, fmt.Errorf("relayer: unexpected recv response %T", resp))
 				return
 			}
-			onDone(rr.Ack, rr.ProvableAt, nil)
+			onDone(rr.Ack, rr.ProvableAt, rr.Duplicate, nil)
 		})
 }
 
@@ -716,12 +728,21 @@ func (r *Relayer) deliverGuestEntry(st *guest.State, entry *guest.BlockEntry) {
 		if err != nil {
 			continue
 		}
-		r.cpRecvPacket(p, proof, provedAt, func(ack []byte, provableAt uint64, err error) {
+		r.cpRecvPacket(p, proof, provedAt, func(ack []byte, provableAt uint64, duplicate bool, err error) {
 			if err != nil {
 				return
 			}
 			if tr, ok := r.Traces[traceKey(p)]; ok {
 				tr.DeliveredAt = r.sched.Now()
+			}
+			if duplicate {
+				// A competing relayer won this packet: record the loss and
+				// stand down — the winner counts the delivery, relays the
+				// ack, and claims the fee. DeliveredAt is still marked so
+				// the timeout scan doesn't fire a proof for a packet that
+				// did arrive.
+				r.mLostRace.Inc()
+				return
 			}
 			r.tracer.Mark(traceKey(p), telemetry.StageRecv, r.sched.Now())
 			s.cDelivered.Inc()

@@ -1,0 +1,429 @@
+package routing
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+)
+
+// LinkID returns the canonical mesh identifier for the link between a
+// and b — the lexicographically smaller chain first, matching the link
+// IDs core's mesh bootstrap assigns.
+func LinkID(a, b string) string {
+	if b < a {
+		a, b = b, a
+	}
+	return a + "-" + b
+}
+
+// LinkHealth is one telemetry sample for a link, fed from the relayers
+// serving it: the EWMA packet-delivery latency, the cumulative
+// dead-letter count of the link's reliable network calls, and the depth
+// of the relayer's queued work (inbound packets, pending acks, ack
+// backlog, paced jobs).
+type LinkHealth struct {
+	// Latency is the EWMA delivery latency in seconds.
+	Latency float64
+	// DeadLetters is the cumulative dead-lettered call count; the view
+	// folds per-refresh deltas into a drop-rate EWMA.
+	DeadLetters uint64
+	// Backlog is the current queued-work depth.
+	Backlog int
+}
+
+// CostModel parameterises how link health turns into a routing cost.
+// The zero value is replaced by DefaultCostModel.
+type CostModel struct {
+	// BaseCost is the per-hop floor: a perfectly healthy link still
+	// costs this much, so shorter paths win when health is equal.
+	BaseCost float64
+	// LatencyWeight is the cost added per second of EWMA latency.
+	LatencyWeight float64
+	// DropWeight is the cost added per unit of the dead-letter EWMA.
+	DropWeight float64
+	// BacklogWeight is the cost added per backlogged work item.
+	BacklogWeight float64
+	// Hysteresis is the minimum fractional change of any link's cost
+	// (relative to the cost backing the current table) that triggers a
+	// recompute; smaller drifts are absorbed so routes don't flap.
+	Hysteresis float64
+	// ECMPSpread widens equal-cost matching: a path whose cost is
+	// within (1+ECMPSpread)x the best is part of the multi-path set.
+	ECMPSpread float64
+	// MaxPaths caps the retained multi-path set per chain pair.
+	MaxPaths int
+	// DropDecay is the EWMA weight applied to each refresh's new
+	// dead-letter delta (0 < DropDecay <= 1).
+	DropDecay float64
+}
+
+// DefaultCostModel returns the tuning used by core when a mesh enables
+// adaptive routing without overriding the model.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		BaseCost:      1,
+		LatencyWeight: 1,    // +1 cost per second of EWMA delivery latency
+		DropWeight:    0.5,  // +0.5 per dead-lettered call in the EWMA window
+		BacklogWeight: 0.02, // +1 per 50 backlogged items
+		Hysteresis:    0.25,
+		ECMPSpread:    0.05,
+		MaxPaths:      4,
+		DropDecay:     0.5,
+	}
+}
+
+// withDefaults fills zero fields from DefaultCostModel.
+func (m CostModel) withDefaults() CostModel {
+	d := DefaultCostModel()
+	if m.BaseCost <= 0 {
+		m.BaseCost = d.BaseCost
+	}
+	if m.LatencyWeight <= 0 {
+		m.LatencyWeight = d.LatencyWeight
+	}
+	if m.DropWeight <= 0 {
+		m.DropWeight = d.DropWeight
+	}
+	if m.BacklogWeight <= 0 {
+		m.BacklogWeight = d.BacklogWeight
+	}
+	if m.Hysteresis <= 0 {
+		m.Hysteresis = d.Hysteresis
+	}
+	if m.ECMPSpread <= 0 {
+		m.ECMPSpread = d.ECMPSpread
+	}
+	if m.MaxPaths <= 0 {
+		m.MaxPaths = d.MaxPaths
+	}
+	if m.DropDecay <= 0 || m.DropDecay > 1 {
+		m.DropDecay = d.DropDecay
+	}
+	return m
+}
+
+// View is the dynamic replacement for Table: the same link graph scored
+// by a CostModel over live health samples. Routes are weighted shortest
+// paths recomputed only when some link's cost drifts past the
+// hysteresis threshold; chain pairs with several near-equal-cost paths
+// split flows across them by deterministic weighted hashing of
+// (sender, sequence), so a given flow is sticky but the aggregate load
+// spreads. All tie-breaks are canonical or seeded — two same-seed runs
+// observing the same health route identically.
+type View struct {
+	model CostModel
+	seed  int64
+
+	links  []Link
+	ids    []string // canonical link IDs, sorted
+	chains []string
+
+	samples  map[string]LinkHealth
+	dropEWMA map[string]float64
+	lastDead map[string]uint64
+
+	effective  map[string]float64 // costs backing the current path table
+	paths      map[string][]scoredPath
+	recomputes int
+}
+
+// scoredPath is one retained route with the cost it was computed at.
+type scoredPath struct {
+	hops []Hop
+	cost float64
+}
+
+// NewView builds the dynamic view over links. With no health samples
+// every link costs BaseCost, so the initial table is hop-count shortest
+// paths — the static table's behaviour. seed feeds the deterministic
+// tie-break and ECMP hashing.
+func NewView(links []Link, model CostModel, seed int64) *View {
+	v := &View{
+		model:    model.withDefaults(),
+		seed:     seed,
+		links:    append([]Link(nil), links...),
+		samples:  make(map[string]LinkHealth),
+		dropEWMA: make(map[string]float64),
+		lastDead: make(map[string]uint64),
+	}
+	seen := make(map[string]bool)
+	chains := make(map[string]bool)
+	for _, l := range v.links {
+		id := LinkID(l.A, l.B)
+		if !seen[id] {
+			seen[id] = true
+			v.ids = append(v.ids, id)
+		}
+		chains[l.A] = true
+		chains[l.B] = true
+	}
+	sort.Strings(v.ids)
+	for c := range chains {
+		v.chains = append(v.chains, c)
+	}
+	sort.Strings(v.chains)
+	v.effective = v.freshCosts()
+	v.rebuild()
+	return v
+}
+
+// Chains lists every chain in the graph, sorted.
+func (v *View) Chains() []string { return v.chains }
+
+// Recomputes reports how many times health drift rebuilt the table
+// (the initial build does not count).
+func (v *View) Recomputes() int { return v.recomputes }
+
+// Cost returns the effective cost of link id in the live table.
+func (v *View) Cost(id string) float64 {
+	if c, ok := v.effective[id]; ok {
+		return c
+	}
+	return v.model.BaseCost
+}
+
+// Observe records a health sample for link id (canonical LinkID). The
+// dead-letter counter is cumulative; Observe folds its delta into the
+// drop EWMA. Samples take effect at the next Refresh.
+func (v *View) Observe(id string, h LinkHealth) {
+	delta := float64(0)
+	if h.DeadLetters > v.lastDead[id] {
+		delta = float64(h.DeadLetters - v.lastDead[id])
+	}
+	v.lastDead[id] = h.DeadLetters
+	v.dropEWMA[id] = v.model.DropDecay*delta + (1-v.model.DropDecay)*v.dropEWMA[id]
+	v.samples[id] = h
+}
+
+// freshCosts scores every link from the latest samples.
+func (v *View) freshCosts() map[string]float64 {
+	costs := make(map[string]float64, len(v.ids))
+	for _, id := range v.ids {
+		h := v.samples[id]
+		costs[id] = v.model.BaseCost +
+			v.model.LatencyWeight*h.Latency +
+			v.model.DropWeight*v.dropEWMA[id] +
+			v.model.BacklogWeight*float64(h.Backlog)
+	}
+	return costs
+}
+
+// Refresh recomputes link costs from the observed samples and rebuilds
+// the path table if any link's cost moved more than the hysteresis
+// fraction away from the cost backing the current table. Returns true
+// when the table was rebuilt.
+func (v *View) Refresh() bool {
+	fresh := v.freshCosts()
+	trigger := false
+	for _, id := range v.ids {
+		old := v.effective[id]
+		if old <= 0 {
+			old = v.model.BaseCost
+		}
+		if math.Abs(fresh[id]-old)/old > v.model.Hysteresis {
+			trigger = true
+			break
+		}
+	}
+	if !trigger {
+		return false
+	}
+	v.effective = fresh
+	v.rebuild()
+	v.recomputes++
+	return true
+}
+
+// rebuild enumerates, for every ordered chain pair, all simple paths in
+// canonical adjacency order, keeps the cheapest and every path within
+// ECMPSpread of it (capped at MaxPaths), and sorts the survivors by
+// (cost, hop count, canonical chain sequence). Enumeration order is a
+// pure function of the link set, so permuting link declarations cannot
+// change the result.
+func (v *View) rebuild() {
+	adj := make(map[string][]edge)
+	for _, l := range v.links {
+		adj[l.A] = append(adj[l.A], edge{to: l.B, hop: Hop{From: l.A, To: l.B, Port: l.PortA, Channel: l.ChannelA, DestPort: l.PortB, DestChannel: l.ChannelB}})
+		adj[l.B] = append(adj[l.B], edge{to: l.A, hop: Hop{From: l.B, To: l.A, Port: l.PortB, Channel: l.ChannelB, DestPort: l.PortA, DestChannel: l.ChannelA}})
+	}
+	for name, edges := range adj {
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].to != edges[j].to {
+				return edges[i].to < edges[j].to
+			}
+			return edges[i].hop.Channel < edges[j].hop.Channel
+		})
+		adj[name] = edges
+	}
+
+	v.paths = make(map[string][]scoredPath)
+	for _, src := range v.chains {
+		for _, dst := range v.chains {
+			if src == dst {
+				continue
+			}
+			found := v.enumerate(adj, src, dst)
+			if len(found) == 0 {
+				continue
+			}
+			sort.Slice(found, func(i, j int) bool {
+				if found[i].cost != found[j].cost {
+					return found[i].cost < found[j].cost
+				}
+				if len(found[i].hops) != len(found[j].hops) {
+					return len(found[i].hops) < len(found[j].hops)
+				}
+				return pathString(found[i].hops) < pathString(found[j].hops)
+			})
+			best := found[0].cost
+			limit := best * (1 + v.model.ECMPSpread)
+			kept := found[:0]
+			for _, p := range found {
+				if p.cost > limit || len(kept) >= v.model.MaxPaths {
+					break
+				}
+				kept = append(kept, p)
+			}
+			v.paths[routeKey(src, dst)] = append([]scoredPath(nil), kept...)
+		}
+	}
+}
+
+// enumerate walks every simple path src->dst depth-first in canonical
+// adjacency order, scoring each by the sum of its links' effective
+// costs.
+func (v *View) enumerate(adj map[string][]edge, src, dst string) []scoredPath {
+	var out []scoredPath
+	onPath := map[string]bool{src: true}
+	var hops []Hop
+	var walk func(cur string, cost float64)
+	walk = func(cur string, cost float64) {
+		if cur == dst {
+			out = append(out, scoredPath{hops: append([]Hop(nil), hops...), cost: cost})
+			return
+		}
+		for _, e := range adj[cur] {
+			if onPath[e.to] {
+				continue
+			}
+			onPath[e.to] = true
+			hops = append(hops, e.hop)
+			walk(e.to, cost+v.Cost(LinkID(cur, e.to)))
+			hops = hops[:len(hops)-1]
+			onPath[e.to] = false
+		}
+	}
+	walk(src, 0)
+	return out
+}
+
+// pathString renders the chain sequence of a path for canonical
+// ordering.
+func pathString(hops []Hop) string {
+	var b strings.Builder
+	for i, h := range hops {
+		if i == 0 {
+			b.WriteString(h.From)
+		}
+		b.WriteByte(' ')
+		b.WriteString(h.To)
+		b.WriteByte('/')
+		b.WriteString(string(h.Channel))
+	}
+	return b.String()
+}
+
+// Paths returns the current multi-path set for src->dst, cheapest
+// first. The slice is shared — callers must not mutate it.
+func (v *View) Paths(src, dst string) [][]Hop {
+	set := v.paths[routeKey(src, dst)]
+	out := make([][]Hop, len(set))
+	for i, p := range set {
+		out[i] = p.hops
+	}
+	return out
+}
+
+// Route returns the current best path src->dst. When several retained
+// paths tie at exactly the best cost the choice is a deterministic
+// seeded hash of (src, dst) — stable within a run, reproducible across
+// same-seed runs, and not biased toward declaration order.
+func (v *View) Route(src, dst string) ([]Hop, error) {
+	set, err := v.routeSet(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	tied := 1
+	for tied < len(set) && set[tied].cost == set[0].cost {
+		tied++
+	}
+	if tied == 1 {
+		return set[0].hops, nil
+	}
+	return set[flowHash(v.seed, "route", src+" "+dst, 0)%uint64(tied)].hops, nil
+}
+
+// RouteFlow picks a path for one packet of a flow: equal-cost
+// multi-path by weighted deterministic hashing of (sender, sequence).
+// Each retained path is weighted by bestCost/cost, so exact ties split
+// evenly and near-ties shade toward the cheaper arm. The hash is seeded
+// — the same (seed, sender, sequence) always takes the same arm.
+func (v *View) RouteFlow(src, dst, sender string, seq uint64) ([]Hop, error) {
+	set, err := v.routeSet(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if len(set) == 1 {
+		return set[0].hops, nil
+	}
+	total := 0.0
+	weights := make([]float64, len(set))
+	for i, p := range set {
+		w := set[0].cost / p.cost
+		weights[i] = w
+		total += w
+	}
+	r := float64(flowHash(v.seed, "ecmp", sender, seq)%(1<<53)) / (1 << 53) * total
+	for i, w := range weights {
+		r -= w
+		if r < 0 {
+			return set[i].hops, nil
+		}
+	}
+	return set[len(set)-1].hops, nil
+}
+
+// routeSet fetches the retained path set with the typed errors Route
+// and RouteFlow share.
+func (v *View) routeSet(src, dst string) ([]scoredPath, error) {
+	if src == dst {
+		return nil, fmt.Errorf("%w: %s->%s", ErrSameChain, src, dst)
+	}
+	set := v.paths[routeKey(src, dst)]
+	if len(set) == 0 {
+		return nil, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
+	}
+	return set, nil
+}
+
+// flowHash is the deterministic seeded hash behind tie-breaks and ECMP:
+// FNV-1a over (seed, kind, key, seq).
+func flowHash(seed int64, kind, key string, seq uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	u := uint64(seed)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(kind))
+	h.Write([]byte(key))
+	u = seq
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}

@@ -8,6 +8,7 @@
 package routing
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -16,6 +17,15 @@ import (
 	"repro/internal/middleware"
 	"repro/internal/transfer"
 )
+
+// ErrNoRoute reports an unreachable destination: the mesh graph has no
+// path between the requested chains (disconnected components are legal
+// topologies — callers must handle this, not panic).
+var ErrNoRoute = errors.New("routing: no route")
+
+// ErrSameChain reports a route request whose source and destination are
+// the same chain.
+var ErrSameChain = errors.New("routing: same chain")
 
 // Link is one bidirectional mesh link between chains A and B, named by
 // each side's transfer (port, channel) as bootstrap opened them.
@@ -116,14 +126,16 @@ func NewTable(links []Link) *Table {
 // Chains lists every chain in the graph, sorted.
 func (t *Table) Chains() []string { return t.chains }
 
-// Route returns the hop sequence from src to dst.
+// Route returns the hop sequence from src to dst. Unreachable
+// destinations return an error wrapping ErrNoRoute; src == dst wraps
+// ErrSameChain.
 func (t *Table) Route(src, dst string) ([]Hop, error) {
 	if src == dst {
-		return nil, fmt.Errorf("routing: route %s->%s: same chain", src, dst)
+		return nil, fmt.Errorf("%w: %s->%s", ErrSameChain, src, dst)
 	}
 	hops, ok := t.routes[routeKey(src, dst)]
 	if !ok {
-		return nil, fmt.Errorf("routing: no route %s->%s", src, dst)
+		return nil, fmt.Errorf("%w: %s->%s", ErrNoRoute, src, dst)
 	}
 	return hops, nil
 }
